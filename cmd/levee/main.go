@@ -1,0 +1,124 @@
+// Command levee is the compiler driver of the reproduction, mirroring the
+// paper's usage: pass -fcpi, -fcps or -fstack-protector-safe to protect a
+// program, then run it on the simulated machine.
+//
+// Usage:
+//
+//	levee [flags] file.c [-- input-string]
+//
+// Examples:
+//
+//	levee -fcpi prog.c            # compile with CPI and run
+//	levee -fcps -stats prog.c     # CPS + instrumentation statistics
+//	levee -emit-ir prog.c         # print the instrumented IR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func main() {
+	fcpi := flag.Bool("fcpi", false, "enable code-pointer integrity (includes safe stack)")
+	fcps := flag.Bool("fcps", false, "enable code-pointer separation (includes safe stack)")
+	fsafestack := flag.Bool("fstack-protector-safe", false, "enable the safe stack only")
+	fsoftbound := flag.Bool("fsoftbound", false, "enable full memory safety (SoftBound baseline)")
+	fcfi := flag.Bool("fcfi", false, "enable coarse-grained CFI (baseline)")
+	cookies := flag.Bool("cookies", false, "enable stack cookies")
+	dep := flag.Bool("dep", true, "non-executable data (DEP/NX)")
+	aslr := flag.Bool("aslr", false, "randomize stack/heap (add -pie for full ASLR)")
+	pie := flag.Bool("pie", false, "position-independent executable (with -aslr)")
+	fortify := flag.Bool("fortify", false, "FORTIFY_SOURCE-style libc checks")
+	spsOrg := flag.String("sps", "array", "safe pointer store organisation: array|twolevel|hash")
+	isolation := flag.String("isolation", "segment", "safe region isolation: segment|infohide|sfi")
+	debugDual := flag.Bool("debug-dual-store", false, "store protected pointers in both regions and compare")
+	temporal := flag.Bool("temporal", false, "enable temporal safety checks (CETS-style extension)")
+	seed := flag.Int64("seed", 1, "layout/canary randomization seed")
+	input := flag.String("input", "", "attacker-controlled input for read_input()")
+	stats := flag.Bool("stats", false, "print instrumentation statistics")
+	emitIR := flag.Bool("emit-ir", false, "print the instrumented IR instead of running")
+	entry := flag.String("entry", "main", "entry function")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: levee [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{
+		DEP: *dep, ASLR: *aslr, PIE: *pie, StackCookies: *cookies,
+		Fortify: *fortify, SPS: *spsOrg, Seed: *seed, Input: []byte(*input),
+		DebugDualStore: *debugDual, TemporalSafety: *temporal,
+	}
+	switch strings.ToLower(*isolation) {
+	case "segment":
+		cfg.Isolation = vm.IsoSegment
+	case "infohide":
+		cfg.Isolation = vm.IsoInfoHide
+	case "sfi":
+		cfg.Isolation = vm.IsoSFI
+	default:
+		fatal(fmt.Errorf("unknown isolation %q", *isolation))
+	}
+	switch {
+	case *fcpi:
+		cfg.Protect = core.CPI
+	case *fcps:
+		cfg.Protect = core.CPS
+	case *fsafestack:
+		cfg.Protect = core.SafeStack
+	case *fsoftbound:
+		cfg.Protect = core.SoftBound
+	case *fcfi:
+		cfg.Protect = core.CFI
+	}
+
+	prog, err := core.Compile(string(src), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *emitIR {
+		fmt.Print(prog.IR.String())
+		return
+	}
+	if *stats {
+		s := prog.Stats
+		fmt.Printf("protection:       %s\n", cfg.Protect)
+		fmt.Printf("functions:        %d (%.1f%% need an unsafe frame)\n",
+			s.Funcs, s.FNUStackPct())
+		fmt.Printf("memory ops:       %d (%.1f%% instrumented, %d checks)\n",
+			s.MemOps, s.MOPct(), s.Checks)
+		fmt.Printf("safe intrinsics:  %d\n", s.SafeIntrs)
+	}
+
+	m, err := prog.NewMachine()
+	if err != nil {
+		fatal(err)
+	}
+	r := m.Run(*entry)
+	fmt.Print(r.Output)
+	if r.Trap != vm.TrapExit {
+		fmt.Fprintf(os.Stderr, "levee: %v\n", r.Err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Printf("cycles: %d  steps: %d  sps entries: %d  sps bytes: %d\n",
+			r.Cycles, r.Steps, r.Mem.SPSEntries, r.Mem.SPSBytes)
+	}
+	os.Exit(int(r.ExitCode & 0x7f))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "levee:", err)
+	os.Exit(1)
+}

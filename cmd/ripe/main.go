@@ -1,0 +1,95 @@
+// Command ripe runs the RIPE-style attack benchmark of §5.1 against one or
+// all defense configurations and prints the success/prevention table, the
+// per-target breakdown, and the Fig. 5 defense matrix.
+//
+// Usage:
+//
+//	ripe                  # full matrix over all defenses (§5.1 table)
+//	ripe -defense cpi     # one defense with per-target breakdown
+//	ripe -matrix          # Fig. 5-style defense comparison
+//	ripe -seeds 3         # aggregate over several layout seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ripe"
+)
+
+func main() {
+	defense := flag.String("defense", "", "run a single defense (none, dep, aslr, cookies, dep+aslr+cookies, modern, cfi, safestack, cps, cpi)")
+	matrix := flag.Bool("matrix", false, "print the Fig. 5-style defense matrix")
+	seeds := flag.Int("seeds", 1, "number of layout seeds to aggregate (ranges, as in §5.1)")
+	verbose := flag.Bool("v", false, "list each attack outcome")
+	flag.Parse()
+
+	if *defense != "" {
+		d, err := ripe.DefenseByName(*defense)
+		if err != nil {
+			fatal(err)
+		}
+		sr, err := ripe.RunSuite(d, 42)
+		if err != nil {
+			fatal(err)
+		}
+		ripe.WriteBreakdown(os.Stdout, sr)
+		if *verbose {
+			for _, r := range sr.Results {
+				fmt.Printf("%-60s %-9s %v\n", r.Attack, r.Outcome, r.Trap)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("RIPE-style benchmark: %d feasible attack forms (paper: 850)\n\n",
+		len(ripe.All()))
+	var suites []*ripe.SuiteResult
+	for _, d := range ripe.Defenses() {
+		lo, hi := 1<<30, 0
+		var last *ripe.SuiteResult
+		for s := 0; s < *seeds; s++ {
+			sr, err := ripe.RunSuite(d, int64(42+s*7))
+			if err != nil {
+				fatal(err)
+			}
+			if sr.Succeeded < lo {
+				lo = sr.Succeeded
+			}
+			if sr.Succeeded > hi {
+				hi = sr.Succeeded
+			}
+			last = sr
+		}
+		suites = append(suites, last)
+		if *seeds > 1 {
+			fmt.Printf("%-20s succeeded: %d–%d of %d\n", d.Name, lo, hi, last.Total)
+		}
+	}
+	ripe.WriteTable(os.Stdout, suites)
+
+	if *matrix {
+		fmt.Println()
+		writeMatrix(suites)
+	}
+}
+
+// writeMatrix renders the Fig. 5 "stops all control-flow hijacks?" column
+// from measured data.
+func writeMatrix(suites []*ripe.SuiteResult) {
+	fmt.Println("Figure 5 (measured): does the defense stop all control-flow hijacks?")
+	fmt.Printf("%-20s %-10s %s\n", "defense", "verdict", "residual successes")
+	for _, sr := range suites {
+		verdict := "No"
+		if sr.Succeeded == 0 {
+			verdict = "Yes"
+		}
+		fmt.Printf("%-20s %-10s %d/%d\n", sr.Defense, verdict, sr.Succeeded, sr.Total)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ripe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command sysbench regenerates the §5.3 system results: Fig. 4 (the
+// Phoronix-style suite), Table 4 (the web-server stack), and the §5.2
+// memory-overhead measurements.
+//
+// Usage:
+//
+//	sysbench            # Fig. 4 + Table 4
+//	sysbench -mem       # memory overheads (§5.2)
+//	sysbench -all       # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	mem := flag.Bool("mem", false, "print the §5.2 memory-overhead measurement")
+	all := flag.Bool("all", false, "print everything")
+	flag.Parse()
+
+	if *mem || *all {
+		rows, err := harness.MemoryOverheads(workloads.Spec())
+		if err != nil {
+			fatal(err)
+		}
+		harness.WriteMemory(os.Stdout, rows)
+		fmt.Println()
+		if *mem && !*all {
+			return
+		}
+	}
+
+	results, err := harness.RunSuite(workloads.Phoronix(), harness.SpecConfigs())
+	if err != nil {
+		fatal(err)
+	}
+	harness.WriteFig4(os.Stdout, results)
+	fmt.Println()
+	if err := harness.WriteTable4(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sysbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Interpreter: the §3.3 Perl-dispatch argument, live.
+//
+// A bytecode interpreter dispatches opcodes through a function-pointer
+// table. Coarse CFI accepts ANY function in the program as an indirect-call
+// target, so an attacker who corrupts a dispatch pointer can run any opcode
+// handler — or any other function, like the one that spawns a shell. CPS
+// only lets the program call through pointers that were legitimately
+// written by code-pointer stores, so the attacker can at most replay
+// already-assigned handlers; CPI removes even that.
+//
+//	go run ./examples/interpreter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+const src = `
+struct vmstate { int acc; };
+int op_inc(struct vmstate *s) { s->acc += 1; return 0; }
+int op_dbl(struct vmstate *s) { s->acc *= 2; return 0; }
+int op_dec(struct vmstate *s) { s->acc -= 1; return 0; }
+int op_spawn_shell(struct vmstate *s) { puts("shell spawned: PWNED"); return 1; }
+
+int (*dispatch[4])(struct vmstate *);
+int program[6] = { 0, 1, 1, 2, 0, 1 };
+
+void attack_point(void) {}
+
+int main(void) {
+	// Only the three arithmetic handlers are ever assigned; op_spawn_shell
+	// exists in the binary but is never made reachable by the program.
+	dispatch[0] = op_inc;
+	dispatch[1] = op_dbl;
+	dispatch[2] = op_dec;
+	dispatch[3] = op_inc;
+
+	struct vmstate st;
+	st.acc = 1;
+	attack_point();
+	for (int pc = 0; pc < 6; pc++) {
+		if (dispatch[program[pc]](&st)) return 99;
+	}
+	printf("acc = %d\n", st.acc);
+	return st.acc;
+}
+`
+
+func run(label string, cfg core.Config) {
+	prog, err := core.Compile(src, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The attacker overwrites dispatch[1] with the address of the function
+	// that spawns a shell — a perfectly "valid" function entry, so coarse
+	// CFI's target-set check is satisfied.
+	m.SetHook("attack_point", func(mm *vm.Machine) {
+		atk := mm.Attacker(true)
+		shell, _ := atk.FuncAddr("op_spawn_shell")
+		slot, _ := atk.GlobalAddr("dispatch")
+		atk.WriteWord(slot+8, shell)
+	})
+	r := m.Run("main")
+	fmt.Printf("--- %s ---\n", label)
+	fmt.Print(r.Output)
+	fmt.Printf("(%v)\n\n", r.Err)
+}
+
+func main() {
+	fmt.Println("Corrupting the interpreter's opcode table with op_spawn_shell:")
+	fmt.Println()
+	run("unprotected", core.Config{DEP: true})
+	run("CFI: shell is a 'valid target', attack passes the check",
+		core.Config{Protect: core.CFI, DEP: true})
+	run("CPS: only legitimately-stored code pointers load back",
+		core.Config{Protect: core.CPS, DEP: true})
+	run("CPI", core.Config{Protect: core.CPI, DEP: true})
+}

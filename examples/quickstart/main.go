@@ -1,0 +1,88 @@
+// Quickstart: compile a vulnerable C program, exploit it on the unprotected
+// machine, then recompile with -fcpi and watch the same exploit bounce off.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// A web-server-ish program with a classic bug: the request handler strcpy's
+// attacker input into a fixed buffer that sits next to a function pointer.
+const src = `
+struct route {
+	char path[16];
+	void (*handler)(void);
+};
+void serve_page(void) { puts("200 OK"); }
+void admin_shell(void) { puts("root shell: PWNED"); }
+
+int main(void) {
+	struct route *r = (struct route *)malloc(sizeof(struct route));
+	r->handler = serve_page;
+
+	char request[128];
+	read_input(request, 128);
+	strcpy(r->path, request); // BUG: unbounded copy into path[16]
+
+	r->handler();
+	puts("request handled");
+	return 0;
+}
+`
+
+func main() {
+	// Step 1: compile without protection and find the juicy address.
+	vanilla, err := core.Compile(src, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := vanilla.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	shell, _ := m.FuncAddr("admin_shell")
+	fmt.Printf("target: admin_shell at %#x\n\n", shell)
+
+	// Step 2: craft the exploit: 16 bytes of padding, then the address of
+	// admin_shell lands on r->handler.
+	exploit := append(make([]byte, 16), le(shell)[:4]...)
+	for i := 0; i < 16; i++ {
+		exploit[i] = 'A'
+	}
+
+	run := func(label string, cfg core.Config) {
+		cfg.Input = exploit
+		prog, err := core.Compile(src, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := prog.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n", label)
+		fmt.Print(r.Output)
+		fmt.Printf("(exit: %v)\n\n", r.Err)
+	}
+
+	// Step 3: the attack succeeds on the unprotected build...
+	run("unprotected", core.Config{})
+
+	// ...and is silently neutralized by CPS and CPI: the corrupted regular-
+	// region copy of r->handler is ignored; the protected copy in the safe
+	// pointer store still points at serve_page (§3.2.2 default mode).
+	run("compiled with -fcps", core.Config{Protect: core.CPS})
+	run("compiled with -fcpi", core.Config{Protect: core.CPI})
+}
+
+func le(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}

@@ -1,0 +1,73 @@
+// Webserver: the Table 4 three-tier stack as an application. Serves the
+// three page types under each protection level and reports throughput
+// (requests per million cycles), reproducing the §5.3 observation that the
+// interpreter-heavy dynamic page is where CPI's cost concentrates.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fmt.Println("Web stack throughput (requests per Mcycle; higher is better)")
+	fmt.Printf("%-14s %10s %10s %10s %10s\n",
+		"page", "vanilla", "safestack", "cps", "cpi")
+
+	cfgs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"vanilla", core.Config{DEP: true}},
+		{"safestack", core.Config{Protect: core.SafeStack, DEP: true}},
+		{"cps", core.Config{Protect: core.CPS, DEP: true}},
+		{"cpi", core.Config{Protect: core.CPI, DEP: true}},
+	}
+
+	requests := map[string]float64{
+		"static-page": 1500, "wsgi-page": 500, "dynamic-page": 150,
+	}
+
+	for _, page := range workloads.WebStack() {
+		row := []float64{}
+		for _, c := range cfgs {
+			prog, err := core.Compile(page.Src, c.cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := prog.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r.Trap != vm.TrapExit {
+				log.Fatalf("%s/%s: %v", page.Name, c.name, r.Err)
+			}
+			row = append(row, requests[page.Name]/(float64(r.Cycles)/1e6))
+		}
+		fmt.Printf("%-14s %10.1f %10.1f %10.1f %10.1f\n",
+			page.Name, row[0], row[1], row[2], row[3])
+	}
+
+	fmt.Println("\nOverhead vs vanilla (Table 4 shape: dynamic page hit hardest by CPI):")
+	for _, page := range workloads.WebStack() {
+		var base float64
+		fmt.Printf("%-14s", page.Name)
+		for _, c := range cfgs {
+			prog, _ := core.Compile(page.Src, c.cfg)
+			r, _ := prog.Run()
+			cyc := float64(r.Cycles)
+			if c.name == "vanilla" {
+				base = cyc
+				continue
+			}
+			fmt.Printf("  %s %+5.1f%%", c.name, 100*(cyc/base-1))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,254 @@
+// Package analysis implements the static analyses of §3.2.1 and §3.2.4 on
+// the IR: the type-based sensitivity classification with its data-flow
+// augmentation and char* string heuristic, the safe-stack escape analysis,
+// the memory-intrinsic argument analysis, and the instrumentation statistics
+// reported in Table 2.
+package analysis
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/ir"
+	"repro/internal/minic/builtins"
+)
+
+// EscapeAnalysis marks frame objects whose accesses cannot all be proven
+// safe at compile time (§3.2.4): any object whose address is materialized
+// into a register (OpAddr), used as a computed GEP base, passed to a call,
+// or stored — i.e., any appearance outside the address operand of a
+// direct load/store — escapes. Proven-safe objects are exactly those whose
+// every use is a load/store at a statically in-bounds constant offset.
+func EscapeAnalysis(f *ir.Func) {
+	mark := func(v ir.Value) {
+		if v.Kind == ir.ValFrame {
+			f.Frame[v.Index].AddrEscapes = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			switch in.Op {
+			case ir.OpLoad:
+				// Address position is safe; no operand B.
+			case ir.OpStore:
+				mark(in.B) // storing the address itself leaks it
+			default:
+				mark(in.A)
+				mark(in.B)
+			}
+			for _, a := range in.Args {
+				mark(a)
+			}
+		}
+	}
+}
+
+// FuncInfo carries per-function def/use information (registers are single
+// assignment, so defs are unique).
+type FuncInfo struct {
+	Fn   *ir.Func
+	Defs []defSite // by register
+}
+
+type defSite struct {
+	blk, idx int
+	valid    bool
+}
+
+// Analyze builds def information for a function.
+func Analyze(f *ir.Func) *FuncInfo {
+	fi := &FuncInfo{Fn: f, Defs: make([]defSite, f.NumRegs)}
+	for bi, b := range f.Blocks {
+		for ii := range b.Ins {
+			if d := b.Ins[ii].Dst; d >= 0 {
+				fi.Defs[d] = defSite{blk: bi, idx: ii, valid: true}
+			}
+		}
+	}
+	return fi
+}
+
+// Def returns the defining instruction of a register, or nil (parameters
+// and undefined registers).
+func (fi *FuncInfo) Def(reg int) *ir.Instr {
+	if reg < 0 || reg >= len(fi.Defs) || !fi.Defs[reg].valid {
+		return nil
+	}
+	d := fi.Defs[reg]
+	return &fi.Fn.Blocks[d.blk].Ins[d.idx]
+}
+
+// PointeeType infers the static type of the object a value operand points
+// to, following the value through casts and GEPs (the data-flow augmentation
+// of §3.2.1 that recovers types lost at unsafe casts). Returns nil when
+// unknown.
+func (fi *FuncInfo) PointeeType(p *ir.Program, v ir.Value, depth int) *ctypes.Type {
+	if depth > 8 {
+		return nil
+	}
+	switch v.Kind {
+	case ir.ValFrame:
+		return fi.Fn.Frame[v.Index].Type
+	case ir.ValGlobal:
+		return p.Globals[v.Index].Type
+	case ir.ValString:
+		return ctypes.ArrayOf(ctypes.Char, int64(len(p.Strings[v.Index])+1))
+	case ir.ValFunc:
+		return p.Funcs[v.Index].Ret // not meaningful; callers guard
+	case ir.ValReg:
+		def := fi.Def(v.Reg)
+		if def == nil {
+			// Parameter: its declared type.
+			if v.Reg < len(fi.Fn.Params) {
+				t := fi.Fn.Params[v.Reg].Type
+				if t.IsPtr() {
+					return t.Elem
+				}
+			}
+			return nil
+		}
+		switch def.Op {
+		case ir.OpCast:
+			// The pre-cast type is the honest one (§3.2.2: clang is made
+			// to preserve the original types of pointers cast to void*).
+			if def.FromTy != nil && def.FromTy.IsPtr() {
+				return def.FromTy.Elem
+			}
+			return fi.PointeeType(p, def.A, depth+1)
+		case ir.OpGEP:
+			return fi.PointeeType(p, def.A, depth+1)
+		case ir.OpAddr:
+			return fi.PointeeType(p, def.A, depth+1)
+		case ir.OpLoad:
+			if def.Ty != nil && def.Ty.IsPtr() {
+				return def.Ty.Elem
+			}
+		case ir.OpCall:
+			if def.Callee < 0 {
+				switch def.Intr {
+				case builtins.Malloc, builtins.Calloc:
+					return nil // raw memory; unknown element type
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the Table 2 instrumentation statistics for one program
+// configuration.
+type Stats struct {
+	Funcs        int
+	UnsafeFrames int // functions needing an unsafe stack frame (FNUStack)
+	MemOps       int // static loads+stores
+	Instrumented int // flagged loads+stores (MOCPS / MOCPI numerator)
+	Checks       int // dereference checks inserted
+	SafeIntrs    int // memcpy-family calls using the safe variant
+}
+
+// FNUStackPct is the Table 2 "fraction of functions needing an unsafe
+// stack frame".
+func (s Stats) FNUStackPct() float64 {
+	if s.Funcs == 0 {
+		return 0
+	}
+	return 100 * float64(s.UnsafeFrames) / float64(s.Funcs)
+}
+
+// MOPct is the Table 2 "fraction of memory operations instrumented".
+func (s Stats) MOPct() float64 {
+	if s.MemOps == 0 {
+		return 0
+	}
+	return 100 * float64(s.Instrumented) / float64(s.MemOps)
+}
+
+// Collect gathers stats from a (possibly instrumented) program.
+func Collect(p *ir.Program) Stats {
+	var s Stats
+	for _, f := range p.Funcs {
+		if f.External {
+			continue
+		}
+		s.Funcs++
+		if f.NeedsUnsafeFrame {
+			s.UnsafeFrames++
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Ins {
+				in := &b.Ins[i]
+				if in.IsMemOp() {
+					s.MemOps++
+					if in.Flags&(ir.ProtCPIStore|ir.ProtCPILoad|ir.ProtCPS|ir.ProtSB) != 0 {
+						s.Instrumented++
+					}
+					if in.Flags&(ir.ProtCPICheck|ir.ProtSBCheck) != 0 {
+						s.Checks++
+					}
+				}
+				if in.Op == ir.OpCall && in.Flags&ir.ProtSafeIntr != 0 {
+					s.SafeIntrs++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// StringLike reports whether a char* valued operand is covered by the
+// string heuristic of §3.2.1: values originating from string constants or
+// flowing into libc string functions are treated as strings, not universal
+// pointers. reg < 0 means the operand is a direct value.
+func StringLike(fi *FuncInfo, v ir.Value, uses map[int][]*ir.Instr) bool {
+	if v.Kind == ir.ValString {
+		return true
+	}
+	if v.Kind != ir.ValReg {
+		return false
+	}
+	if def := fi.Def(v.Reg); def != nil {
+		if def.Op == ir.OpCall && def.Callee < 0 && isStrIntr(def.Intr) {
+			return true // result of strcpy/strcat/...: a string
+		}
+		if def.Op == ir.OpAddr && def.A.Kind == ir.ValString {
+			return true
+		}
+	}
+	for _, u := range uses[v.Reg] {
+		if u.Op == ir.OpCall && u.Callee < 0 && isStrIntr(u.Intr) {
+			return true // passed to a string function
+		}
+	}
+	return false
+}
+
+func isStrIntr(k builtins.Kind) bool {
+	switch k {
+	case builtins.Strcpy, builtins.Strncpy, builtins.Strcat, builtins.Strncat,
+		builtins.Strcmp, builtins.Strncmp, builtins.Strlen, builtins.Puts,
+		builtins.Printf, builtins.Sprintf, builtins.Snprintf, builtins.Atoi,
+		builtins.Sscanf:
+		return true
+	}
+	return false
+}
+
+// Uses builds the register use map for a function.
+func Uses(f *ir.Func) map[int][]*ir.Instr {
+	uses := map[int][]*ir.Instr{}
+	add := func(v ir.Value, in *ir.Instr) {
+		if v.Kind == ir.ValReg {
+			uses[v.Reg] = append(uses[v.Reg], in)
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			add(in.A, in)
+			add(in.B, in)
+			for _, a := range in.Args {
+				add(a, in)
+			}
+		}
+	}
+	return uses
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/sema"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := sema.Check(f); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	p, err := irgen.Lower(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func TestEscapeOnlyWhereNeeded(t *testing.T) {
+	p := lower(t, `
+int sink(int *p);
+int f(int n) {
+	int pure = n + 1;          // safe
+	int addressed = 2;         // escapes via &
+	int viaCall = 3;           // escapes via call arg
+	int arr[4];                // escapes via variable index
+	int fixed[4];              // safe: constant indices only
+	arr[n & 3] = 1;
+	fixed[2] = 5;
+	return pure + sink(&addressed) + viaCall + arr[0] + fixed[2] + sink(&viaCall);
+}
+`)
+	fn := p.FuncByName("f")
+	EscapeAnalysis(fn)
+	want := map[string]bool{
+		"pure": false, "addressed": true, "viaCall": true,
+		"arr": true, "fixed": false,
+	}
+	for _, obj := range fn.Frame {
+		if w, ok := want[obj.Name]; ok && obj.AddrEscapes != w {
+			t.Errorf("%s: escapes=%v, want %v", obj.Name, obj.AddrEscapes, w)
+		}
+	}
+}
+
+func TestEscapeViaStoredAddress(t *testing.T) {
+	p := lower(t, `
+int *holder;
+void f(void) {
+	int x = 1;
+	holder = &x; // address stored to memory: escapes
+}
+`)
+	fn := p.FuncByName("f")
+	EscapeAnalysis(fn)
+	for _, obj := range fn.Frame {
+		if obj.Name == "x" && !obj.AddrEscapes {
+			t.Error("x escapes through the stored address")
+		}
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	p := lower(t, `
+int f(int a) {
+	int x = a * 2;
+	return x + a;
+}
+`)
+	fn := p.FuncByName("f")
+	fi := Analyze(fn)
+	uses := Uses(fn)
+
+	// Every defined register's def must be locatable and its uses recorded.
+	defs := 0
+	for _, b := range fn.Blocks {
+		for i := range b.Ins {
+			if d := b.Ins[i].Dst; d >= 0 {
+				defs++
+				if fi.Def(d) != &b.Ins[i] {
+					t.Errorf("Def(r%d) mismatch", d)
+				}
+			}
+		}
+	}
+	if defs == 0 {
+		t.Fatal("no defs found")
+	}
+	// Parameter register 0 has no def but has uses (the spill store).
+	if fi.Def(0) != nil {
+		t.Error("parameter register should have no defining instruction")
+	}
+	if len(uses[0]) == 0 {
+		t.Error("parameter register should have uses")
+	}
+	if fi.Def(-1) != nil || fi.Def(999) != nil {
+		t.Error("out-of-range Def must be nil")
+	}
+}
+
+func TestPointeeTypeThroughCasts(t *testing.T) {
+	p := lower(t, `
+struct vt { void (*fn)(void); };
+struct obj { struct vt *v; int d; };
+void use(void *p);
+void f(struct obj *o, int *nums) {
+	use((void *)o);
+	use((void *)nums);
+}
+`)
+	fn := p.FuncByName("f")
+	fi := Analyze(fn)
+	// Find the two use() calls and recover the pre-cast pointee types.
+	var got []*ctypes.Type
+	for _, b := range fn.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.Op == ir.OpCall && in.Callee >= 0 {
+				got = append(got, fi.PointeeType(p, in.Args[0], 0))
+			}
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("found %d calls", len(got))
+	}
+	if got[0] == nil || got[0].Kind != ctypes.KindStruct {
+		t.Errorf("first arg pointee = %v, want struct obj", got[0])
+	}
+	if got[1] == nil || got[1].Kind != ctypes.KindInt {
+		t.Errorf("second arg pointee = %v, want int", got[1])
+	}
+	if got[0] != nil && !ctypes.Sensitive(got[0]) {
+		t.Error("struct obj must classify sensitive")
+	}
+	if got[1] != nil && ctypes.Sensitive(got[1]) {
+		t.Error("int must not classify sensitive")
+	}
+}
+
+func TestPointeeTypeDirectValues(t *testing.T) {
+	p := lower(t, `
+int table[8];
+char msg[4] = "hi";
+void use(void *p);
+void f(void) {
+	use((void *)table);
+	use((void *)msg);
+}
+`)
+	fn := p.FuncByName("f")
+	fi := Analyze(fn)
+	var got []*ctypes.Type
+	for _, b := range fn.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.Op == ir.OpCall && in.Callee >= 0 {
+				got = append(got, fi.PointeeType(p, in.Args[0], 0))
+			}
+		}
+	}
+	if len(got) != 2 || got[0] == nil || got[1] == nil {
+		t.Fatalf("pointee types: %v", got)
+	}
+	// Arrays decay before the cast, so the recovered pointee is the element
+	// type — equivalent for the sensitivity decision.
+	if got[0].Kind != ctypes.KindInt {
+		t.Errorf("table pointee = %s, want int", got[0])
+	}
+	if got[1].Kind != ctypes.KindChar {
+		t.Errorf("msg pointee = %s, want char", got[1])
+	}
+}
+
+func TestStatsPercentages(t *testing.T) {
+	s := Stats{Funcs: 4, UnsafeFrames: 1, MemOps: 200, Instrumented: 13}
+	if got := s.FNUStackPct(); got != 25 {
+		t.Errorf("FNUStack = %v", got)
+	}
+	if got := s.MOPct(); got != 6.5 {
+		t.Errorf("MO%% = %v", got)
+	}
+	var zero Stats
+	if zero.FNUStackPct() != 0 || zero.MOPct() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}
+
+func TestCollectSkipsExternals(t *testing.T) {
+	p := lower(t, `
+int external_fn(int x);
+int f(void) { return external_fn(1); }
+`)
+	s := Collect(p)
+	if s.Funcs != 1 {
+		t.Errorf("Funcs = %d, want 1 (externals excluded)", s.Funcs)
+	}
+}

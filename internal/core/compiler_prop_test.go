@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+// End-to-end compiler/machine correctness properties: randomly generated
+// programs must compute the same result as a Go-side reference evaluation,
+// under vanilla AND under full CPI (the "protection preserves semantics"
+// invariant, which §5.3's FreeBSD case study depends on).
+
+// exprGen generates random integer expressions over variables a, b, c, and
+// evaluates them in Go as the reference.
+type exprGen struct {
+	seed uint64
+	sb   strings.Builder
+}
+
+func (g *exprGen) next(n uint64) uint64 {
+	g.seed = g.seed*6364136223846793005 + 1442695040888963407
+	return (g.seed >> 33) % n
+}
+
+// gen emits a random expression and returns its reference value given the
+// variable environment.
+func (g *exprGen) gen(env map[string]int64, depth int) int64 {
+	if depth <= 0 {
+		switch g.next(4) {
+		case 0:
+			g.sb.WriteString("a")
+			return env["a"]
+		case 1:
+			g.sb.WriteString("b")
+			return env["b"]
+		case 2:
+			g.sb.WriteString("c")
+			return env["c"]
+		default:
+			v := int64(g.next(1000))
+			fmt.Fprintf(&g.sb, "%d", v)
+			return v
+		}
+	}
+	switch g.next(8) {
+	case 0: // addition
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		g.sb.WriteString(" + ")
+		y := g.gen(env, depth-1)
+		g.sb.WriteString(")")
+		return x + y
+	case 1:
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		g.sb.WriteString(" - ")
+		y := g.gen(env, depth-1)
+		g.sb.WriteString(")")
+		return x - y
+	case 2:
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		g.sb.WriteString(" * ")
+		y := g.gen(env, depth-1)
+		g.sb.WriteString(")")
+		return x * y
+	case 3: // division by a nonzero constant
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		d := int64(g.next(30) + 1)
+		fmt.Fprintf(&g.sb, " / %d)", d)
+		return x / d
+	case 4:
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		g.sb.WriteString(" & ")
+		y := g.gen(env, depth-1)
+		g.sb.WriteString(")")
+		return x & y
+	case 5:
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		g.sb.WriteString(" | ")
+		y := g.gen(env, depth-1)
+		g.sb.WriteString(")")
+		return x | y
+	case 6:
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		g.sb.WriteString(" ^ ")
+		y := g.gen(env, depth-1)
+		g.sb.WriteString(")")
+		return x ^ y
+	default: // comparison (0/1)
+		g.sb.WriteString("(")
+		x := g.gen(env, depth-1)
+		g.sb.WriteString(" < ")
+		y := g.gen(env, depth-1)
+		g.sb.WriteString(")")
+		if x < y {
+			return 1
+		}
+		return 0
+	}
+}
+
+func TestExpressionSemanticsMatchReference(t *testing.T) {
+	fn := func(seed uint64) bool {
+		g := &exprGen{seed: seed}
+		env := map[string]int64{
+			"a": int64(g.next(1 << 12)),
+			"b": int64(g.next(1 << 12)),
+			"c": int64(g.next(1<<12)) - 2048,
+		}
+		want := g.gen(env, 4)
+		src := fmt.Sprintf(`
+int main(void) {
+	int a = %d;
+	int b = %d;
+	int c = %d;
+	int r = %s;
+	// Reduce to an 8-bit exit code the same way the checker does.
+	if (r < 0) r = -r;
+	return r %% 251;
+}`, env["a"], env["b"], env["c"], g.sb.String())
+
+		wantExit := want
+		if wantExit < 0 {
+			wantExit = -wantExit
+		}
+		wantExit %= 251
+
+		for _, prot := range []Protection{Vanilla, CPI} {
+			prog, err := Compile(src, Config{Protect: prot, DEP: true})
+			if err != nil {
+				t.Logf("compile: %v\n%s", err, src)
+				return false
+			}
+			r, err := prog.Run()
+			if err != nil || r.Trap != vm.TrapExit {
+				t.Logf("run: %v %v", err, r)
+				return false
+			}
+			if r.ExitCode != wantExit {
+				t.Logf("prot %v: got %d want %d\n%s", prot, r.ExitCode, wantExit, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArrayShuffleSemanticsMatchReference drives loads/stores and control
+// flow: a seeded in-place shuffle-and-fold over an array, mirrored in Go.
+func TestArrayShuffleSemanticsMatchReference(t *testing.T) {
+	fn := func(seed uint32) bool {
+		n := 17 + int(seed%23)
+		// Go reference.
+		arr := make([]int64, n)
+		for i := range arr {
+			arr[i] = int64(i*i%97) + int64(seed%13)
+		}
+		s := int64(seed % 1009)
+		for round := 0; round < 5; round++ {
+			for i := 0; i < n; i++ {
+				j := int((s + int64(i)*7) % int64(n))
+				if j < 0 {
+					j += n
+				}
+				arr[i], arr[j] = arr[j], arr[i]
+				s = (s*31 + arr[i]) % 100003
+			}
+		}
+		var want int64
+		for _, v := range arr {
+			want += v
+		}
+		want = ((want+s)%251 + 251) % 251
+
+		src := fmt.Sprintf(`
+int arr[64];
+int main(void) {
+	int n = %d;
+	int s = %d;
+	for (int i = 0; i < n; i++) arr[i] = (i * i) %% 97 + %d;
+	for (int round = 0; round < 5; round++) {
+		for (int i = 0; i < n; i++) {
+			int j = (s + i * 7) %% n;
+			if (j < 0) j += n;
+			int t = arr[i];
+			arr[i] = arr[j];
+			arr[j] = t;
+			s = (s * 31 + arr[i]) %% 100003;
+		}
+	}
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += arr[i];
+	return ((sum + s) %% 251 + 251) %% 251;
+}`, n, seed%1009, seed%13)
+
+		for _, prot := range []Protection{Vanilla, SafeStack, CPI, SoftBound} {
+			prog, err := Compile(src, Config{Protect: prot, DEP: true})
+			if err != nil {
+				t.Logf("compile: %v", err)
+				return false
+			}
+			r, err := prog.Run()
+			if err != nil || r.Trap != vm.TrapExit {
+				t.Logf("%v: %v %+v", prot, err, r)
+				return false
+			}
+			if r.ExitCode != want {
+				t.Logf("%v: got %d want %d (seed %d)", prot, r.ExitCode, want, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminismAcrossRuns: identical config+seed ⇒ identical cycles,
+// output, and memory stats (the whole evaluation depends on this).
+func TestDeterminismAcrossRuns(t *testing.T) {
+	src := `
+struct node { struct node *next; void (*f)(void); };
+void nop(void) {}
+int main(void) {
+	struct node *head = 0;
+	for (int i = 0; i < 50; i++) {
+		struct node *n = (struct node *)malloc(sizeof(struct node));
+		n->next = head;
+		n->f = nop;
+		head = n;
+	}
+	int count = 0;
+	while (head) { head->f(); head = head->next; count++; }
+	printf("count=%d\n", count);
+	return count;
+}`
+	for _, prot := range []Protection{Vanilla, CPI} {
+		cfg := Config{Protect: prot, ASLR: true, Seed: 99, DEP: true}
+		var first *vm.Result
+		for i := 0; i < 3; i++ {
+			r := runT(t, src, cfg)
+			if first == nil {
+				first = r
+				continue
+			}
+			if r.Cycles != first.Cycles || r.Output != first.Output ||
+				r.Mem != first.Mem || r.ExitCode != first.ExitCode {
+				t.Fatalf("%v: run %d diverged", prot, i)
+			}
+		}
+	}
+}

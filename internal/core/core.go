@@ -1,0 +1,193 @@
+// Package core is the front door of the Levee reproduction: it compiles
+// mini-C source with a selected protection configuration and produces
+// runnable programs, mirroring the paper's compiler flags (-fcpi, -fcps,
+// -fstack-protector-safe, §4).
+//
+// Typical use:
+//
+//	prog, err := core.Compile(src, core.Config{Protect: core.CPI})
+//	res, err := prog.Run()
+//
+// Each protection level composes the right passes and runtime switches:
+//
+//	Vanilla    — nothing (DEP/ASLR/cookies are separate toggles)
+//	SafeStack  — safe stack only (-fstack-protector-safe)
+//	CPS        — safe stack + code-pointer separation (-fcps)
+//	CPI        — safe stack + full code-pointer integrity (-fcpi)
+//	SoftBound  — full spatial memory safety baseline
+//	CFI        — coarse-grained control-flow integrity baseline
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/instrument"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/sema"
+	"repro/internal/vm"
+)
+
+// Protection selects the compiled-in defense.
+type Protection int
+
+// Protection levels.
+const (
+	Vanilla Protection = iota
+	SafeStack
+	CPS
+	CPI
+	SoftBound
+	CFI
+)
+
+var protNames = [...]string{"vanilla", "safestack", "cps", "cpi", "softbound", "cfi"}
+
+// String names the protection level.
+func (p Protection) String() string { return protNames[p] }
+
+// ParseProtection converts a name to a Protection.
+func ParseProtection(s string) (Protection, error) {
+	for i, n := range protNames {
+		if n == s {
+			return Protection(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown protection %q (want one of vanilla, safestack, cps, cpi, softbound, cfi)", s)
+}
+
+// Config selects protection and runtime parameters for a compilation.
+type Config struct {
+	Protect Protection
+
+	// SensitiveStructs lists struct tags to protect as sensitive data in
+	// addition to code pointers (§3.2.1's struct ucred example; CPI only).
+	SensitiveStructs []string
+
+	// System-level defenses, composable with any Protect level (the RIPE
+	// baselines toggle these).
+	DEP          bool
+	ASLR         bool
+	PIE          bool
+	StackCookies bool
+	Fortify      bool
+	PtrMangle    bool
+
+	// Safe-region parameters.
+	SPS            string // "array" (default), "twolevel", "hash"
+	Isolation      vm.IsolationMode
+	DebugDualStore bool
+	TemporalSafety bool
+
+	// Runtime parameters.
+	Seed     int64
+	Input    []byte
+	MaxSteps int64
+	Cost     vm.CostModel
+}
+
+// Program is a compiled, instrumented program ready to run.
+type Program struct {
+	IR    *ir.Program
+	Cfg   Config
+	Stats analysis.Stats
+}
+
+// Compile parses, checks, lowers, and instruments src per cfg.
+func Compile(src string, cfg Config) (*Program, error) {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := sema.Check(f); err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	p, err := irgen.Lower(f)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+
+	var stats analysis.Stats
+	switch cfg.Protect {
+	case Vanilla:
+		stats = analysis.Collect(p)
+	case SafeStack:
+		instrument.SafeStack(p)
+		stats = analysis.Collect(p)
+	case CPS:
+		instrument.SafeStack(p)
+		stats = instrument.CPS(p)
+	case CPI:
+		instrument.SafeStack(p)
+		stats = instrument.CPIWith(p, instrument.Opts{SensitiveStructs: cfg.SensitiveStructs})
+	case SoftBound:
+		stats = instrument.SoftBound(p)
+	case CFI:
+		instrument.CFI(p)
+		stats = analysis.Collect(p)
+	default:
+		return nil, fmt.Errorf("unknown protection %d", cfg.Protect)
+	}
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("post-instrumentation verify: %w", err)
+	}
+	return &Program{IR: p, Cfg: cfg, Stats: stats}, nil
+}
+
+// vmConfig derives the runtime configuration.
+func (p *Program) vmConfig() vm.Config {
+	c := vm.Config{
+		DEP:            p.Cfg.DEP,
+		ASLR:           p.Cfg.ASLR,
+		PIE:            p.Cfg.PIE,
+		StackCookies:   p.Cfg.StackCookies,
+		Fortify:        p.Cfg.Fortify,
+		PtrMangle:      p.Cfg.PtrMangle,
+		SPS:            p.Cfg.SPS,
+		Isolation:      p.Cfg.Isolation,
+		DebugDualStore: p.Cfg.DebugDualStore,
+		TemporalSafety: p.Cfg.TemporalSafety,
+		Seed:           p.Cfg.Seed,
+		Input:          p.Cfg.Input,
+		MaxSteps:       p.Cfg.MaxSteps,
+		Cost:           p.Cfg.Cost,
+	}
+	switch p.Cfg.Protect {
+	case SafeStack:
+		c.SafeStack = true
+	case CPS:
+		c.SafeStack = true
+		c.CPS = true
+	case CPI:
+		c.SafeStack = true
+		c.CPI = true
+	case SoftBound:
+		c.SoftBound = true
+	case CFI:
+		c.CFI = true
+	}
+	return c
+}
+
+// NewMachine builds a fresh machine instance (one per run).
+func (p *Program) NewMachine() (*vm.Machine, error) {
+	return vm.New(p.IR, p.vmConfig())
+}
+
+// Run executes main() on a fresh machine.
+func (p *Program) Run() (*vm.Result, error) {
+	m, err := p.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	return m.Run("main"), nil
+}
+
+// RunWithInput executes main() with the given attacker input.
+func (p *Program) RunWithInput(input []byte) (*vm.Result, error) {
+	cp := *p
+	cp.Cfg.Input = input
+	return cp.Run()
+}

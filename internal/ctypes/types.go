@@ -1,0 +1,288 @@
+// Package ctypes implements the mini-C type system used by the Levee
+// reproduction: type representation, memory layout (sizes, alignment, struct
+// field offsets), and the sensitivity classifiers from the paper's Fig. 7
+// (CPI) and §3.3 (CPS).
+//
+// The word size of the simulated machine is 8 bytes; int is 64-bit and char
+// is 8-bit, which keeps layout simple without affecting any property the
+// paper measures (CPI never depends on integer width).
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the type representations.
+type Kind uint8
+
+// Type kinds.
+const (
+	KindVoid Kind = iota
+	KindInt
+	KindChar
+	KindPtr
+	KindArray
+	KindStruct
+	KindFunc
+)
+
+// WordSize is the machine word (and pointer) size in bytes.
+const WordSize = 8
+
+// Type is a mini-C type. Types are immutable after construction; pointer
+// identity is not significant (use Equal).
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // Ptr: pointee; Array: element
+	Len    int64   // Array: element count
+	Struct *Struct // Struct: definition (shared, by name)
+	Sig    *Sig    // Func: signature
+}
+
+// Sig is a function signature.
+type Sig struct {
+	Ret      *Type
+	Params   []*Type
+	Variadic bool
+}
+
+// Struct is a struct definition. Structs are compared by name; the parser
+// interns them so there is one *Struct per declared tag.
+type Struct struct {
+	Name   string
+	Fields []Field
+
+	layoutDone bool
+	size       int64
+	align      int64
+}
+
+// Field is a single struct member with its computed byte offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+// Singleton basic types.
+var (
+	Void = &Type{Kind: KindVoid}
+	Int  = &Type{Kind: KindInt}
+	Char = &Type{Kind: KindChar}
+)
+
+// PointerTo returns the type *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: KindPtr, Elem: elem} }
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(elem *Type, n int64) *Type {
+	return &Type{Kind: KindArray, Elem: elem, Len: n}
+}
+
+// StructOf returns a struct type for the given definition.
+func StructOf(s *Struct) *Type { return &Type{Kind: KindStruct, Struct: s} }
+
+// FuncOf returns a function type with the given signature.
+func FuncOf(ret *Type, params []*Type, variadic bool) *Type {
+	return &Type{Kind: KindFunc, Sig: &Sig{Ret: ret, Params: params, Variadic: variadic}}
+}
+
+// VoidPtr is the universal pointer type void*.
+func VoidPtr() *Type { return PointerTo(Void) }
+
+// CharPtr is the char* type (universal per Fig. 7, modulo the string
+// heuristic applied by the static analysis).
+func CharPtr() *Type { return PointerTo(Char) }
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t != nil && t.Kind == KindPtr }
+
+// IsInteger reports whether t is an integer type (int or char).
+func (t *Type) IsInteger() bool {
+	return t != nil && (t.Kind == KindInt || t.Kind == KindChar)
+}
+
+// IsVoid reports whether t is void.
+func (t *Type) IsVoid() bool { return t == nil || t.Kind == KindVoid }
+
+// IsFuncPtr reports whether t is a pointer to a function type.
+func (t *Type) IsFuncPtr() bool {
+	return t.IsPtr() && t.Elem != nil && t.Elem.Kind == KindFunc
+}
+
+// IsUniversalPtr reports whether t is a universal pointer per §3.2.1:
+// void* or char* (opaque pointers to undeclared structs are handled by the
+// parser, which models them as void*).
+func (t *Type) IsUniversalPtr() bool {
+	if !t.IsPtr() {
+		return false
+	}
+	return t.Elem.Kind == KindVoid || t.Elem.Kind == KindChar
+}
+
+// Size returns the size of t in bytes. Function types have no size; taking
+// Size of a function type panics (callers address functions via pointers).
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case KindVoid:
+		return 1 // as in GNU C, so void* arithmetic in tests behaves
+	case KindInt:
+		return WordSize
+	case KindChar:
+		return 1
+	case KindPtr:
+		return WordSize
+	case KindArray:
+		return t.Elem.Size() * t.Len
+	case KindStruct:
+		t.Struct.layout()
+		return t.Struct.size
+	case KindFunc:
+		panic("ctypes: Size of function type")
+	}
+	panic(fmt.Sprintf("ctypes: unknown kind %d", t.Kind))
+}
+
+// Align returns the alignment of t in bytes.
+func (t *Type) Align() int64 {
+	switch t.Kind {
+	case KindVoid, KindChar:
+		return 1
+	case KindInt, KindPtr:
+		return WordSize
+	case KindArray:
+		return t.Elem.Align()
+	case KindStruct:
+		t.Struct.layout()
+		return t.Struct.align
+	case KindFunc:
+		return WordSize
+	}
+	panic(fmt.Sprintf("ctypes: unknown kind %d", t.Kind))
+}
+
+// layout computes field offsets, size, and alignment once.
+func (s *Struct) layout() {
+	if s.layoutDone {
+		return
+	}
+	s.layoutDone = true
+	var off, maxAlign int64 = 0, 1
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = alignUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+	}
+	s.align = maxAlign
+	s.size = alignUp(off, maxAlign)
+	if s.size == 0 {
+		s.size = 1
+	}
+}
+
+// FieldByName returns the field with the given name, or nil.
+func (s *Struct) FieldByName(name string) *Field {
+	s.layout()
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Equal reports structural type equality (structs by name).
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindVoid, KindInt, KindChar:
+		return true
+	case KindPtr:
+		return Equal(a.Elem, b.Elem)
+	case KindArray:
+		return a.Len == b.Len && Equal(a.Elem, b.Elem)
+	case KindStruct:
+		return a.Struct.Name == b.Struct.Name
+	case KindFunc:
+		if len(a.Sig.Params) != len(b.Sig.Params) || a.Sig.Variadic != b.Sig.Variadic {
+			return false
+		}
+		if !Equal(a.Sig.Ret, b.Sig.Ret) {
+			return false
+		}
+		for i := range a.Sig.Params {
+			if !Equal(a.Sig.Params[i], b.Sig.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders t in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindChar:
+		return "char"
+	case KindPtr:
+		if t.Elem.Kind == KindFunc {
+			return t.Elem.sigString("(*)")
+		}
+		return t.Elem.String() + "*"
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case KindStruct:
+		return "struct " + t.Struct.Name
+	case KindFunc:
+		return t.sigString("")
+	}
+	return "<bad>"
+}
+
+func (t *Type) sigString(mid string) string {
+	var b strings.Builder
+	b.WriteString(t.Sig.Ret.String())
+	b.WriteString(" ")
+	b.WriteString(mid)
+	b.WriteString("(")
+	for i, p := range t.Sig.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	if t.Sig.Variadic {
+		if len(t.Sig.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,242 @@
+// Package formal implements the Appendix A model of CPI: the operational
+// semantics of the Fig. 6 C subset over a split environment E = (S, Mu, Ms),
+// with the sensitive-type criterion of Fig. 7 deciding which accesses go to
+// the safe memory Ms (values with bounds) and which to the regular memory
+// Mu (raw words). Property tests validate the correctness claim: every
+// execution either aborts or satisfies the CPI property — no dereference of
+// a sensitive pointer ever accesses memory outside the target object it is
+// based on.
+//
+// This package is a model, deliberately independent of the executable
+// machine in internal/vm: it follows the paper's rules verbatim so tests
+// can check the enforcement mechanism against the formal definition.
+package formal
+
+import "fmt"
+
+// Type is a Fig. 6 type: int, void, f (function), p* (pointer).
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointer element
+}
+
+// TypeKind enumerates Fig. 6 atomic/pointer types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TInt TypeKind = iota
+	TVoid
+	TFunc
+	TPtr
+)
+
+// Constructors.
+var (
+	Int  = &Type{Kind: TInt}
+	Void = &Type{Kind: TVoid}
+	Func = &Type{Kind: TFunc}
+)
+
+// PtrTo builds p*.
+func PtrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// Sensitive implements Fig. 7:
+//
+//	sensitive int  ::= false
+//	sensitive void ::= true
+//	sensitive f    ::= true
+//	sensitive p*   ::= sensitive p
+func Sensitive(t *Type) bool {
+	switch t.Kind {
+	case TInt:
+		return false
+	case TVoid, TFunc:
+		return true
+	case TPtr:
+		return Sensitive(t.Elem)
+	}
+	return false
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TVoid:
+		return "void"
+	case TFunc:
+		return "f"
+	case TPtr:
+		return t.Elem.String() + "*"
+	}
+	return "?"
+}
+
+// SafeVal is a safe value v(b,e): a word with bounds metadata.
+type SafeVal struct {
+	V    uint64
+	B, E uint64
+}
+
+// Env is the runtime environment (S, Mu, Ms): variable bindings, regular
+// memory, and safe memory. Mu and Ms share addressing but hold distinct
+// values (Fig. 2 / Appendix A).
+type Env struct {
+	Vars map[string]*Binding
+	Mu   map[uint64]uint64
+	Ms   map[uint64]*SafeVal // nil entry slot == "none"
+
+	next   uint64
+	funcs  map[uint64]string // code addresses
+	nextFn uint64
+
+	// Trace of safety-relevant events for the property tests.
+	SensitiveDerefs int
+	Aborted         bool
+	AbortReason     string
+}
+
+// Binding is one variable: its static type and address.
+type Binding struct {
+	Type *Type
+	Addr uint64
+}
+
+// NewEnv builds an environment with the given typed variables, allocating
+// one word per variable (in both memories, per Fig. 2).
+func NewEnv(vars map[string]*Type) *Env {
+	e := &Env{
+		Vars:  map[string]*Binding{},
+		Mu:    map[uint64]uint64{},
+		Ms:    map[uint64]*SafeVal{},
+		next:  0x1000,
+		funcs: map[uint64]string{},
+		// Function addresses live far from data.
+		nextFn: 0xF000_0000,
+	}
+	for name, t := range vars {
+		e.Vars[name] = &Binding{Type: t, Addr: e.next}
+		e.next += 8
+	}
+	return e
+}
+
+// DefineFunc registers a function and returns its code address.
+func (e *Env) DefineFunc(name string) uint64 {
+	a := e.nextFn
+	e.nextFn += 16
+	e.funcs[a] = name
+	return a
+}
+
+// IsFunc reports whether addr is a defined control-flow destination.
+func (e *Env) IsFunc(addr uint64) bool {
+	_, ok := e.funcs[addr]
+	return ok
+}
+
+// Malloc allocates n words in both memories (same addresses) and returns
+// the base address (Appendix A's malloc rule returns l(l, l+i)).
+func (e *Env) Malloc(words uint64) uint64 {
+	base := e.next
+	e.next += words * 8
+	return base
+}
+
+// abort stops the execution (the Abort result).
+func (e *Env) abort(reason string) {
+	if !e.Aborted {
+		e.Aborted = true
+		e.AbortReason = reason
+	}
+}
+
+// Result is the evaluation result kind of Appendix A.
+type Result struct {
+	Safe  bool // value carries bounds / location is safe
+	V     uint64
+	B, E  uint64
+	IsLoc bool
+}
+
+func (r Result) String() string {
+	if r.Safe {
+		return fmt.Sprintf("%d(%d,%d)", r.V, r.B, r.E)
+	}
+	return fmt.Sprintf("%d", r.V)
+}
+
+// ---- Syntax (Fig. 6 subset) ----
+
+// LHS is a left-hand-side expression: x or *lhs.
+type LHS struct {
+	Var   string
+	Deref *LHS
+	// Type is filled during checking.
+	Type *Type
+}
+
+// Var builds the lhs x.
+func Var(name string) *LHS { return &LHS{Var: name} }
+
+// Deref builds *lhs.
+func Deref(l *LHS) *LHS { return &LHS{Deref: l} }
+
+// RHSKind enumerates right-hand sides.
+type RHSKind uint8
+
+// RHS kinds (Fig. 6).
+const (
+	RInt RHSKind = iota
+	RAddrFunc
+	RAdd
+	RLhs
+	RAddrOf
+	RCast
+	RMalloc
+)
+
+// RHS is a right-hand-side expression.
+type RHS struct {
+	Kind RHSKind
+	I    int64
+	Fn   uint64 // pre-resolved &f
+	A, B *RHS
+	L    *LHS
+	To   *Type
+}
+
+// IntLit builds i.
+func IntLit(i int64) *RHS { return &RHS{Kind: RInt, I: i} }
+
+// AddrFunc builds &f.
+func AddrFunc(addr uint64) *RHS { return &RHS{Kind: RAddrFunc, Fn: addr} }
+
+// Add builds rhs + rhs.
+func Add(a, b *RHS) *RHS { return &RHS{Kind: RAdd, A: a, B: b} }
+
+// Load builds the rvalue use of an lhs.
+func Load(l *LHS) *RHS { return &RHS{Kind: RLhs, L: l} }
+
+// AddrOf builds &lhs.
+func AddrOf(l *LHS) *RHS { return &RHS{Kind: RAddrOf, L: l} }
+
+// Cast builds (a)rhs.
+func Cast(to *Type, r *RHS) *RHS { return &RHS{Kind: RCast, To: to, A: r} }
+
+// MallocWords builds malloc(words).
+func MallocWords(n int64) *RHS { return &RHS{Kind: RMalloc, I: n} }
+
+// Cmd is a command: assignment or indirect call.
+type Cmd struct {
+	LHS  *LHS
+	RHS  *RHS // nil for an indirect call (*LHS)()
+	Call bool
+}
+
+// Assign builds lhs = rhs.
+func Assign(l *LHS, r *RHS) *Cmd { return &Cmd{LHS: l, RHS: r} }
+
+// CallPtr builds (*lhs)().
+func CallPtr(l *LHS) *Cmd { return &Cmd{LHS: l, Call: true} }

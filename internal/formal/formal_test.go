@@ -1,0 +1,373 @@
+package formal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFig7Sensitive(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want bool
+	}{
+		{Int, false},
+		{Void, true},
+		{Func, true},
+		{PtrTo(Int), false},
+		{PtrTo(Func), true},
+		{PtrTo(PtrTo(Func)), true},
+		{PtrTo(Void), true},
+		{PtrTo(PtrTo(Int)), false},
+	}
+	for _, c := range cases {
+		if got := Sensitive(c.ty); got != c.want {
+			t.Errorf("Sensitive(%s) = %v, want %v", c.ty, got, c.want)
+		}
+	}
+}
+
+// TestHonestFunctionPointer: store &f into a fptr variable, call it.
+func TestHonestFunctionPointer(t *testing.T) {
+	e := NewEnv(map[string]*Type{"fp": PtrTo(Func)})
+	f := e.DefineFunc("f")
+	e.Run([]*Cmd{
+		Assign(Var("fp"), AddrFunc(f)),
+		CallPtr(Var("fp")),
+	})
+	if e.Aborted {
+		t.Fatalf("honest program aborted: %s", e.AbortReason)
+	}
+}
+
+// TestForgedFunctionPointerAborts: casting an integer to a code pointer and
+// calling it must abort — code pointers can only be based on control flow
+// destinations.
+func TestForgedFunctionPointerAborts(t *testing.T) {
+	e := NewEnv(map[string]*Type{"fp": PtrTo(Func)})
+	f := e.DefineFunc("f")
+	e.Run([]*Cmd{
+		Assign(Var("fp"), Cast(PtrTo(Func), IntLit(int64(f)))),
+		CallPtr(Var("fp")),
+	})
+	if !e.Aborted {
+		t.Fatal("forged code pointer call must abort")
+	}
+}
+
+// TestCorruptionOfRegularCopyIsInert: an attacker (modelled as a direct Mu
+// write, which regular stores can do) cannot change what a sensitive load
+// returns — Ms is authoritative.
+func TestCorruptionOfRegularCopyIsInert(t *testing.T) {
+	e := NewEnv(map[string]*Type{"fp": PtrTo(Func)})
+	f := e.DefineFunc("f")
+	evil := e.DefineFunc("evil")
+	e.Run([]*Cmd{Assign(Var("fp"), AddrFunc(f))})
+
+	// Memory corruption: the regular copy of fp now points at evil.
+	e.Mu[e.Vars["fp"].Addr] = evil
+
+	v := e.readLHS(Var("fp"))
+	if e.Aborted {
+		t.Fatal(e.AbortReason)
+	}
+	if v.V != f {
+		t.Fatalf("sensitive load returned %#x, want the protected %#x", v.V, f)
+	}
+}
+
+// TestSensitiveDerefOutOfBoundsAborts: *(p + i) with i beyond the object
+// aborts when p is sensitive (pointer to code pointers).
+func TestSensitiveDerefOutOfBoundsAborts(t *testing.T) {
+	fpp := PtrTo(PtrTo(Func))
+	e := NewEnv(map[string]*Type{"p": fpp, "fp": PtrTo(Func)})
+	f := e.DefineFunc("f")
+	e.Run([]*Cmd{
+		Assign(Var("fp"), AddrFunc(f)),
+		Assign(Var("p"), AddrOf(Var("fp"))),
+		// In-bounds deref is fine:
+		Assign(Deref(Var("p")), AddrFunc(f)),
+	})
+	if e.Aborted {
+		t.Fatalf("in-bounds sensitive deref aborted: %s", e.AbortReason)
+	}
+	// Now stray out of the one-word object.
+	e.Run([]*Cmd{
+		Assign(Var("p"), Add(Load(Var("p")), IntLit(8))),
+		Assign(Deref(Var("p")), AddrFunc(f)),
+	})
+	if !e.Aborted {
+		t.Fatal("out-of-bounds sensitive deref must abort")
+	}
+}
+
+// TestRegularStoresCannotReachMs: regular (int*) stores may go out of
+// bounds in Mu, but Ms never changes — the isolation invariant.
+func TestRegularStoresCannotReachMs(t *testing.T) {
+	e := NewEnv(map[string]*Type{
+		"q":  PtrTo(Int),
+		"fp": PtrTo(Func),
+	})
+	f := e.DefineFunc("f")
+	evil := e.DefineFunc("evil")
+	fpAddr := e.Vars["fp"].Addr
+	e.Run([]*Cmd{
+		Assign(Var("fp"), AddrFunc(f)),
+		// Forge an int* pointing AT the fp slot (an int-to-pointer cast —
+		// legal for regular types) and write through it.
+		Assign(Var("q"), Cast(PtrTo(Int), IntLit(int64(fpAddr)))),
+		Assign(Deref(Var("q")), IntLit(int64(evil))),
+		// The call still goes to f.
+		CallPtr(Var("fp")),
+	})
+	if e.Aborted {
+		t.Fatalf("aborted: %s", e.AbortReason)
+	}
+	if sv := e.Ms[fpAddr]; sv == nil || sv.V != f {
+		t.Fatal("Ms corrupted by a regular store")
+	}
+}
+
+// TestVoidPtrDualUse: a void* variable holds a code pointer, then an int —
+// the two-memory dance of the universal-pointer rules.
+func TestVoidPtrDualUse(t *testing.T) {
+	e := NewEnv(map[string]*Type{"v": PtrTo(Void)})
+	f := e.DefineFunc("f")
+	e.Run([]*Cmd{Assign(Var("v"), AddrFunc(f))})
+	if got := e.readLHS(Var("v")); !got.Safe || got.V != f {
+		t.Fatalf("void* holding code ptr: %+v", got)
+	}
+	e.Run([]*Cmd{Assign(Var("v"), IntLit(1234))})
+	if got := e.readLHS(Var("v")); got.Safe || got.V != 1234 {
+		t.Fatalf("void* holding int: %+v", got)
+	}
+	if e.Ms[e.Vars["v"].Addr] != nil {
+		t.Fatal("stale Ms entry after regular-value store")
+	}
+}
+
+// ---- Property tests ----
+
+// genProgram builds a random well-typed program over a fixed variable set.
+type progGen struct {
+	seed uint64
+}
+
+func (g *progGen) next(n uint64) uint64 {
+	g.seed = g.seed*6364136223846793005 + 1442695040888963407
+	return (g.seed >> 33) % n
+}
+
+var varTypes = map[string]*Type{
+	"i":   Int,
+	"j":   Int,
+	"p":   PtrTo(Int),
+	"fp":  PtrTo(Func),
+	"fpp": PtrTo(PtrTo(Func)),
+	"v":   PtrTo(Void),
+}
+
+func (g *progGen) randLHS() *LHS {
+	switch g.next(8) {
+	case 0:
+		return Var("i")
+	case 1:
+		return Var("j")
+	case 2:
+		return Var("p")
+	case 3:
+		return Var("fp")
+	case 4:
+		return Var("fpp")
+	case 5:
+		return Var("v")
+	case 6:
+		return Deref(Var("p"))
+	default:
+		return Deref(Var("fpp"))
+	}
+}
+
+func (g *progGen) randRHS(e *Env, f uint64, depth int) *RHS {
+	if depth <= 0 {
+		return IntLit(int64(g.next(4096)))
+	}
+	switch g.next(8) {
+	case 0:
+		return IntLit(int64(g.next(1 << 16)))
+	case 1:
+		return AddrFunc(f)
+	case 2:
+		return Add(g.randRHS(e, f, depth-1), g.randRHS(e, f, depth-1))
+	case 3:
+		return Load(g.randLHS())
+	case 4:
+		return AddrOf(g.randLHS())
+	case 5:
+		ts := []*Type{Int, PtrTo(Int), PtrTo(Func), PtrTo(Void)}
+		return Cast(ts[g.next(4)], g.randRHS(e, f, depth-1))
+	case 6:
+		return MallocWords(int64(1 + g.next(4)))
+	default:
+		return Load(g.randLHS())
+	}
+}
+
+func randomRun(seed uint64) *Env {
+	g := &progGen{seed: seed}
+	e := NewEnv(varTypes)
+	f := e.DefineFunc("f")
+	n := 4 + int(g.next(12))
+	var cmds []*Cmd
+	for i := 0; i < n; i++ {
+		if g.next(6) == 0 {
+			cmds = append(cmds, CallPtr(Var("fp")))
+		} else {
+			cmds = append(cmds, Assign(g.randLHS(), g.randRHS(e, f, 3)))
+		}
+	}
+	e.Run(cmds)
+	return e
+}
+
+// TestCPIInvariant is the correctness proof's conclusion as an executable
+// property: for random programs (including wild casts and stray pointer
+// arithmetic), every execution either aborts or every sensitive dereference
+// was within the bounds of the object its pointer is based on. The
+// interpreter enforces exactly the Appendix A rules, so the property here
+// is that enforcement never *silently* passes a bad dereference: we re-run
+// with a tracing check that any Ms access during the run used a location
+// covered by some live object... structurally guaranteed; what we assert is
+// that no execution both (a) avoided Abort and (b) called through a forged
+// function value or accessed Ms outside bounds — the interpreter would have
+// set Aborted in those cases, so the observable property is consistency.
+func TestCPIInvariant(t *testing.T) {
+	fn := func(seed uint64) bool {
+		e := randomRun(seed)
+		// If the program survived, any *callable* code pointer in Ms must
+		// be a defined control-flow destination. Arithmetic on a code
+		// pointer may store a value off its (exact) destination bounds —
+		// that value is unusable (the call rule requires the destination
+		// to match exactly), so it does not violate integrity.
+		for _, sv := range e.Ms {
+			if sv == nil {
+				continue
+			}
+			if sv.B == sv.E && sv.V == sv.B && !e.IsFunc(sv.V) {
+				return false // a callable "code pointer" forged from thin air
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoForgedCallEverSucceeds: across random programs, whenever an
+// indirect call executes without aborting, the callee must be a defined
+// function (control cannot be diverted to a non-destination).
+func TestNoForgedCallEverSucceeds(t *testing.T) {
+	fn := func(seed uint64) bool {
+		g := &progGen{seed: seed}
+		e := NewEnv(varTypes)
+		f := e.DefineFunc("f")
+		for i := 0; i < 10 && !e.Aborted; i++ {
+			e.Exec(Assign(g.randLHS(), g.randRHS(e, f, 3)))
+		}
+		if e.Aborted {
+			return true
+		}
+		v := e.readLHS(Var("fp"))
+		e.Exec(CallPtr(Var("fp")))
+		if !e.Aborted && !(v.Safe && e.IsFunc(v.V)) {
+			return false // call went through with a forged value
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAttackerCorruptionNeverDivertsCalls: random programs + random Mu
+// corruption between every step; surviving indirect calls still only reach
+// defined functions. This is the full §2 threat model against the formal
+// semantics.
+func TestAttackerCorruptionNeverDivertsCalls(t *testing.T) {
+	fn := func(seed uint64) bool {
+		g := &progGen{seed: seed}
+		e := NewEnv(varTypes)
+		f := e.DefineFunc("f")
+		evil := e.DefineFunc("evil")
+		_ = evil
+		for i := 0; i < 12 && !e.Aborted; i++ {
+			// Attacker: arbitrary regular-memory writes.
+			for k := range e.Mu {
+				if g.next(3) == 0 {
+					e.Mu[k] = g.next(1 << 32)
+				}
+			}
+			if g.next(4) == 0 {
+				before := e.snapshotMs()
+				e.Exec(CallPtr(Var("fp")))
+				if !e.Aborted {
+					// The call executed: its target came from Ms and must
+					// be a real function, and Ms was not affected by the
+					// attacker writes.
+					sv := before[e.Vars["fp"].Addr]
+					if sv == nil || !e.IsFunc(sv.V) {
+						return false
+					}
+				}
+			} else {
+				e.Exec(Assign(g.randLHS(), g.randRHS(e, f, 2)))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func (e *Env) snapshotMs() map[uint64]*SafeVal {
+	out := make(map[uint64]*SafeVal, len(e.Ms))
+	for k, v := range e.Ms {
+		if v != nil {
+			c := *v
+			out[k] = &c
+		}
+	}
+	return out
+}
+
+// TestFullSensitivityEqualsMemorySafety: Appendix A notes that setting
+// sensitive ≡ true makes the semantics equivalent to SoftBound (full
+// safety). We check the monotonicity consequence on this model: any program
+// that aborts under the CPI criterion also aborts when every pointer is
+// treated as sensitive... by construction of the rules, widening the
+// sensitive set can only add checks. Here: out-of-bounds *regular* stores
+// abort under full sensitivity.
+func TestFullSensitivityCatchesDataOOB(t *testing.T) {
+	// Under CPI, an int* OOB write is allowed (data attack, out of scope).
+	e := NewEnv(map[string]*Type{"q": PtrTo(Int), "x": Int})
+	e.Run([]*Cmd{
+		Assign(Var("q"), AddrOf(Var("x"))),
+		Assign(Var("q"), Add(Load(Var("q")), IntLit(64))),
+		Assign(Deref(Var("q")), IntLit(7)),
+	})
+	if e.Aborted {
+		t.Fatalf("CPI semantics must allow regular OOB stores (got %s)", e.AbortReason)
+	}
+	// Model full memory safety by giving the pointer a sensitive pointee
+	// (int* -> void*): now the same shape aborts on the OOB dereference.
+	e2 := NewEnv(map[string]*Type{"q": PtrTo(PtrTo(Void)), "x": PtrTo(Void)})
+	e2.Run([]*Cmd{
+		Assign(Var("q"), AddrOf(Var("x"))),
+		Assign(Var("q"), Add(Load(Var("q")), IntLit(64))),
+		Assign(Deref(Var("q")), IntLit(7)),
+	})
+	if !e2.Aborted {
+		t.Fatal("sensitive OOB store must abort")
+	}
+}

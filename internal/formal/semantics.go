@@ -1,0 +1,215 @@
+package formal
+
+// This file is the operational semantics of Appendix A. Each function
+// implements one judgment; rule citations refer to the paper's notation.
+
+// typeOfLHS computes the static type of an lhs from the variable bindings.
+func (e *Env) typeOfLHS(l *LHS) *Type {
+	if l.Var != "" {
+		b := e.Vars[l.Var]
+		if b == nil {
+			return nil
+		}
+		return b.Type
+	}
+	inner := e.typeOfLHS(l.Deref)
+	if inner == nil || inner.Kind != TPtr {
+		return nil
+	}
+	return inner.Elem
+}
+
+// evalLHS implements (E, lhs) ⇒l ls : a  |  lu : a.
+//
+// A variable lvalue is its address (safe, with the variable's own bounds —
+// variables are one-word objects). A dereference *lhs of a sensitive type
+// must find bounds metadata in Ms and pass the bounds check, or abort; a
+// dereference of a regular type reads the raw pointer from Mu and yields a
+// regular location.
+func (e *Env) evalLHS(l *LHS) (Result, *Type) {
+	if e.Aborted {
+		return Result{}, nil
+	}
+	if l.Var != "" {
+		b := e.Vars[l.Var]
+		return Result{Safe: true, V: b.Addr, B: b.Addr, E: b.Addr + 8, IsLoc: true}, b.Type
+	}
+
+	// *lhs — evaluate the inner pointer as an rvalue first.
+	innerTy := e.typeOfLHS(l.Deref)
+	if innerTy == nil || innerTy.Kind != TPtr {
+		e.abort("deref of non-pointer")
+		return Result{}, nil
+	}
+	a := innerTy.Elem // the accessed type
+
+	ptr := e.readLHS(l.Deref)
+	if e.Aborted {
+		return Result{}, nil
+	}
+
+	if Sensitive(a) {
+		e.SensitiveDerefs++
+		// Rule: sensitive a, reads(E.Ms) ls = some l'(b,e), l' ∈ [b, e-8].
+		if !ptr.Safe {
+			// Dereferencing a sensitive type through a regular location:
+			// (E,*lhs) ⇒l Abort.
+			e.abort("sensitive deref through regular value")
+			return Result{}, nil
+		}
+		if ptr.V < ptr.B || ptr.V+8 > ptr.E {
+			e.abort("sensitive deref out of bounds")
+			return Result{}, nil
+		}
+		return Result{Safe: true, V: ptr.V, B: ptr.B, E: ptr.E, IsLoc: true}, a
+	}
+	// Regular type: unchecked Mu semantics.
+	return Result{Safe: false, V: ptr.V, IsLoc: true}, a
+}
+
+// readLHS loads the value stored at an lhs (the rvalue use), dispatching to
+// Ms or Mu per the rules: sensitive types load from Ms when an entry exists
+// (with its bounds), fall back to Mu for universal types holding regular
+// values, and regular types always load from Mu.
+func (e *Env) readLHS(l *LHS) Result {
+	loc, ty := e.evalLHS(l)
+	if e.Aborted {
+		return Result{}
+	}
+	if Sensitive(ty) && loc.Safe {
+		if sv := e.Ms[loc.V]; sv != nil {
+			return Result{Safe: true, V: sv.V, B: sv.B, E: sv.E}
+		}
+		// reads(E.Ms) l = none: the void*-holding-regular-value rule reads
+		// Mu and yields a regular value.
+		return Result{Safe: false, V: e.Mu[loc.V]}
+	}
+	return Result{Safe: false, V: e.Mu[loc.V]}
+}
+
+// evalRHS implements (E, rhs) ⇒r (v(b,e), E') | (v, E').
+func (e *Env) evalRHS(r *RHS) Result {
+	if e.Aborted {
+		return Result{}
+	}
+	switch r.Kind {
+	case RInt:
+		return Result{Safe: false, V: uint64(r.I)}
+	case RAddrFunc:
+		// address(f) = l ⟹ (E, &f) ⇒r (l(l,l)): exact-destination bounds.
+		return Result{Safe: true, V: r.Fn, B: r.Fn, E: r.Fn}
+	case RAdd:
+		a := e.evalRHS(r.A)
+		b := e.evalRHS(r.B)
+		if e.Aborted {
+			return Result{}
+		}
+		// Pointer arithmetic propagates based-on metadata (§3.1 case iv).
+		switch {
+		case a.Safe:
+			return Result{Safe: true, V: a.V + b.V, B: a.B, E: a.E}
+		case b.Safe:
+			return Result{Safe: true, V: a.V + b.V, B: b.B, E: b.E}
+		default:
+			return Result{Safe: false, V: a.V + b.V}
+		}
+	case RLhs:
+		return e.readLHS(r.L)
+	case RAddrOf:
+		loc, _ := e.evalLHS(r.L)
+		if e.Aborted {
+			return Result{}
+		}
+		// Taking an address yields a safe value with the object's bounds —
+		// but only when the location itself is safe (based-on case iii).
+		// The address of a location reached through a regular pointer has
+		// no based-on metadata to inherit.
+		if loc.Safe {
+			return Result{Safe: true, V: loc.V, B: loc.B, E: loc.E}
+		}
+		return Result{Safe: false, V: loc.V}
+	case RCast:
+		v := e.evalRHS(r.A)
+		if e.Aborted {
+			return Result{}
+		}
+		// Casting: safe stays safe iff the destination type is sensitive
+		// AND the source was safe; casting a regular value to a sensitive
+		// type yields a regular value (which sensitive derefs then reject).
+		if Sensitive(r.To) && v.Safe {
+			return v
+		}
+		return Result{Safe: false, V: v.V}
+	case RMalloc:
+		n := uint64(r.I)
+		if n == 0 {
+			n = 1
+		}
+		base := e.Malloc(n)
+		return Result{Safe: true, V: base, B: base, E: base + n*8}
+	}
+	e.abort("bad rhs")
+	return Result{}
+}
+
+// Exec implements (E, c) ⇒c (r, E').
+func (e *Env) Exec(c *Cmd) {
+	if e.Aborted {
+		return
+	}
+	if c.Call {
+		// (*lhs)(): abort unless the callee value is safe (its provenance
+		// is a control-flow destination) and names a defined function.
+		v := e.readLHS(c.LHS)
+		if e.Aborted {
+			return
+		}
+		e.SensitiveDerefs++
+		if !v.Safe || !e.IsFunc(v.V) {
+			e.abort("indirect call through unprotected pointer")
+		}
+		return
+	}
+
+	loc, ty := e.evalLHS(c.LHS)
+	if e.Aborted {
+		return
+	}
+	val := e.evalRHS(c.RHS)
+	if e.Aborted {
+		return
+	}
+
+	if Sensitive(ty) && loc.Safe {
+		if val.Safe {
+			// writes(E.Ms) ls v(b,e): the safe store holds value+bounds.
+			e.Ms[loc.V] = &SafeVal{V: val.V, B: val.B, E: val.E}
+			e.Mu[loc.V] = val.V // the unused regular copy (Fig. 2)
+		} else {
+			// Sensitive location receiving a regular value (void* reuse):
+			// writes(E.Ms) l none; writeu(E.Mu) l v.
+			e.Ms[loc.V] = nil
+			e.Mu[loc.V] = val.V
+		}
+		return
+	}
+	if Sensitive(ty) && !loc.Safe {
+		// Assignment to a sensitive type through a regular location aborts
+		// (the rule pair at the end of Appendix A's safe-location rules).
+		e.abort("sensitive store through regular location")
+		return
+	}
+	// Regular store: unchecked Mu write. This can go out of bounds but can
+	// never touch Ms — the isolation invariant.
+	e.Mu[loc.V] = val.V
+}
+
+// Run executes a command sequence.
+func (e *Env) Run(cmds []*Cmd) {
+	for _, c := range cmds {
+		if e.Aborted {
+			return
+		}
+		e.Exec(c)
+	}
+}

@@ -1,0 +1,131 @@
+// Package harness runs the evaluation of §5 end to end: it compiles each
+// workload under the configurations a table or figure compares, measures
+// deterministic cycle counts and memory footprints, and renders the paper's
+// tables and figures as text. Absolute cycle counts are simulator-specific;
+// what the harness reports — and what EXPERIMENTS.md compares against the
+// paper — are the relative overheads.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// NamedConfig pairs a label with a compilation configuration.
+type NamedConfig struct {
+	Name string
+	Cfg  core.Config
+}
+
+// SpecConfigs are the Fig. 3 configurations (vanilla baseline plus the
+// three protection levels of the paper).
+func SpecConfigs() []NamedConfig {
+	return []NamedConfig{
+		{"vanilla", core.Config{DEP: true}},
+		{"safestack", core.Config{Protect: core.SafeStack, DEP: true}},
+		{"cps", core.Config{Protect: core.CPS, DEP: true}},
+		{"cpi", core.Config{Protect: core.CPI, DEP: true}},
+	}
+}
+
+// Result holds one workload's measurements across configurations.
+type Result struct {
+	Name   string
+	Lang   workloads.Lang
+	Cycles map[string]int64
+	Mem    map[string]vm.MemStats
+	Stats  map[string]analysis.Stats
+}
+
+// Overhead returns the percentage overhead of cfg relative to "vanilla".
+func (r *Result) Overhead(cfg string) float64 {
+	base := r.Cycles["vanilla"]
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(r.Cycles[cfg])/float64(base) - 1)
+}
+
+// Run measures one workload under each configuration.
+func Run(w workloads.Workload, cfgs []NamedConfig) (*Result, error) {
+	res := &Result{
+		Name:   w.Name,
+		Lang:   w.Lang,
+		Cycles: map[string]int64{},
+		Mem:    map[string]vm.MemStats{},
+		Stats:  map[string]analysis.Stats{},
+	}
+	var wantOut string
+	for _, nc := range cfgs {
+		prog, err := core.Compile(w.Src, nc.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: compile: %w", w.Name, nc.Name, err)
+		}
+		r, err := prog.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: run: %w", w.Name, nc.Name, err)
+		}
+		if r.Trap != vm.TrapExit {
+			return nil, fmt.Errorf("%s/%s: trap %v (%v)", w.Name, nc.Name, r.Trap, r.Err)
+		}
+		if wantOut == "" {
+			wantOut = r.Output
+		} else if r.Output != wantOut {
+			return nil, fmt.Errorf("%s/%s: output diverged", w.Name, nc.Name)
+		}
+		res.Cycles[nc.Name] = r.Cycles
+		res.Mem[nc.Name] = r.Mem
+		res.Stats[nc.Name] = prog.Stats
+	}
+	return res, nil
+}
+
+// RunSuite measures a whole workload set.
+func RunSuite(set []workloads.Workload, cfgs []NamedConfig) ([]*Result, error) {
+	out := make([]*Result, 0, len(set))
+	for _, w := range set {
+		r, err := Run(w, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Summary holds the Table 1 statistics of a set of overheads.
+type Summary struct {
+	Avg    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes Table 1 statistics for one configuration over a
+// language subset (pass -1 for all languages).
+func Summarize(results []*Result, cfg string, lang int) Summary {
+	var xs []float64
+	for _, r := range results {
+		if lang >= 0 && int(r.Lang) != lang {
+			continue
+		}
+		xs = append(xs, r.Overhead(cfg))
+	}
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	med := xs[len(xs)/2]
+	if len(xs)%2 == 0 {
+		med = (xs[len(xs)/2-1] + xs[len(xs)/2]) / 2
+	}
+	return Summary{Avg: sum / float64(len(xs)), Median: med, Max: xs[len(xs)-1]}
+}

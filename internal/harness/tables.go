@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// WriteTable1 renders the Table 1 summary (SPEC overhead statistics) from a
+// SPEC suite run.
+func WriteTable1(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 1: Summary of SPEC CPU2006 performance overheads (%)")
+	fmt.Fprintf(w, "%-22s %12s %12s %12s\n", "", "Safe Stack", "CPS", "CPI")
+	row := func(label string, lang int, stat func(Summary) float64) {
+		fmt.Fprintf(w, "%-22s %11.1f%% %11.1f%% %11.1f%%\n", label,
+			stat(Summarize(results, "safestack", lang)),
+			stat(Summarize(results, "cps", lang)),
+			stat(Summarize(results, "cpi", lang)))
+	}
+	avg := func(s Summary) float64 { return s.Avg }
+	med := func(s Summary) float64 { return s.Median }
+	max := func(s Summary) float64 { return s.Max }
+	row("Average (C/C++)", -1, avg)
+	row("Median (C/C++)", -1, med)
+	row("Maximum (C/C++)", -1, max)
+	row("Average (C only)", int(workloads.C), avg)
+	row("Median (C only)", int(workloads.C), med)
+	row("Maximum (C only)", int(workloads.C), max)
+}
+
+// WriteFig3 renders the Fig. 3 per-benchmark overhead series as text bars.
+func WriteFig3(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 3: Levee performance for SPEC CPU2006 (overhead vs vanilla, %)")
+	fmt.Fprintf(w, "%-16s %5s %10s %8s %8s  %s\n",
+		"benchmark", "lang", "safestack", "cps", "cpi", "cpi bar")
+	for _, r := range results {
+		bar := strings.Repeat("#", int(r.Overhead("cpi")/2+0.5))
+		fmt.Fprintf(w, "%-16s %5s %9.1f%% %7.1f%% %7.1f%%  %s\n",
+			r.Name, r.Lang, r.Overhead("safestack"), r.Overhead("cps"),
+			r.Overhead("cpi"), bar)
+	}
+}
+
+// WriteTable2 renders the Table 2 compilation statistics (FNUStack, MOCPS,
+// MOCPI). These are static properties of the instrumented binaries.
+func WriteTable2(w io.Writer, set []workloads.Workload) error {
+	fmt.Fprintln(w, "Table 2: Compilation statistics")
+	fmt.Fprintf(w, "%-16s %10s %8s %8s\n", "benchmark", "FNUStack", "MOCPS", "MOCPI")
+	for _, wl := range set {
+		cpsProg, err := core.Compile(wl.Src, core.Config{Protect: core.CPS})
+		if err != nil {
+			return err
+		}
+		cpiProg, err := core.Compile(wl.Src, core.Config{Protect: core.CPI})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%%\n", wl.Name,
+			cpiProg.Stats.FNUStackPct(), cpsProg.Stats.MOPct(), cpiProg.Stats.MOPct())
+	}
+	return nil
+}
+
+// Table3Set is the SoftBound comparison subset (the four SPEC programs that
+// compile and run error-free under SoftBound in the paper).
+func Table3Set() []workloads.Workload {
+	all := workloads.Spec()
+	var out []workloads.Workload
+	for _, name := range []string{"401.bzip2", "447.dealII", "458.sjeng", "464.h264ref"} {
+		if w, ok := workloads.ByName(all, name); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Table3SoftBoundCfg is the SoftBound configuration of the Table 3
+// comparison.
+func Table3SoftBoundCfg() core.Config {
+	return core.Config{Protect: core.SoftBound, DEP: true}
+}
+
+// WriteTable3 renders the SoftBound comparison.
+func WriteTable3(w io.Writer) error {
+	cfgs := append(SpecConfigs(),
+		NamedConfig{"softbound", Table3SoftBoundCfg()})
+	results, err := RunSuite(Table3Set(), cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 3: Overhead of Levee and SoftBound (%)")
+	fmt.Fprintf(w, "%-16s %10s %8s %8s %10s\n", "benchmark", "safestack", "cps", "cpi", "softbound")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%% %9.1f%%\n", r.Name,
+			r.Overhead("safestack"), r.Overhead("cps"), r.Overhead("cpi"),
+			r.Overhead("softbound"))
+	}
+	return nil
+}
+
+// WriteFig4 renders the Phoronix-style system suite overheads.
+func WriteFig4(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 4: Performance overheads on the system suite (Phoronix-style, %)")
+	fmt.Fprintf(w, "%-16s %10s %8s %8s\n", "benchmark", "safestack", "cps", "cpi")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%%\n", r.Name,
+			r.Overhead("safestack"), r.Overhead("cps"), r.Overhead("cpi"))
+	}
+}
+
+// WriteTable4 renders the web stack throughput overheads. Throughput loss
+// equals cycle overhead on a saturated single-core server.
+func WriteTable4(w io.Writer) error {
+	fmt.Fprintln(w, "Table 4: Throughput benchmark for web server stack (overhead %)")
+	fmt.Fprintf(w, "%-16s %10s %8s %8s\n", "benchmark", "safestack", "cps", "cpi")
+	for _, p := range workloads.WebStack() {
+		wl := workloads.Workload{Name: p.Name, Lang: workloads.C, Src: p.Src}
+		r, err := Run(wl, SpecConfigs())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%%\n", r.Name,
+			r.Overhead("safestack"), r.Overhead("cps"), r.Overhead("cpi"))
+	}
+	return nil
+}
+
+// MemRow is one §5.2 memory-overhead measurement.
+type MemRow struct {
+	Config    string
+	Org       string
+	MedianPct float64
+	MeanPct   float64
+	MaxPct    float64
+}
+
+// MemoryOverheads reproduces the §5.2 memory experiment: median memory
+// overhead over the SPEC suite for the safe stack, CPS and CPI, with the
+// hash-table and array organisations of the safe pointer store.
+func MemoryOverheads(set []workloads.Workload) ([]MemRow, error) {
+	type variant struct {
+		name, org string
+		cfg       core.Config
+	}
+	variants := []variant{
+		{"safestack", "-", core.Config{Protect: core.SafeStack, DEP: true}},
+		{"cps", "hash", core.Config{Protect: core.CPS, DEP: true, SPS: "hash"}},
+		{"cps", "array", core.Config{Protect: core.CPS, DEP: true, SPS: "array"}},
+		{"cpi", "hash", core.Config{Protect: core.CPI, DEP: true, SPS: "hash"}},
+		{"cpi", "array", core.Config{Protect: core.CPI, DEP: true, SPS: "array"}},
+	}
+	var rows []MemRow
+	for _, v := range variants {
+		var pcts []float64
+		for _, wl := range set {
+			prog, err := core.Compile(wl.Src, v.cfg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := prog.Run()
+			if err != nil {
+				return nil, err
+			}
+			if r.Trap != vm.TrapExit {
+				return nil, fmt.Errorf("%s/%s: %v", wl.Name, v.name, r.Err)
+			}
+			extra := float64(r.Mem.SPSBytes)
+			if v.name == "safestack" {
+				// Safe-stack memory overhead is the duplicated stack area.
+				extra = float64(r.Mem.SafeStack)
+			}
+			base := float64(r.Mem.ProgramBytes())
+			if base > 0 {
+				pcts = append(pcts, 100*extra/base)
+			}
+		}
+		sortFloats(pcts)
+		med, mean, max := 0.0, 0.0, 0.0
+		if n := len(pcts); n > 0 {
+			med = pcts[n/2]
+			if n%2 == 0 {
+				med = (pcts[n/2-1] + pcts[n/2]) / 2
+			}
+			for _, x := range pcts {
+				mean += x
+			}
+			mean /= float64(n)
+			max = pcts[n-1]
+		}
+		rows = append(rows, MemRow{Config: v.name, Org: v.org,
+			MedianPct: med, MeanPct: mean, MaxPct: max})
+	}
+	return rows, nil
+}
+
+// WriteMemory renders the §5.2 memory-overhead rows.
+func WriteMemory(w io.Writer, rows []MemRow) {
+	fmt.Fprintln(w, "Memory overhead (§5.2) over the SPEC suite")
+	fmt.Fprintf(w, "%-12s %-8s %10s %10s %10s\n", "config", "sps org", "median", "mean", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-8s %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Config, r.Org, r.MedianPct, r.MeanPct, r.MaxPct)
+	}
+}
+
+// IsolationOverheads measures the §3.2.3 isolation ablation: CPI under
+// segment-style isolation vs SFI (which pays a mask on every memory
+// operation; the paper reports the SFI increment below 5%).
+func IsolationOverheads(set []workloads.Workload) (segment, sfi float64, err error) {
+	cfgs := []NamedConfig{
+		{"vanilla", core.Config{DEP: true}},
+		{"segment", core.Config{Protect: core.CPI, DEP: true, Isolation: vm.IsoSegment}},
+		{"sfi", core.Config{Protect: core.CPI, DEP: true, Isolation: vm.IsoSFI}},
+	}
+	results, err := RunSuite(set, cfgs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var segSum, sfiSum float64
+	for _, r := range results {
+		segSum += r.Overhead("segment")
+		sfiSum += r.Overhead("sfi")
+	}
+	n := float64(len(results))
+	return segSum / n, sfiSum / n, nil
+}
+
+// SPSOrgOverheads compares the three safe pointer store organisations
+// under CPI (§4: the simple array was the fastest).
+func SPSOrgOverheads(set []workloads.Workload) (map[string]float64, error) {
+	cfgs := []NamedConfig{{"vanilla", core.Config{DEP: true}}}
+	for _, org := range []string{"array", "twolevel", "hash"} {
+		cfgs = append(cfgs, NamedConfig{org,
+			core.Config{Protect: core.CPI, DEP: true, SPS: org}})
+	}
+	results, err := RunSuite(set, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, org := range []string{"array", "twolevel", "hash"} {
+		var sum float64
+		for _, r := range results {
+			sum += r.Overhead(org)
+		}
+		out[org] = sum / float64(len(results))
+	}
+	return out, nil
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

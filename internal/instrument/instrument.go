@@ -1,0 +1,346 @@
+// Package instrument implements the protection passes of the Levee
+// reproduction. Each pass rewrites/flags an IR program in place, mirroring
+// the LLVM passes of §4:
+//
+//   - SafeStack (§3.2.4): escape analysis decides which frame objects move
+//     to the unsafe stack; everything else (return addresses, scalars,
+//     proven-safe objects) stays on the isolated safe stack.
+//   - CPI (§3.2.1–§3.2.2): loads/stores of sensitive pointers go through
+//     the safe pointer store with metadata; dereferences through sensitive
+//     pointers are checked; memcpy-family calls that may touch sensitive
+//     data use safe variants.
+//   - CPS (§3.3): the relaxation — code pointers and universal pointers
+//     only, no bounds metadata.
+//   - SoftBound: full spatial memory safety baseline (every pointer-typed
+//     access carries metadata, every computed access is checked).
+//   - CFI: coarse-grained indirect-call target checks (baseline).
+//
+// Passes are idempotent and ordered: SafeStack must run before CPI/CPS so
+// accesses to safe-stack objects can be left uninstrumented.
+package instrument
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ctypes"
+	"repro/internal/ir"
+	"repro/internal/minic/builtins"
+)
+
+// SafeStack runs the safe stack pass: escape analysis, unsafe marking, and
+// frame relayout.
+func SafeStack(p *ir.Program) {
+	for _, f := range p.Funcs {
+		if f.External {
+			continue
+		}
+		analysis.EscapeAnalysis(f)
+		for _, obj := range f.Frame {
+			obj.Unsafe = obj.AddrEscapes
+		}
+		f.Layout()
+	}
+	p.Protection = append(p.Protection, "safestack")
+}
+
+// Opts configures the CPI pass.
+type Opts struct {
+	// SensitiveStructs lists struct tags the programmer marked sensitive
+	// (§3.2.1: "such as struct ucred used in the FreeBSD kernel to store
+	// process UIDs"). Accesses to values of or into these structs are
+	// protected like code pointers.
+	SensitiveStructs []string
+}
+
+// CPI runs the CPI instrumentation pass and returns its statistics.
+// SafeStack must have run first (the paper's CPI includes the safe stack).
+func CPI(p *ir.Program) analysis.Stats {
+	return CPIWith(p, Opts{})
+}
+
+// CPIWith runs CPI with programmer annotations.
+func CPIWith(p *ir.Program, opts Opts) analysis.Stats {
+	annotated = map[string]bool{}
+	for _, n := range opts.SensitiveStructs {
+		annotated[n] = true
+	}
+	instrumentProgram(p, modeCPI)
+	annotated = nil
+	p.Protection = append(p.Protection, "cpi")
+	return analysis.Collect(p)
+}
+
+// annotated holds the sensitive-struct tags during a CPIWith run (the
+// passes are single-threaded by contract).
+var annotated map[string]bool
+
+// annotatedType reports whether t is or contains an annotated struct.
+func annotatedType(t *ctypes.Type) bool {
+	if len(annotated) == 0 || t == nil {
+		return false
+	}
+	switch t.Kind {
+	case ctypes.KindStruct:
+		if annotated[t.Struct.Name] {
+			return true
+		}
+		for i := range t.Struct.Fields {
+			if annotatedType(t.Struct.Fields[i].Type) {
+				return true
+			}
+		}
+	case ctypes.KindArray:
+		return annotatedType(t.Elem)
+	}
+	return false
+}
+
+// CPS runs the relaxed code-pointer-separation pass.
+func CPS(p *ir.Program) analysis.Stats {
+	instrumentProgram(p, modeCPS)
+	p.Protection = append(p.Protection, "cps")
+	return analysis.Collect(p)
+}
+
+// SoftBound runs the full-memory-safety baseline pass.
+func SoftBound(p *ir.Program) analysis.Stats {
+	instrumentProgram(p, modeSB)
+	p.Protection = append(p.Protection, "softbound")
+	return analysis.Collect(p)
+}
+
+// CFI flags every indirect call for target-set checking.
+func CFI(p *ir.Program) {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Ins {
+				if b.Ins[i].Op == ir.OpICall {
+					b.Ins[i].Flags |= ir.ProtCFI
+				}
+			}
+		}
+	}
+	p.Protection = append(p.Protection, "cfi")
+}
+
+type mode uint8
+
+const (
+	modeCPI mode = iota
+	modeCPS
+	modeSB
+)
+
+func instrumentProgram(p *ir.Program, md mode) {
+	for _, f := range p.Funcs {
+		if f.External {
+			continue
+		}
+		instrumentFunc(p, f, md)
+	}
+	// Mark sensitive globals (informational; the loader seeds the safe
+	// pointer store from initializers either way) and annotated ones (the
+	// loader must seed their initial values into the safe store).
+	for _, g := range p.Globals {
+		if ctypes.Sensitive(g.Type) {
+			g.Sensitive = true
+		}
+		if annotatedType(g.Type) {
+			g.Annotated = true
+		}
+	}
+}
+
+func instrumentFunc(p *ir.Program, f *ir.Func, md mode) {
+	fi := analysis.Analyze(f)
+	uses := analysis.Uses(f)
+	for _, obj := range f.Frame {
+		if ctypes.Sensitive(obj.Type) {
+			obj.Sensitive = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				flagMemOp(p, fi, uses, in, md)
+			case ir.OpCall:
+				if in.Callee < 0 {
+					flagIntrinsic(p, fi, in, md)
+				}
+			}
+		}
+	}
+}
+
+// safeStackDirect reports whether the access address is a direct reference
+// to a safe-stack-resident object: already isolated, no instrumentation
+// needed (§3.2.4 — most stack accesses are proven safe).
+func safeStackDirect(fi *analysis.FuncInfo, v ir.Value) bool {
+	return v.Kind == ir.ValFrame && !fi.Fn.Frame[v.Index].Unsafe
+}
+
+// flagMemOp decides the instrumentation of one load/store.
+func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr, md mode) {
+	ty := in.Ty
+	if ty == nil {
+		return
+	}
+
+	switch md {
+	case modeSB:
+		// SoftBound: every pointer-typed access maintains metadata, every
+		// computed access is checked. No safe stack: all slots are in
+		// regular memory, so direct accesses are instrumented too.
+		if ty.IsPtr() {
+			in.Flags |= ir.ProtSB
+			if ty.IsUniversalPtr() {
+				in.Flags |= ir.ProtUniversal
+			}
+		}
+		if in.A.Kind == ir.ValReg {
+			in.Flags |= ir.ProtSBCheck
+		}
+		return
+
+	case modeCPS:
+		// Code pointers and universal pointers only (§3.3), skipping
+		// accesses to safe-stack objects.
+		if safeStackDirect(fi, in.A) {
+			return
+		}
+		switch {
+		case ty.IsFuncPtr():
+			in.Flags |= ir.ProtCPS
+		case ty.IsUniversalPtr():
+			if stringHeuristic(fi, uses, in) {
+				return
+			}
+			in.Flags |= ir.ProtCPS | ir.ProtUniversal
+		}
+		return
+
+	case modeCPI:
+		if safeStackDirect(fi, in.A) {
+			return
+		}
+		// Programmer-annotated data (§3.2.1): keep the value itself in the
+		// safe store, whatever its type.
+		if len(annotated) > 0 && in.Size == 8 {
+			if t := fi.PointeeType(p, in.A, 0); t != nil && annotatedType(t) {
+				in.Flags |= ir.ProtCPIStore | ir.ProtCPILoad | ir.ProtAnnotated
+				if in.A.Kind == ir.ValReg {
+					in.Flags |= ir.ProtCPICheck
+				}
+				return
+			}
+		}
+		if !ctypes.SensitivePtr(ty) && !ctypes.Sensitive(ty) {
+			return
+		}
+		if ty.IsUniversalPtr() {
+			if stringHeuristic(fi, uses, in) {
+				return
+			}
+			in.Flags |= ir.ProtCPIStore | ir.ProtCPILoad | ir.ProtUniversal
+		} else {
+			in.Flags |= ir.ProtCPIStore | ir.ProtCPILoad
+		}
+		if in.A.Kind == ir.ValReg {
+			in.Flags |= ir.ProtCPICheck
+		}
+	}
+}
+
+// stringHeuristic applies the §3.2.1 char* refinement: char* values that
+// are manifestly strings are not treated as universal pointers.
+func stringHeuristic(fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr) bool {
+	if in.Ty == nil || !in.Ty.IsPtr() || in.Ty.Elem.Kind != ctypes.KindChar {
+		return false // only char*, not void*
+	}
+	if in.Op == ir.OpStore {
+		return analysis.StringLike(fi, in.B, uses)
+	}
+	// Loads: string-like if the loaded value flows into string functions.
+	return analysis.StringLike(fi, ir.Reg(in.Dst), uses)
+}
+
+// flagIntrinsic classifies memory-manipulation intrinsics (§3.2.2) and
+// setjmp (implicit code pointers, §3.2.1).
+func flagIntrinsic(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, md mode) {
+	switch in.Intr {
+	case builtins.Setjmp:
+		switch md {
+		case modeCPI, modeSB:
+			in.Flags |= ir.ProtCPIStore
+		case modeCPS:
+			in.Flags |= ir.ProtCPS
+		}
+	case builtins.Memcpy, builtins.Memmove:
+		if mayTouchSensitive(p, fi, in.Args, 0, md) || mayTouchSensitive(p, fi, in.Args, 1, md) {
+			in.Flags |= ir.ProtSafeIntr
+		}
+	case builtins.Memset:
+		if mayTouchSensitive(p, fi, in.Args, 0, md) {
+			in.Flags |= ir.ProtSafeIntr
+		}
+	}
+}
+
+// mayTouchSensitive reports whether the i-th pointer argument may point to
+// data the active mode protects. Unknown types are conservatively sensitive
+// (the static analysis "analyzes the real types of the arguments prior to
+// being cast to void*", §3.2.2; when that fails, the safe variant is used).
+func mayTouchSensitive(p *ir.Program, fi *analysis.FuncInfo, args []ir.Value, i int, md mode) bool {
+	if i >= len(args) {
+		return false
+	}
+	t := fi.PointeeType(p, args[i], 0)
+	if t == nil {
+		return true // unknown: conservative
+	}
+	switch md {
+	case modeSB:
+		return containsPtr(t)
+	case modeCPS:
+		return containsCodePtr(t, map[*ctypes.Struct]bool{})
+	default:
+		return ctypes.Sensitive(t)
+	}
+}
+
+func containsPtr(t *ctypes.Type) bool {
+	switch t.Kind {
+	case ctypes.KindPtr:
+		return true
+	case ctypes.KindArray:
+		return containsPtr(t.Elem)
+	case ctypes.KindStruct:
+		for i := range t.Struct.Fields {
+			if containsPtr(t.Struct.Fields[i].Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsCodePtr(t *ctypes.Type, seen map[*ctypes.Struct]bool) bool {
+	switch t.Kind {
+	case ctypes.KindPtr:
+		return t.IsFuncPtr() || t.IsUniversalPtr()
+	case ctypes.KindArray:
+		return containsCodePtr(t.Elem, seen)
+	case ctypes.KindStruct:
+		if seen[t.Struct] {
+			return false
+		}
+		seen[t.Struct] = true
+		for i := range t.Struct.Fields {
+			if containsCodePtr(t.Struct.Fields[i].Type, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,374 @@
+// Package ir defines the typed register IR that the Levee reproduction
+// analyses, instruments, and executes. It plays the role LLVM IR plays for
+// the paper's prototype: a low-level, strongly-typed representation in which
+// memory operations are explicit, so the CPI/CPS/SafeStack passes can decide
+// per-instruction whether an access touches sensitive data (§3.2.1–§3.2.2).
+//
+// The IR is single-assignment at the register level (each virtual register
+// is defined by exactly one instruction) but has no phi nodes: local
+// variables live in frame objects, as in unoptimized clang output, which is
+// the representation the paper's passes see before optimization (§3.2.2:
+// "The CPI instrumentation pass precedes compiler optimizations").
+package ir
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/minic/builtins"
+)
+
+// Program is a complete translation unit lowered to IR.
+type Program struct {
+	Funcs   []*Func
+	Globals []*Global
+	Strings []string
+	Structs []*ctypes.Struct
+
+	// Protection describes which passes have run; informational.
+	Protection []string
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global is a global variable with typed initialization data.
+type Global struct {
+	Name string
+	Type *ctypes.Type
+	Size int64
+	Init []InitItem
+
+	// Sensitive marks globals that contain sensitive data per the CPI
+	// static analysis (set by the instrumentation passes).
+	Sensitive bool
+
+	// Annotated marks globals of programmer-annotated sensitive types
+	// (§3.2.1); the loader seeds their initial values into the safe store.
+	Annotated bool
+}
+
+// InitKind says what an InitItem's value refers to.
+type InitKind uint8
+
+// Init item kinds.
+const (
+	InitConst InitKind = iota
+	InitFuncAddr
+	InitGlobalAddr
+	InitStringAddr
+)
+
+// InitItem initializes Size bytes at Offset within a global.
+type InitItem struct {
+	Offset int64
+	Size   int64 // 1 or 8
+	Kind   InitKind
+	Val    int64 // InitConst
+	Index  int   // func/global/string table index otherwise
+}
+
+// Param is a function parameter; parameter i arrives in register i.
+type Param struct {
+	Name string
+	Type *ctypes.Type
+}
+
+// Func is one function.
+type Func struct {
+	Name     string
+	Ret      *ctypes.Type
+	Params   []Param
+	Variadic bool
+	Frame    []*FrameObj
+	Blocks   []*Block
+	NumRegs  int
+
+	AddressTaken bool
+
+	// External marks declared-but-undefined functions; they lower to a
+	// stub returning zero (the VM has no dynamic linker to resolve them).
+	External bool
+
+	// Set by the safe-stack pass: whether any frame object lives on the
+	// unsafe stack, requiring an extra frame setup at each call (the
+	// FNUStack metric of Table 2 counts these functions).
+	NeedsUnsafeFrame bool
+
+	// SafeSize and UnsafeSize are the laid-out byte sizes of the two stack
+	// frames (computed by Layout).
+	SafeSize   int64
+	UnsafeSize int64
+}
+
+// FrameObj is a stack-allocated object (local variable, or a parameter
+// spill slot — every parameter gets one, as in unoptimized compiler output).
+type FrameObj struct {
+	Name  string
+	Type  *ctypes.Type
+	Size  int64
+	Align int64
+
+	// AddrEscapes is set when the object's address is materialized into a
+	// register (OpAddr) or used as a variable-index GEP base: its accesses
+	// cannot all be proven safe statically (§3.2.4).
+	AddrEscapes bool
+
+	// Unsafe is set by the safe-stack pass: the object is relocated to the
+	// unsafe stack in regular memory.
+	Unsafe bool
+
+	// Offset is the object's byte offset within its stack frame (safe or
+	// unsafe, per the Unsafe flag), assigned by Layout.
+	Offset int64
+
+	// Sensitive marks objects of sensitive type (CPI analysis).
+	Sensitive bool
+}
+
+// Block is a basic block. The final instruction must be a terminator
+// (OpRet, OpBr, OpCondBr); no other instruction may be a terminator.
+type Block struct {
+	Index int
+	Name  string
+	Ins   []Instr
+}
+
+// Op is an IR opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+	// OpBin: Dst = A <alu> B.
+	OpBin
+	// OpLoad: Dst = *(A); Size bytes; Ty is the pointee type.
+	OpLoad
+	// OpStore: *(A) = B; Size bytes; Ty is the pointee type.
+	OpStore
+	// OpAddr: Dst = A where A is a frame/global/func/string address value.
+	// Materializing a frame address is what makes an object escape.
+	OpAddr
+	// OpGEP: Dst = A + B*Scale + Off. Pointer arithmetic; based-on metadata
+	// propagates from A per §3.1 case (iv). Ty is the result pointer type.
+	OpGEP
+	// OpCast: Dst = A, reinterpreted from FromTy to Ty. Metadata rules
+	// follow Appendix A: casting to a sensitive type from a regular value
+	// yields invalid metadata.
+	OpCast
+	// OpCall: Dst = Callee(Args...). Callee >= 0 indexes Program.Funcs;
+	// Callee < 0 means builtin Intr.
+	OpCall
+	// OpICall: Dst = (*A)(Args...). A holds a code address. Ty is the
+	// function pointer type.
+	OpICall
+	// OpRet: return A (Value of kind ValNone for void).
+	OpRet
+	// OpBr: jump to Blk0.
+	OpBr
+	// OpCondBr: if A != 0 jump to Blk0 else Blk1.
+	OpCondBr
+)
+
+// ALU is a binary operator for OpBin.
+type ALU uint8
+
+// ALU operators. Comparison results are 0/1.
+const (
+	AAdd ALU = iota
+	ASub
+	AMul
+	ADiv
+	ARem
+	AAnd
+	AOr
+	AXor
+	AShl
+	AShr
+	ALt
+	AGt
+	ALe
+	AGe
+	AEq
+	ANe
+)
+
+// ValKind says how a Value is interpreted.
+type ValKind uint8
+
+// Value kinds.
+const (
+	ValNone ValKind = iota
+	// ValReg: virtual register Reg.
+	ValReg
+	// ValConst: immediate Imm.
+	ValConst
+	// ValFrame: address of frame object Index, plus constant byte offset
+	// Imm. A load/store whose address operand is a ValFrame with a
+	// statically in-bounds offset is a proven-safe stack access (§3.2.4).
+	ValFrame
+	// ValGlobal: address of global Index plus offset Imm.
+	ValGlobal
+	// ValFunc: address of function Index (a code pointer constant).
+	ValFunc
+	// ValString: address of interned string literal Index plus offset Imm.
+	ValString
+)
+
+// Value is an instruction operand.
+type Value struct {
+	Kind  ValKind
+	Reg   int
+	Imm   int64
+	Index int
+}
+
+// Reg returns a register operand.
+func Reg(r int) Value { return Value{Kind: ValReg, Reg: r} }
+
+// Const returns an immediate operand.
+func Const(v int64) Value { return Value{Kind: ValConst, Imm: v} }
+
+// FrameAddr returns the address of frame object i plus off bytes.
+func FrameAddr(i int, off int64) Value {
+	return Value{Kind: ValFrame, Index: i, Imm: off}
+}
+
+// GlobalAddr returns the address of global i plus off bytes.
+func GlobalAddr(i int, off int64) Value {
+	return Value{Kind: ValGlobal, Index: i, Imm: off}
+}
+
+// FuncAddr returns the address of function i.
+func FuncAddr(i int) Value { return Value{Kind: ValFunc, Index: i} }
+
+// StringAddr returns the address of string literal i plus off bytes.
+func StringAddr(i int, off int64) Value {
+	return Value{Kind: ValString, Index: i, Imm: off}
+}
+
+// IsAddr reports whether v is a direct address constant.
+func (v Value) IsAddr() bool {
+	switch v.Kind {
+	case ValFrame, ValGlobal, ValFunc, ValString:
+		return true
+	}
+	return false
+}
+
+// Prot is a bitmask of instrumentation applied to an instruction by the
+// protection passes. The VM interprets these flags; their presence on loads
+// and stores is also what the Table 2 statistics count.
+type Prot uint16
+
+// Protection flags.
+const (
+	// ProtCPIStore: store goes to the safe pointer store with metadata.
+	ProtCPIStore Prot = 1 << iota
+	// ProtCPILoad: load reads value+metadata from the safe pointer store.
+	ProtCPILoad
+	// ProtCPICheck: bounds/temporal check on the dereferenced address.
+	ProtCPICheck
+	// ProtCPS: the store/load is a CPS code-pointer access (no bounds).
+	ProtCPS
+	// ProtUniversal: universal-pointer access; SPS used only when the
+	// runtime metadata is valid (§3.2.2).
+	ProtUniversal
+	// ProtSB: SoftBound full-memory-safety instrumentation.
+	ProtSB
+	// ProtSBCheck: SoftBound bounds check on a dereference.
+	ProtSBCheck
+	// ProtCFI: indirect-call target-set check.
+	ProtCFI
+	// ProtSafeIntr: libc memory intrinsic replaced by its safe-region-aware
+	// variant (per-word SPS checks; §3.2.2).
+	ProtSafeIntr
+	// ProtAnnotated: access to programmer-annotated sensitive data
+	// (§3.2.1's struct ucred example); the value itself is kept in the
+	// safe pointer store even though it is not a pointer.
+	ProtAnnotated
+)
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op     Op
+	ALU    ALU
+	Dst    int // destination register; -1 when none
+	A, B   Value
+	Args   []Value
+	Callee int           // OpCall: function index, or -1 for builtins
+	Intr   builtins.Kind // OpCall with Callee < 0
+	Size   uint8         // load/store width in bytes (1 or 8)
+	Ty     *ctypes.Type
+	FromTy *ctypes.Type // OpCast source type
+	Off    int64        // OpGEP constant offset
+	Scale  int64        // OpGEP index scale
+	Blk0   int
+	Blk1   int
+	Flags  Prot
+}
+
+// IsTerm reports whether the instruction terminates a block.
+func (in *Instr) IsTerm() bool {
+	switch in.Op {
+	case OpRet, OpBr, OpCondBr:
+		return true
+	}
+	return false
+}
+
+// IsMemOp reports whether the instruction is a memory operation for the
+// purposes of the Table 2 instrumentation statistics (loads and stores).
+func (in *Instr) IsMemOp() bool { return in.Op == OpLoad || in.Op == OpStore }
+
+// Layout assigns frame offsets for both stacks and computes frame sizes.
+// It must be called after the safe-stack pass has set Unsafe flags (or with
+// no flags set, in which case everything lands on the single safe stack,
+// which doubles as the vanilla configuration's regular stack).
+func (f *Func) Layout() {
+	var safe, unsafe int64
+	f.NeedsUnsafeFrame = false
+	for _, obj := range f.Frame {
+		a := obj.Align
+		if a <= 0 {
+			a = 1
+		}
+		if obj.Unsafe {
+			unsafe = alignUp(unsafe, a)
+			obj.Offset = unsafe
+			unsafe += obj.Size
+			f.NeedsUnsafeFrame = true
+		} else {
+			safe = alignUp(safe, a)
+			obj.Offset = safe
+			safe += obj.Size
+		}
+	}
+	f.SafeSize = alignUp(safe, 8)
+	f.UnsafeSize = alignUp(unsafe, 8)
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// NewBlock appends a new empty block to f and returns it.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Index: len(f.Blocks), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Emit appends an instruction to the block and returns its index.
+func (b *Block) Emit(in Instr) int {
+	b.Ins = append(b.Ins, in)
+	return len(b.Ins) - 1
+}

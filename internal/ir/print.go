@@ -1,0 +1,175 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program as readable IR assembly, for tests and
+// debugging.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, g := range p.Globals {
+		fmt.Fprintf(&b, "global @%s #%d : %s (%d bytes)", g.Name, i, g.Type, g.Size)
+		if g.Sensitive {
+			b.WriteString(" [sensitive]")
+		}
+		b.WriteString("\n")
+	}
+	for i, s := range p.Strings {
+		fmt.Fprintf(&b, "string $%d = %q\n", i, s)
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nfunc %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "r%d %s %s", i, p.Name, p.Type)
+	}
+	fmt.Fprintf(&b, ") %s {", f.Ret)
+	if f.AddressTaken {
+		b.WriteString(" ; address-taken")
+	}
+	b.WriteString("\n")
+	for i, obj := range f.Frame {
+		fmt.Fprintf(&b, "  frame[%d] %s : %s (%d bytes)", i, obj.Name, obj.Type, obj.Size)
+		if obj.AddrEscapes {
+			b.WriteString(" [escapes]")
+		}
+		if obj.Unsafe {
+			b.WriteString(" [unsafe-stack]")
+		}
+		if obj.Sensitive {
+			b.WriteString(" [sensitive]")
+		}
+		b.WriteString("\n")
+	}
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s.%d:\n", blk.Name, blk.Index)
+		for i := range blk.Ins {
+			fmt.Fprintf(&b, "  %s\n", blk.Ins[i].String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+var aluNames = [...]string{
+	AAdd: "add", ASub: "sub", AMul: "mul", ADiv: "div", ARem: "rem",
+	AAnd: "and", AOr: "or", AXor: "xor", AShl: "shl", AShr: "shr",
+	ALt: "lt", AGt: "gt", ALe: "le", AGe: "ge", AEq: "eq", ANe: "ne",
+}
+
+// String renders a value operand.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValNone:
+		return "_"
+	case ValReg:
+		return fmt.Sprintf("r%d", v.Reg)
+	case ValConst:
+		return fmt.Sprintf("%d", v.Imm)
+	case ValFrame:
+		if v.Imm != 0 {
+			return fmt.Sprintf("&frame[%d]+%d", v.Index, v.Imm)
+		}
+		return fmt.Sprintf("&frame[%d]", v.Index)
+	case ValGlobal:
+		if v.Imm != 0 {
+			return fmt.Sprintf("&global#%d+%d", v.Index, v.Imm)
+		}
+		return fmt.Sprintf("&global#%d", v.Index)
+	case ValFunc:
+		return fmt.Sprintf("&func#%d", v.Index)
+	case ValString:
+		if v.Imm != 0 {
+			return fmt.Sprintf("&str$%d+%d", v.Index, v.Imm)
+		}
+		return fmt.Sprintf("&str$%d", v.Index)
+	}
+	return "?"
+}
+
+func (in *Instr) flagString() string {
+	if in.Flags == 0 {
+		return ""
+	}
+	var parts []string
+	add := func(f Prot, n string) {
+		if in.Flags&f != 0 {
+			parts = append(parts, n)
+		}
+	}
+	add(ProtCPIStore, "cpi-store")
+	add(ProtCPILoad, "cpi-load")
+	add(ProtCPICheck, "cpi-check")
+	add(ProtCPS, "cps")
+	add(ProtUniversal, "universal")
+	add(ProtSB, "sb")
+	add(ProtSBCheck, "sb-check")
+	add(ProtCFI, "cfi")
+	add(ProtSafeIntr, "safe-intr")
+	return " !" + strings.Join(parts, ",")
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	fl := in.flagString()
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpBin:
+		return fmt.Sprintf("r%d = %s %s, %s%s", in.Dst, aluNames[in.ALU], in.A, in.B, fl)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load.%d %s : %s%s", in.Dst, in.Size, in.A, in.Ty, fl)
+	case OpStore:
+		return fmt.Sprintf("store.%d %s, %s : %s%s", in.Size, in.A, in.B, in.Ty, fl)
+	case OpAddr:
+		return fmt.Sprintf("r%d = addr %s%s", in.Dst, in.A, fl)
+	case OpGEP:
+		return fmt.Sprintf("r%d = gep %s + %s*%d + %d%s", in.Dst, in.A, in.B, in.Scale, in.Off, fl)
+	case OpCast:
+		return fmt.Sprintf("r%d = cast %s : %s -> %s%s", in.Dst, in.A, in.FromTy, in.Ty, fl)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		name := fmt.Sprintf("#%d", in.Callee)
+		if in.Callee < 0 {
+			name = in.Intr.Name()
+		}
+		if in.Dst >= 0 {
+			return fmt.Sprintf("r%d = call %s(%s)%s", in.Dst, name, strings.Join(args, ", "), fl)
+		}
+		return fmt.Sprintf("call %s(%s)%s", name, strings.Join(args, ", "), fl)
+	case OpICall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		if in.Dst >= 0 {
+			return fmt.Sprintf("r%d = icall %s(%s)%s", in.Dst, in.A, strings.Join(args, ", "), fl)
+		}
+		return fmt.Sprintf("icall %s(%s)%s", in.A, strings.Join(args, ", "), fl)
+	case OpRet:
+		if in.A.Kind == ValNone {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", in.A)
+	case OpBr:
+		return fmt.Sprintf("br .%d", in.Blk0)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, .%d, .%d", in.A, in.Blk0, in.Blk1)
+	}
+	return "<bad instr>"
+}

@@ -1,0 +1,147 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the program:
+//
+//   - every block ends with exactly one terminator, in final position;
+//   - every register is defined by exactly one instruction (single
+//     assignment) and register numbers are within NumRegs;
+//   - branch targets, frame indices, global/string/function indices are in
+//     range;
+//   - load/store sizes are 1 or 8.
+//
+// The passes rely on these invariants (notably single assignment, which the
+// safe-stack escape analysis uses to reason about address flow).
+func (p *Program) Verify() error {
+	for _, f := range p.Funcs {
+		if err := p.verifyFunc(f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	for gi, g := range p.Globals {
+		for _, it := range g.Init {
+			if it.Offset < 0 || it.Offset+it.Size > g.Size {
+				return fmt.Errorf("global %s: init item out of range [%d,%d) of %d",
+					g.Name, it.Offset, it.Offset+it.Size, g.Size)
+			}
+			switch it.Kind {
+			case InitFuncAddr:
+				if it.Index < 0 || it.Index >= len(p.Funcs) {
+					return fmt.Errorf("global %s: bad func index %d", g.Name, it.Index)
+				}
+			case InitGlobalAddr:
+				if it.Index < 0 || it.Index >= len(p.Globals) {
+					return fmt.Errorf("global %s: bad global index %d", g.Name, it.Index)
+				}
+			case InitStringAddr:
+				if it.Index < 0 || it.Index >= len(p.Strings) {
+					return fmt.Errorf("global %s: bad string index %d", g.Name, it.Index)
+				}
+			}
+		}
+		_ = gi
+	}
+	return nil
+}
+
+func (p *Program) verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	defined := make([]bool, f.NumRegs)
+	for i := range f.Params {
+		if i >= f.NumRegs {
+			return fmt.Errorf("param %d exceeds NumRegs %d", i, f.NumRegs)
+		}
+		defined[i] = true
+	}
+
+	checkVal := func(v Value) error {
+		switch v.Kind {
+		case ValReg:
+			if v.Reg < 0 || v.Reg >= f.NumRegs {
+				return fmt.Errorf("register r%d out of range", v.Reg)
+			}
+		case ValFrame:
+			if v.Index < 0 || v.Index >= len(f.Frame) {
+				return fmt.Errorf("frame index %d out of range", v.Index)
+			}
+			if v.Imm < 0 || v.Imm >= f.Frame[v.Index].Size {
+				return fmt.Errorf("frame offset %d out of bounds for %s (size %d)",
+					v.Imm, f.Frame[v.Index].Name, f.Frame[v.Index].Size)
+			}
+		case ValGlobal:
+			if v.Index < 0 || v.Index >= len(p.Globals) {
+				return fmt.Errorf("global index %d out of range", v.Index)
+			}
+		case ValFunc:
+			if v.Index < 0 || v.Index >= len(p.Funcs) {
+				return fmt.Errorf("function index %d out of range", v.Index)
+			}
+		case ValString:
+			if v.Index < 0 || v.Index >= len(p.Strings) {
+				return fmt.Errorf("string index %d out of range", v.Index)
+			}
+		}
+		return nil
+	}
+
+	for bi, blk := range f.Blocks {
+		if blk.Index != bi {
+			return fmt.Errorf("block %d has index %d", bi, blk.Index)
+		}
+		if len(blk.Ins) == 0 {
+			return fmt.Errorf("block .%d is empty", bi)
+		}
+		for ii := range blk.Ins {
+			in := &blk.Ins[ii]
+			last := ii == len(blk.Ins)-1
+			if in.IsTerm() != last {
+				return fmt.Errorf("block .%d instr %d: terminator placement", bi, ii)
+			}
+			if in.Dst >= 0 {
+				if in.Dst >= f.NumRegs {
+					return fmt.Errorf("block .%d instr %d: dst r%d out of range", bi, ii, in.Dst)
+				}
+				if defined[in.Dst] {
+					return fmt.Errorf("block .%d instr %d: r%d assigned twice", bi, ii, in.Dst)
+				}
+				defined[in.Dst] = true
+			}
+			for _, v := range []Value{in.A, in.B} {
+				if err := checkVal(v); err != nil {
+					return fmt.Errorf("block .%d instr %d: %w", bi, ii, err)
+				}
+			}
+			for _, v := range in.Args {
+				if err := checkVal(v); err != nil {
+					return fmt.Errorf("block .%d instr %d: %w", bi, ii, err)
+				}
+			}
+			switch in.Op {
+			case OpLoad, OpStore:
+				if in.Size != 1 && in.Size != 8 {
+					return fmt.Errorf("block .%d instr %d: bad access size %d", bi, ii, in.Size)
+				}
+				if in.Ty == nil {
+					return fmt.Errorf("block .%d instr %d: memory op without type", bi, ii)
+				}
+			case OpBr:
+				if in.Blk0 < 0 || in.Blk0 >= len(f.Blocks) {
+					return fmt.Errorf("block .%d: branch target .%d out of range", bi, in.Blk0)
+				}
+			case OpCondBr:
+				if in.Blk0 < 0 || in.Blk0 >= len(f.Blocks) ||
+					in.Blk1 < 0 || in.Blk1 >= len(f.Blocks) {
+					return fmt.Errorf("block .%d: branch targets out of range", bi)
+				}
+			case OpCall:
+				if in.Callee >= len(p.Funcs) {
+					return fmt.Errorf("block .%d instr %d: callee %d out of range", bi, ii, in.Callee)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// minimal builds a one-function program for verifier tests.
+func minimal() (*Program, *Func, *Block) {
+	f := &Func{Name: "f", Ret: ctypes.Int, NumRegs: 4}
+	b := f.NewBlock("entry")
+	p := &Program{Funcs: []*Func{f}}
+	return p, f, b
+}
+
+func wantErr(t *testing.T, p *Program, sub string) {
+	t.Helper()
+	err := p.Verify()
+	if err == nil {
+		t.Fatalf("verify passed, want error containing %q", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Fatalf("error %q does not contain %q", err, sub)
+	}
+}
+
+func TestVerifyAcceptsMinimal(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Const(0)})
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsEmptyBlock(t *testing.T) {
+	p, _, _ := minimal()
+	wantErr(t, p, "empty")
+}
+
+func TestVerifyRejectsMissingTerminator(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpBin, ALU: AAdd, Dst: 0, A: Const(1), B: Const(2)})
+	wantErr(t, p, "terminator")
+}
+
+func TestVerifyRejectsMidBlockTerminator(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Const(0)})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Const(0)})
+	wantErr(t, p, "terminator placement")
+}
+
+func TestVerifyRejectsDoubleAssignment(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpBin, ALU: AAdd, Dst: 1, A: Const(1), B: Const(2)})
+	b.Emit(Instr{Op: OpBin, ALU: AAdd, Dst: 1, A: Const(3), B: Const(4)})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Reg(1)})
+	wantErr(t, p, "assigned twice")
+}
+
+func TestVerifyRejectsRegisterOutOfRange(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpBin, ALU: AAdd, Dst: 9, A: Const(1), B: Const(2)})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Const(0)})
+	wantErr(t, p, "out of range")
+}
+
+func TestVerifyRejectsBadBranchTarget(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpBr, Dst: -1, Blk0: 7})
+	wantErr(t, p, "branch target")
+}
+
+func TestVerifyRejectsBadFrameOffset(t *testing.T) {
+	p, f, b := minimal()
+	f.Frame = append(f.Frame, &FrameObj{Name: "x", Type: ctypes.Int, Size: 8, Align: 8})
+	b.Emit(Instr{Op: OpLoad, Dst: 0, A: FrameAddr(0, 16), Size: 8, Ty: ctypes.Int})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Reg(0)})
+	wantErr(t, p, "out of bounds")
+}
+
+func TestVerifyRejectsBadAccessSize(t *testing.T) {
+	p, f, b := minimal()
+	f.Frame = append(f.Frame, &FrameObj{Name: "x", Type: ctypes.Int, Size: 8, Align: 8})
+	b.Emit(Instr{Op: OpLoad, Dst: 0, A: FrameAddr(0, 0), Size: 4, Ty: ctypes.Int})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Reg(0)})
+	wantErr(t, p, "access size")
+}
+
+func TestVerifyRejectsBadCallee(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpCall, Dst: 0, Callee: 5})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Reg(0)})
+	wantErr(t, p, "callee")
+}
+
+func TestVerifyRejectsBadGlobalInit(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Const(0)})
+	p.Globals = append(p.Globals, &Global{
+		Name: "g", Type: ctypes.Int, Size: 8,
+		Init: []InitItem{{Offset: 4, Size: 8, Val: 1}},
+	})
+	wantErr(t, p, "out of range")
+}
+
+func TestVerifyRejectsBadFuncIndexInInit(t *testing.T) {
+	p, _, b := minimal()
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Const(0)})
+	p.Globals = append(p.Globals, &Global{
+		Name: "g", Type: ctypes.Int, Size: 8,
+		Init: []InitItem{{Offset: 0, Size: 8, Kind: InitFuncAddr, Index: 3}},
+	})
+	wantErr(t, p, "bad func index")
+}
+
+func TestLayoutSplitsStacks(t *testing.T) {
+	f := &Func{Name: "f", Ret: ctypes.Void}
+	f.Frame = []*FrameObj{
+		{Name: "safe1", Type: ctypes.Int, Size: 8, Align: 8},
+		{Name: "buf", Type: ctypes.ArrayOf(ctypes.Char, 24), Size: 24, Align: 1, Unsafe: true},
+		{Name: "safe2", Type: ctypes.Int, Size: 8, Align: 8},
+	}
+	f.Layout()
+	if !f.NeedsUnsafeFrame {
+		t.Error("unsafe object must set NeedsUnsafeFrame")
+	}
+	if f.SafeSize != 16 || f.UnsafeSize != 24 {
+		t.Errorf("sizes = %d/%d, want 16/24", f.SafeSize, f.UnsafeSize)
+	}
+	if f.Frame[0].Offset != 0 || f.Frame[2].Offset != 8 {
+		t.Errorf("safe offsets %d, %d", f.Frame[0].Offset, f.Frame[2].Offset)
+	}
+	if f.Frame[1].Offset != 0 {
+		t.Errorf("unsafe offset %d", f.Frame[1].Offset)
+	}
+}
+
+func TestLayoutAlignment(t *testing.T) {
+	f := &Func{Name: "f", Ret: ctypes.Void}
+	f.Frame = []*FrameObj{
+		{Name: "c", Type: ctypes.Char, Size: 1, Align: 1},
+		{Name: "x", Type: ctypes.Int, Size: 8, Align: 8},
+	}
+	f.Layout()
+	if f.Frame[1].Offset != 8 {
+		t.Errorf("int after char should align to 8, got %d", f.Frame[1].Offset)
+	}
+	if f.SafeSize != 16 {
+		t.Errorf("SafeSize = %d", f.SafeSize)
+	}
+}
+
+func TestInstrStringCoverage(t *testing.T) {
+	ins := []Instr{
+		{Op: OpNop},
+		{Op: OpBin, ALU: AMul, Dst: 1, A: Reg(0), B: Const(3)},
+		{Op: OpLoad, Dst: 2, A: FrameAddr(0, 8), Size: 8, Ty: ctypes.Int},
+		{Op: OpStore, Dst: -1, A: GlobalAddr(0, 0), B: Reg(2), Size: 1, Ty: ctypes.Char},
+		{Op: OpAddr, Dst: 3, A: FuncAddr(0)},
+		{Op: OpGEP, Dst: 4, A: Reg(3), B: Reg(1), Scale: 8, Off: 16},
+		{Op: OpCast, Dst: 5, A: Reg(4), FromTy: ctypes.VoidPtr(), Ty: ctypes.PointerTo(ctypes.Int)},
+		{Op: OpCall, Dst: 6, Callee: 0, Args: []Value{Reg(5), Const(1)}},
+		{Op: OpICall, Dst: -1, A: Reg(3), Args: []Value{StringAddr(0, 2)}},
+		{Op: OpRet, Dst: -1, A: Reg(6)},
+		{Op: OpBr, Blk0: 1},
+		{Op: OpCondBr, A: Reg(1), Blk0: 1, Blk1: 2},
+		{Op: OpLoad, Dst: 7, A: Reg(4), Size: 8, Ty: ctypes.Int,
+			Flags: ProtCPILoad | ProtCPICheck},
+	}
+	for i := range ins {
+		s := ins[i].String()
+		if s == "" || strings.Contains(s, "bad instr") {
+			t.Errorf("instr %d renders %q", i, s)
+		}
+	}
+	// Flag rendering.
+	if s := ins[12].String(); !strings.Contains(s, "cpi-load") || !strings.Contains(s, "cpi-check") {
+		t.Errorf("flags missing from %q", s)
+	}
+}

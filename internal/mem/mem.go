@@ -1,0 +1,263 @@
+// Package mem implements the simulated 64-bit byte-addressable memory of the
+// machine: sparse 4 KiB pages with R/W/X permissions. It stands in for the
+// hardware MMU the paper relies on (non-writable code pages for the threat
+// model of §2, non-executable data pages for DEP, and page-level isolation).
+package mem
+
+import "fmt"
+
+// PageSize is the size of one page in bytes.
+const PageSize = 4096
+
+const pageShift = 12
+const offMask = PageSize - 1
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	R Perm = 1 << iota
+	W
+	X
+)
+
+// String renders permissions as "rwx" flags.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&R != 0 {
+		b[0] = 'r'
+	}
+	if p&W != 0 {
+		b[1] = 'w'
+	}
+	if p&X != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// FaultKind classifies access faults.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultUnmapped FaultKind = iota
+	FaultNoRead
+	FaultNoWrite
+	FaultNoExec
+)
+
+var faultNames = [...]string{
+	FaultUnmapped: "unmapped address",
+	FaultNoRead:   "read of non-readable page",
+	FaultNoWrite:  "write of non-writable page",
+	FaultNoExec:   "execute of non-executable page",
+}
+
+// Fault is a memory access fault ("SIGSEGV").
+type Fault struct {
+	Addr uint64
+	Kind FaultKind
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: %s at %#x", faultNames[f.Kind], f.Addr)
+}
+
+type page struct {
+	perm Perm
+	data [PageSize]byte
+}
+
+// Memory is a sparse paged address space. The zero value is an empty address
+// space ready to use.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty address space.
+func New() *Memory { return &Memory{pages: map[uint64]*page{}} }
+
+func (m *Memory) page(addr uint64) *page { return m.pages[addr>>pageShift] }
+
+// Map maps [addr, addr+size) with the given permissions, rounding to page
+// boundaries. Remapping an existing page updates its permissions and keeps
+// its contents.
+func (m *Memory) Map(addr, size uint64, perm Perm) {
+	if m.pages == nil {
+		m.pages = map[uint64]*page{}
+	}
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		if pg, ok := m.pages[pn]; ok {
+			pg.perm = perm
+		} else {
+			m.pages[pn] = &page{perm: perm}
+		}
+	}
+}
+
+// Protect changes permissions on the pages covering [addr, addr+size).
+// Unmapped pages in the range are ignored.
+func (m *Memory) Protect(addr, size uint64, perm Perm) {
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		if pg, ok := m.pages[pn]; ok {
+			pg.perm = perm
+		}
+	}
+}
+
+// Mapped reports whether addr is on a mapped page.
+func (m *Memory) Mapped(addr uint64) bool { return m.page(addr) != nil }
+
+// PermAt returns the permissions at addr (0 if unmapped).
+func (m *Memory) PermAt(addr uint64) Perm {
+	if pg := m.page(addr); pg != nil {
+		return pg.perm
+	}
+	return 0
+}
+
+// PagesMapped returns the number of mapped pages (memory accounting).
+func (m *Memory) PagesMapped() int { return len(m.pages) }
+
+// CheckExec verifies addr lies on an executable page.
+func (m *Memory) CheckExec(addr uint64) error {
+	pg := m.page(addr)
+	if pg == nil {
+		return &Fault{Addr: addr, Kind: FaultUnmapped}
+	}
+	if pg.perm&X == 0 {
+		return &Fault{Addr: addr, Kind: FaultNoExec}
+	}
+	return nil
+}
+
+// Load reads size bytes (1 or 8, little-endian) at addr.
+func (m *Memory) Load(addr uint64, size int) (uint64, error) {
+	if size == 1 {
+		pg := m.page(addr)
+		if pg == nil {
+			return 0, &Fault{Addr: addr, Kind: FaultUnmapped}
+		}
+		if pg.perm&R == 0 {
+			return 0, &Fault{Addr: addr, Kind: FaultNoRead}
+		}
+		return uint64(pg.data[addr&offMask]), nil
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		pg := m.page(addr + uint64(i))
+		if pg == nil {
+			return 0, &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		if pg.perm&R == 0 {
+			return 0, &Fault{Addr: addr + uint64(i), Kind: FaultNoRead}
+		}
+		v |= uint64(pg.data[(addr+uint64(i))&offMask]) << (8 * uint(i))
+	}
+	return v, nil
+}
+
+// Store writes size bytes (1 or 8, little-endian) at addr.
+func (m *Memory) Store(addr uint64, size int, v uint64) error {
+	if size == 1 {
+		pg := m.page(addr)
+		if pg == nil {
+			return &Fault{Addr: addr, Kind: FaultUnmapped}
+		}
+		if pg.perm&W == 0 {
+			return &Fault{Addr: addr, Kind: FaultNoWrite}
+		}
+		pg.data[addr&offMask] = byte(v)
+		return nil
+	}
+	for i := 0; i < size; i++ {
+		pg := m.page(addr + uint64(i))
+		if pg == nil {
+			return &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		if pg.perm&W == 0 {
+			return &Fault{Addr: addr + uint64(i), Kind: FaultNoWrite}
+		}
+		pg.data[(addr+uint64(i))&offMask] = byte(v >> (8 * uint(i)))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		pg := m.page(addr + uint64(i))
+		if pg == nil {
+			return nil, &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		if pg.perm&R == 0 {
+			return nil, &Fault{Addr: addr + uint64(i), Kind: FaultNoRead}
+		}
+		out[i] = pg.data[(addr+uint64(i))&offMask]
+	}
+	return out, nil
+}
+
+// WriteBytes writes b starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	for i, c := range b {
+		pg := m.page(addr + uint64(i))
+		if pg == nil {
+			return &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		if pg.perm&W == 0 {
+			return &Fault{Addr: addr + uint64(i), Kind: FaultNoWrite}
+		}
+		pg.data[(addr+uint64(i))&offMask] = c
+	}
+	return nil
+}
+
+// ForceStore writes size bytes (little-endian) ignoring page write
+// permissions (loader use only).
+func (m *Memory) ForceStore(addr uint64, size int, v uint64) error {
+	for i := 0; i < size; i++ {
+		pg := m.page(addr + uint64(i))
+		if pg == nil {
+			return &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		pg.data[(addr+uint64(i))&offMask] = byte(v >> (8 * uint(i)))
+	}
+	return nil
+}
+
+// ForceWrite writes bytes ignoring page write permissions (used by the
+// loader to populate read-only segments, never by program execution).
+func (m *Memory) ForceWrite(addr uint64, b []byte) error {
+	for i, c := range b {
+		pg := m.page(addr + uint64(i))
+		if pg == nil {
+			return &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		pg.data[(addr+uint64(i))&offMask] = c
+	}
+	return nil
+}
+
+// CString reads a NUL-terminated string at addr (bounded at max bytes).
+func (m *Memory) CString(addr uint64, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		v, err := m.Load(addr+uint64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if v == 0 {
+			break
+		}
+		out = append(out, byte(v))
+	}
+	return string(out), nil
+}

@@ -1,0 +1,334 @@
+// Package ast defines the abstract syntax tree for mini-C. Nodes carry type
+// annotations filled in by the sema package.
+package ast
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/minic/token"
+)
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*ctypes.Struct
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (f *File) FuncByName(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Pos    token.Pos
+	Name   string
+	Type   *ctypes.Type
+	Init   Expr // optional
+	Static bool
+
+	// Filled by sema/irgen.
+	FrameIndex  int  // local: index into the function frame; -1 for globals
+	GlobalIndex int  // global: index into the program global table
+	IsGlobal    bool // whether this declares a global
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  token.Pos
+	Name string
+	Type *ctypes.Type
+}
+
+// FuncDecl is a function definition or extern declaration (Body == nil).
+type FuncDecl struct {
+	Pos      token.Pos
+	Name     string
+	Ret      *ctypes.Type
+	Params   []Param
+	Variadic bool
+	Body     *Block // nil for declarations
+
+	// Filled by sema.
+	Index        int  // index in File.Funcs; -1 for builtins
+	AddressTaken bool // name used other than as a direct callee
+	Builtin      bool // implicitly declared library function
+}
+
+// Sig returns the function's type.
+func (f *FuncDecl) Sig() *ctypes.Type {
+	params := make([]*ctypes.Type, len(f.Params))
+	for i := range f.Params {
+		params[i] = f.Params[i].Type
+	}
+	return ctypes.FuncOf(f.Ret, params, f.Variadic)
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Pos   token.Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares one or more local variables sharing a base type
+// (int a = 1, b = 2;). They belong to the enclosing scope.
+type DeclStmt struct{ Decls []*VarDecl }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// If is if/else.
+type If struct {
+	Pos        token.Pos
+	Cond       Expr
+	Then, Else Stmt // Else may be nil
+}
+
+// While is a while loop.
+type While struct {
+	Pos  token.Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do { } while loop.
+type DoWhile struct {
+	Pos  token.Pos
+	Body Stmt
+	Cond Expr
+}
+
+// For is a for loop; any clause may be nil.
+type For struct {
+	Pos  token.Pos
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Return returns from the enclosing function.
+type Return struct {
+	Pos token.Pos
+	X   Expr // nil for void
+}
+
+// Break exits the nearest loop or switch.
+type Break struct{ Pos token.Pos }
+
+// Continue continues the nearest loop.
+type Continue struct{ Pos token.Pos }
+
+// Switch is a C switch over constant integer cases with fallthrough.
+type Switch struct {
+	Pos   token.Pos
+	X     Expr
+	Cases []*Case
+}
+
+// Case is one case (or default) arm of a switch.
+type Case struct {
+	Pos       token.Pos
+	Vals      []Expr // constant expressions; nil => default
+	IsDefault bool
+	Stmts     []Stmt
+}
+
+func (*Block) stmt()    {}
+func (*DeclStmt) stmt() {}
+func (*ExprStmt) stmt() {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*DoWhile) stmt()  {}
+func (*For) stmt()      {}
+func (*Return) stmt()   {}
+func (*Break) stmt()    {}
+func (*Continue) stmt() {}
+func (*Switch) stmt()   {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes. Type() is valid after sema.
+type Expr interface {
+	expr()
+	Type() *ctypes.Type
+	SetType(*ctypes.Type)
+	Position() token.Pos
+}
+
+// base carries the shared type annotation and position.
+type base struct {
+	Pos token.Pos
+	Ty  *ctypes.Type
+}
+
+func (b *base) expr()                  {}
+func (b *base) Type() *ctypes.Type     { return b.Ty }
+func (b *base) SetType(t *ctypes.Type) { b.Ty = t }
+func (b *base) Position() token.Pos    { return b.Pos }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	base
+	Val int64
+}
+
+// StrLit is a string literal; irgen interns it into the rodata segment.
+type StrLit struct {
+	base
+	Val string
+}
+
+// RefKind says what an identifier resolved to.
+type RefKind uint8
+
+// Identifier resolution kinds.
+const (
+	RefUnresolved RefKind = iota
+	RefLocal
+	RefParam
+	RefGlobal
+	RefFunc
+)
+
+// Ident is a name use, resolved by sema.
+type Ident struct {
+	base
+	Name string
+
+	Kind RefKind
+	Decl *VarDecl  // RefLocal / RefGlobal
+	Prm  int       // RefParam: parameter index
+	Fn   *FuncDecl // RefFunc
+}
+
+// UnaryOp enumerates prefix operators.
+type UnaryOp uint8
+
+// Unary operators.
+const (
+	UNeg    UnaryOp = iota // -
+	UNot                   // !
+	UBitNot                // ~
+	UAddr                  // &
+	UDeref                 // *
+	UPreInc                // ++x
+	UPreDec                // --x
+)
+
+// Unary is a prefix operation.
+type Unary struct {
+	base
+	Op UnaryOp
+	X  Expr
+}
+
+// Postfix is x++ / x--.
+type Postfix struct {
+	base
+	Inc bool // true: ++, false: --
+	X   Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Lt
+	Gt
+	Le
+	Ge
+	Eq
+	Ne
+	LAnd // && (short-circuit)
+	LOr  // || (short-circuit)
+)
+
+// Binary is a binary operation.
+type Binary struct {
+	base
+	Op   BinOp
+	X, Y Expr
+}
+
+// Assign is an assignment; Op is the compound operator (Add for +=), with
+// Simple=true for plain '='.
+type Assign struct {
+	base
+	Simple bool
+	Op     BinOp
+	LHS    Expr
+	RHS    Expr
+}
+
+// Call is a function call; direct when Fun is an Ident resolved to RefFunc,
+// otherwise an indirect call through a function pointer.
+type Call struct {
+	base
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is x[i].
+type Index struct {
+	base
+	X, Idx Expr
+}
+
+// Member is x.Name or x->Name.
+type Member struct {
+	base
+	X     Expr
+	Name  string
+	Arrow bool
+
+	Field *ctypes.Field // resolved by sema
+}
+
+// Cast is (T)x.
+type Cast struct {
+	base
+	To *ctypes.Type
+	X  Expr
+}
+
+// SizeofType is sizeof(T); sizeof expr is folded to this by the parser after
+// sema computes the operand type.
+type SizeofType struct {
+	base
+	T *ctypes.Type
+	X Expr // non-nil for sizeof expr before sema folds it
+}
+
+// Cond is c ? t : f.
+type Cond struct {
+	base
+	C, T, F Expr
+}
+
+// InitList is a brace initializer for arrays and structs.
+type InitList struct {
+	base
+	Elems []Expr
+}

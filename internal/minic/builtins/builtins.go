@@ -1,0 +1,145 @@
+// Package builtins declares the mini-C standard library surface: the libc
+// subset the paper's workloads need (memory management, string and memory
+// manipulation, formatted output, setjmp/longjmp) plus the simulator-specific
+// input source used to model attacker-controlled data.
+//
+// The memory-manipulation functions (memcpy, memset, strcpy, ...) are exactly
+// the ones §3.2.2 calls out: they take universal pointer arguments, so the
+// CPI instrumentation must either prove their arguments insensitive or use
+// safe-region-aware variants.
+package builtins
+
+import "repro/internal/ctypes"
+
+// Kind identifies a builtin function in the IR and VM.
+type Kind uint8
+
+// Builtin kinds. Order is stable; the VM dispatches on it.
+const (
+	Invalid Kind = iota
+	Malloc
+	Calloc
+	Free
+	Memcpy
+	Memmove
+	Memset
+	Memcmp
+	Strcpy
+	Strncpy
+	Strcat
+	Strncat
+	Strcmp
+	Strncmp
+	Strlen
+	Sprintf
+	Snprintf
+	Printf
+	Puts
+	Putchar
+	Atoi
+	Abs
+	Rand
+	Srand
+	Exit
+	Abort
+	Setjmp
+	Longjmp
+	ReadInput // read_input(buf, n): copy attacker-controlled bytes
+	InputLen  // input_len(): size of pending attacker input
+	Sscanf
+	Getenv
+	Clock // deterministic virtual cycle counter
+)
+
+// Info describes one builtin.
+type Info struct {
+	Kind Kind
+	Name string
+	Sig  *ctypes.Type
+}
+
+var table []Info
+
+func reg(k Kind, name string, ret *ctypes.Type, variadic bool, params ...*ctypes.Type) {
+	table = append(table, Info{Kind: k, Name: name, Sig: ctypes.FuncOf(ret, params, variadic)})
+}
+
+// registerAll is invoked from the byName initializer so the table is
+// populated before the map is built (package-level variable initializers run
+// before init functions).
+func registerAll() {
+	vp := ctypes.VoidPtr()
+	cp := ctypes.CharPtr()
+	i := ctypes.Int
+	ip := ctypes.PointerTo(ctypes.Int)
+	v := ctypes.Void
+
+	reg(Malloc, "malloc", vp, false, i)
+	reg(Calloc, "calloc", vp, false, i, i)
+	reg(Free, "free", v, false, vp)
+	reg(Memcpy, "memcpy", vp, false, vp, vp, i)
+	reg(Memmove, "memmove", vp, false, vp, vp, i)
+	reg(Memset, "memset", vp, false, vp, i, i)
+	reg(Memcmp, "memcmp", i, false, vp, vp, i)
+	reg(Strcpy, "strcpy", cp, false, cp, cp)
+	reg(Strncpy, "strncpy", cp, false, cp, cp, i)
+	reg(Strcat, "strcat", cp, false, cp, cp)
+	reg(Strncat, "strncat", cp, false, cp, cp, i)
+	reg(Strcmp, "strcmp", i, false, cp, cp)
+	reg(Strncmp, "strncmp", i, false, cp, cp, i)
+	reg(Strlen, "strlen", i, false, cp)
+	reg(Sprintf, "sprintf", i, true, cp, cp)
+	reg(Snprintf, "snprintf", i, true, cp, i, cp)
+	reg(Printf, "printf", i, true, cp)
+	reg(Puts, "puts", i, false, cp)
+	reg(Putchar, "putchar", i, false, i)
+	reg(Atoi, "atoi", i, false, cp)
+	reg(Abs, "abs", i, false, i)
+	reg(Rand, "rand", i, false)
+	reg(Srand, "srand", v, false, i)
+	reg(Exit, "exit", v, false, i)
+	reg(Abort, "abort", v, false)
+	reg(Setjmp, "setjmp", i, false, ip)
+	reg(Longjmp, "longjmp", v, false, ip, i)
+	reg(ReadInput, "read_input", i, false, cp, i)
+	reg(InputLen, "input_len", i, false)
+	reg(Sscanf, "sscanf", i, true, cp, cp)
+	reg(Getenv, "getenv", cp, false, cp)
+	reg(Clock, "clock", i, false)
+}
+
+var byName = func() map[string]Info {
+	registerAll()
+	m := make(map[string]Info, len(table))
+	for _, b := range table {
+		m[b.Name] = b
+	}
+	return m
+}()
+
+// Lookup returns the signature of the named builtin.
+func Lookup(name string) (*ctypes.Type, bool) {
+	b, ok := byName[name]
+	if !ok {
+		return nil, false
+	}
+	return b.Sig, true
+}
+
+// KindOf returns the builtin kind for name, or Invalid.
+func KindOf(name string) Kind {
+	return byName[name].Kind
+}
+
+// Name returns the builtin's C-level name.
+func (k Kind) Name() string {
+	for _, b := range table {
+		if b.Kind == k {
+			return b.Name
+		}
+	}
+	return "<invalid>"
+}
+
+// JmpBufWords is the number of int words a jmp_buf must provide to setjmp.
+const JmpBufWords = 8

@@ -1,0 +1,404 @@
+package sema
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/builtins"
+)
+
+// checkExpr type-checks e and returns its (decayed) value type.
+func (c *checker) checkExpr(e ast.Expr) *ctypes.Type {
+	t := c.exprType(e)
+	d := decay(t)
+	e.SetType(d)
+	return d
+}
+
+// decay converts array types to element pointers and function types to
+// function pointers, per C value semantics.
+func decay(t *ctypes.Type) *ctypes.Type {
+	switch t.Kind {
+	case ctypes.KindArray:
+		return ctypes.PointerTo(t.Elem)
+	case ctypes.KindFunc:
+		return ctypes.PointerTo(t)
+	}
+	return t
+}
+
+// exprType computes the undecayed type of e.
+func (c *checker) exprType(e ast.Expr) *ctypes.Type {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return ctypes.Int
+	case *ast.StrLit:
+		return ctypes.CharPtr()
+	case *ast.Ident:
+		return c.identType(x, false)
+	case *ast.Unary:
+		return c.unaryType(x)
+	case *ast.Postfix:
+		t := c.lvalueType(x.X)
+		if !t.IsInteger() && !t.IsPtr() {
+			c.errf(x.Position(), "cannot increment value of type %s", t)
+		}
+		x.X.SetType(decay(t))
+		return decay(t)
+	case *ast.Binary:
+		return c.binaryType(x)
+	case *ast.Assign:
+		return c.assignType(x)
+	case *ast.Call:
+		return c.callType(x)
+	case *ast.Index:
+		bt := c.checkExpr(x.X)
+		it := c.checkExpr(x.Idx)
+		if !bt.IsPtr() {
+			c.errf(x.Position(), "indexing non-pointer type %s", bt)
+		}
+		if !it.IsInteger() {
+			c.errf(x.Idx.Position(), "array index has type %s", it)
+		}
+		if bt.Elem.IsVoid() || bt.Elem.Kind == ctypes.KindFunc {
+			c.errf(x.Position(), "indexing %s", bt)
+		}
+		return bt.Elem
+	case *ast.Member:
+		return c.memberType(x)
+	case *ast.Cast:
+		ft := c.checkExpr(x.X)
+		c.checkCast(x, ft, x.To)
+		return x.To
+	case *ast.SizeofType:
+		if x.X != nil {
+			// sizeof(expr) uses the undecayed type: sizeof of an array is
+			// the whole array size, per C.
+			t := c.exprType(x.X)
+			x.T = t
+			x.X = nil
+		}
+		if x.T.Kind == ctypes.KindStruct && len(x.T.Struct.Fields) == 0 {
+			c.errf(x.Position(), "sizeof incomplete struct %s", x.T.Struct.Name)
+		}
+		return ctypes.Int
+	case *ast.Cond:
+		c.checkScalar(x.C)
+		tt := c.checkExpr(x.T)
+		ft := c.checkExpr(x.F)
+		if ctypes.Equal(tt, ft) {
+			return tt
+		}
+		if tt.IsInteger() && ft.IsInteger() {
+			return ctypes.Int
+		}
+		if tt.IsPtr() && ft.IsPtr() {
+			return tt
+		}
+		// null pointer constant in either arm
+		if lit, ok := x.T.(*ast.IntLit); ok && lit.Val == 0 && ft.IsPtr() {
+			return ft
+		}
+		if lit, ok := x.F.(*ast.IntLit); ok && lit.Val == 0 && tt.IsPtr() {
+			return tt
+		}
+		c.errf(x.Position(), "incompatible branches %s and %s in ?:", tt, ft)
+	case *ast.InitList:
+		c.errf(x.Position(), "brace initializer outside declaration")
+	}
+	panic("unreachable")
+}
+
+// identType resolves an identifier. When callee is true the use is a direct
+// call and does not mark functions address-taken.
+func (c *checker) identType(x *ast.Ident, callee bool) *ctypes.Type {
+	if c.fn != nil {
+		if d := c.lookupVar(x.Name); d != nil {
+			x.Kind = ast.RefLocal
+			x.Decl = d
+			return d.Type
+		}
+		if i, ok := c.params[x.Name]; ok {
+			x.Kind = ast.RefParam
+			x.Prm = i
+			return c.fn.Params[i].Type
+		}
+	}
+	if d, ok := c.globals[x.Name]; ok {
+		x.Kind = ast.RefGlobal
+		x.Decl = d
+		return d.Type
+	}
+	if fn, ok := c.funcs[x.Name]; ok {
+		x.Kind = ast.RefFunc
+		x.Fn = fn
+		if !callee {
+			fn.AddressTaken = true
+		}
+		return fn.Sig()
+	}
+	if sig, ok := builtins.Lookup(x.Name); ok {
+		fn := c.declareBuiltin(x.Name, sig)
+		x.Kind = ast.RefFunc
+		x.Fn = fn
+		if !callee {
+			fn.AddressTaken = true
+		}
+		return fn.Sig()
+	}
+	c.errf(x.Position(), "undeclared identifier %s", x.Name)
+	return nil
+}
+
+// declareBuiltin registers a builtin prototype in the translation unit the
+// first time it is referenced.
+func (c *checker) declareBuiltin(name string, sig *ctypes.Type) *ast.FuncDecl {
+	if fn, ok := c.funcs[name]; ok {
+		return fn
+	}
+	fn := &ast.FuncDecl{
+		Name:     name,
+		Ret:      sig.Sig.Ret,
+		Variadic: sig.Sig.Variadic,
+		Builtin:  true,
+		Index:    -1,
+	}
+	for _, pt := range sig.Sig.Params {
+		fn.Params = append(fn.Params, ast.Param{Name: "", Type: pt})
+	}
+	c.funcs[name] = fn
+	return fn
+}
+
+// lvalueType checks that e is an lvalue and returns its undecayed type.
+func (c *checker) lvalueType(e ast.Expr) *ctypes.Type {
+	switch x := e.(type) {
+	case *ast.Ident:
+		t := c.identType(x, false)
+		if x.Kind == ast.RefFunc {
+			c.errf(x.Position(), "function %s is not an lvalue", x.Name)
+		}
+		x.SetType(decay(t))
+		return t
+	case *ast.Unary:
+		if x.Op == ast.UDeref {
+			pt := c.checkExpr(x.X)
+			if !pt.IsPtr() {
+				c.errf(x.Position(), "dereferencing non-pointer %s", pt)
+			}
+			if pt.Elem.IsVoid() {
+				c.errf(x.Position(), "dereferencing void*")
+			}
+			if pt.Elem.Kind == ctypes.KindFunc {
+				c.errf(x.Position(), "function designator is not an lvalue")
+			}
+			x.SetType(decay(pt.Elem))
+			return pt.Elem
+		}
+	case *ast.Index:
+		t := c.exprType(x)
+		x.SetType(decay(t))
+		return t
+	case *ast.Member:
+		t := c.memberType(x)
+		x.SetType(decay(t))
+		return t
+	}
+	c.errf(e.Position(), "expression is not an lvalue")
+	return nil
+}
+
+func (c *checker) unaryType(x *ast.Unary) *ctypes.Type {
+	switch x.Op {
+	case ast.UNeg, ast.UBitNot:
+		t := c.checkExpr(x.X)
+		if !t.IsInteger() {
+			c.errf(x.Position(), "unary operator on %s", t)
+		}
+		return ctypes.Int
+	case ast.UNot:
+		c.checkScalar(x.X)
+		return ctypes.Int
+	case ast.UAddr:
+		// &func is a function pointer.
+		if id, ok := x.X.(*ast.Ident); ok {
+			t := c.identType(id, false)
+			if id.Kind == ast.RefFunc {
+				id.SetType(decay(t))
+				return decay(t)
+			}
+			id.SetType(decay(t))
+			return ctypes.PointerTo(t)
+		}
+		t := c.lvalueType(x.X)
+		return ctypes.PointerTo(t)
+	case ast.UDeref:
+		pt := c.checkExpr(x.X)
+		if !pt.IsPtr() {
+			c.errf(x.Position(), "dereferencing non-pointer %s", pt)
+		}
+		if pt.Elem.IsVoid() {
+			c.errf(x.Position(), "dereferencing void*")
+		}
+		// *fptr is the function designator; it decays right back.
+		if pt.Elem.Kind == ctypes.KindFunc {
+			return pt
+		}
+		return pt.Elem
+	case ast.UPreInc, ast.UPreDec:
+		t := c.lvalueType(x.X)
+		if !t.IsInteger() && !t.IsPtr() {
+			c.errf(x.Position(), "cannot increment %s", t)
+		}
+		x.X.SetType(decay(t))
+		return decay(t)
+	}
+	panic("unreachable")
+}
+
+func (c *checker) binaryType(x *ast.Binary) *ctypes.Type {
+	lt := c.checkExpr(x.X)
+	rt := c.checkExpr(x.Y)
+	switch x.Op {
+	case ast.Add:
+		if lt.IsPtr() && rt.IsInteger() {
+			c.checkArith(x, lt)
+			return lt
+		}
+		if lt.IsInteger() && rt.IsPtr() {
+			c.checkArith(x, rt)
+			return rt
+		}
+	case ast.Sub:
+		if lt.IsPtr() && rt.IsInteger() {
+			c.checkArith(x, lt)
+			return lt
+		}
+		if lt.IsPtr() && rt.IsPtr() {
+			return ctypes.Int // pointer difference
+		}
+	case ast.Eq, ast.Ne, ast.Lt, ast.Gt, ast.Le, ast.Ge:
+		if (lt.IsPtr() || lt.IsInteger()) && (rt.IsPtr() || rt.IsInteger()) {
+			return ctypes.Int
+		}
+	case ast.LAnd, ast.LOr:
+		if (lt.IsPtr() || lt.IsInteger()) && (rt.IsPtr() || rt.IsInteger()) {
+			return ctypes.Int
+		}
+	}
+	if lt.IsInteger() && rt.IsInteger() {
+		return ctypes.Int
+	}
+	c.errf(x.Position(), "invalid operands to binary op: %s and %s", lt, rt)
+	return nil
+}
+
+// checkArith rejects arithmetic on pointers whose element size is unknown.
+func (c *checker) checkArith(x *ast.Binary, pt *ctypes.Type) {
+	if pt.Elem.Kind == ctypes.KindFunc {
+		c.errf(x.Position(), "arithmetic on function pointer")
+	}
+	if pt.Elem.Kind == ctypes.KindStruct && len(pt.Elem.Struct.Fields) == 0 {
+		c.errf(x.Position(), "arithmetic on pointer to incomplete struct %s",
+			pt.Elem.Struct.Name)
+	}
+}
+
+func (c *checker) assignType(x *ast.Assign) *ctypes.Type {
+	lt := c.lvalueType(x.LHS)
+	if lt.Kind == ctypes.KindArray {
+		c.errf(x.Position(), "assignment to array")
+	}
+	if lt.Kind == ctypes.KindStruct {
+		c.errf(x.Position(), "struct assignment by value is not supported (use memcpy)")
+	}
+	x.LHS.SetType(decay(lt))
+	rt := c.checkExpr(x.RHS)
+	if x.Simple {
+		c.convert(x.Position(), x.RHS, rt, lt)
+		return lt
+	}
+	// Compound: lhs op rhs must be valid.
+	switch {
+	case lt.IsInteger() && rt.IsInteger():
+	case lt.IsPtr() && rt.IsInteger() && (x.Op == ast.Add || x.Op == ast.Sub):
+		if lt.Elem.Kind == ctypes.KindFunc {
+			c.errf(x.Position(), "arithmetic on function pointer")
+		}
+	default:
+		c.errf(x.Position(), "invalid compound assignment: %s and %s", lt, rt)
+	}
+	return lt
+}
+
+func (c *checker) callType(x *ast.Call) *ctypes.Type {
+	var sig *ctypes.Sig
+	if id, ok := x.Fun.(*ast.Ident); ok {
+		t := c.identType(id, true)
+		switch {
+		case id.Kind == ast.RefFunc:
+			sig = t.Sig
+			id.SetType(decay(t))
+		case t.IsFuncPtr():
+			sig = t.Elem.Sig
+			id.SetType(t)
+		default:
+			c.errf(x.Position(), "called object %s has type %s", id.Name, t)
+		}
+	} else {
+		t := c.checkExpr(x.Fun)
+		if !t.IsFuncPtr() {
+			c.errf(x.Position(), "called expression has type %s", t)
+		}
+		sig = t.Elem.Sig
+	}
+	if len(x.Args) < len(sig.Params) ||
+		(len(x.Args) > len(sig.Params) && !sig.Variadic) {
+		c.errf(x.Position(), "wrong number of arguments: got %d, want %d",
+			len(x.Args), len(sig.Params))
+	}
+	for i, a := range x.Args {
+		at := c.checkExpr(a)
+		if i < len(sig.Params) {
+			c.convert(a.Position(), a, at, sig.Params[i])
+		}
+	}
+	return sig.Ret
+}
+
+func (c *checker) memberType(x *ast.Member) *ctypes.Type {
+	var st *ctypes.Type
+	if x.Arrow {
+		t := c.checkExpr(x.X)
+		if !t.IsPtr() || t.Elem.Kind != ctypes.KindStruct {
+			c.errf(x.Position(), "-> on non-struct-pointer %s", t)
+		}
+		st = t.Elem
+	} else {
+		t := c.lvalueType(x.X)
+		if t.Kind != ctypes.KindStruct {
+			c.errf(x.Position(), ". on non-struct %s", t)
+		}
+		x.X.SetType(t)
+		st = t
+	}
+	if len(st.Struct.Fields) == 0 {
+		c.errf(x.Position(), "member access on incomplete struct %s", st.Struct.Name)
+	}
+	f := st.Struct.FieldByName(x.Name)
+	if f == nil {
+		c.errf(x.Position(), "struct %s has no member %s", st.Struct.Name, x.Name)
+	}
+	x.Field = f
+	return f.Type
+}
+
+// checkCast validates explicit casts: scalar-to-scalar only.
+func (c *checker) checkCast(x *ast.Cast, from, to *ctypes.Type) {
+	scalar := func(t *ctypes.Type) bool { return t.IsInteger() || t.IsPtr() }
+	if to.IsVoid() {
+		return // (void)expr discards
+	}
+	if !scalar(from) || !scalar(to) {
+		c.errf(x.Position(), "invalid cast from %s to %s", from, to)
+	}
+}

@@ -1,0 +1,370 @@
+// Package sema implements semantic analysis for mini-C: name resolution,
+// type checking, implicit conversions, lvalue analysis, builtin function
+// resolution, and the address-taken marking that CPS/CFI rely on.
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/token"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Check type-checks the file in place and returns the first error, if any.
+// On success every expression node carries its type, identifiers are
+// resolved, functions have Index set, and address-taken functions are
+// marked.
+func Check(f *ast.File) error {
+	c := &checker{
+		unit:    f,
+		globals: map[string]*ast.VarDecl{},
+		funcs:   map[string]*ast.FuncDecl{},
+	}
+	return c.run()
+}
+
+type checker struct {
+	unit    *ast.File
+	globals map[string]*ast.VarDecl
+	funcs   map[string]*ast.FuncDecl
+
+	fn        *ast.FuncDecl // current function
+	scopes    []map[string]*ast.VarDecl
+	params    map[string]int
+	loopDepth int
+	swDepth   int
+	frame     int // next local frame index
+}
+
+type bail struct{ err error }
+
+func (c *checker) errf(pos token.Pos, format string, args ...any) {
+	panic(bail{&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}})
+}
+
+func (c *checker) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(bail); ok {
+				err = b.err
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Register functions first (mutual recursion), merging prototypes with
+	// definitions.
+	var defs []*ast.FuncDecl
+	for _, fn := range c.unit.Funcs {
+		prev, seen := c.funcs[fn.Name]
+		if seen {
+			if prev.Body != nil && fn.Body != nil {
+				c.errf(fn.Pos, "function %s redefined", fn.Name)
+			}
+			if !ctypes.Equal(prev.Sig(), fn.Sig()) {
+				c.errf(fn.Pos, "conflicting declarations of %s: %s vs %s",
+					fn.Name, prev.Sig(), fn.Sig())
+			}
+			if fn.Body != nil {
+				prev.Body = fn.Body
+				prev.Params = fn.Params
+			}
+			continue
+		}
+		c.funcs[fn.Name] = fn
+		defs = append(defs, fn)
+	}
+	c.unit.Funcs = defs
+	for i, fn := range c.unit.Funcs {
+		fn.Index = i
+	}
+
+	for i, g := range c.unit.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			c.errf(g.Pos, "global %s redeclared", g.Name)
+		}
+		if _, dup := c.funcs[g.Name]; dup {
+			c.errf(g.Pos, "%s declared as both function and variable", g.Name)
+		}
+		c.checkComplete(g.Pos, g.Type)
+		c.globals[g.Name] = g
+		g.GlobalIndex = i
+		g.FrameIndex = -1
+		if g.Init != nil {
+			c.checkInit(g.Type, g.Init)
+		}
+	}
+
+	for _, fn := range c.unit.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		c.checkFunc(fn)
+	}
+	return nil
+}
+
+// checkComplete rejects variables of incomplete (opaque struct, void,
+// function) type.
+func (c *checker) checkComplete(pos token.Pos, t *ctypes.Type) {
+	switch t.Kind {
+	case ctypes.KindVoid:
+		c.errf(pos, "variable of void type")
+	case ctypes.KindFunc:
+		c.errf(pos, "variable of function type (use a pointer)")
+	case ctypes.KindStruct:
+		if len(t.Struct.Fields) == 0 {
+			c.errf(pos, "variable of incomplete type struct %s", t.Struct.Name)
+		}
+	case ctypes.KindArray:
+		if t.Len == 0 {
+			c.errf(pos, "array of unknown size")
+		}
+		c.checkComplete(pos, t.Elem)
+	}
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	c.fn = fn
+	c.frame = 0
+	c.params = map[string]int{}
+	if fn.Ret.Kind == ctypes.KindStruct {
+		c.errf(fn.Pos, "%s: struct return by value is not supported (return a pointer)", fn.Name)
+	}
+	for i, p := range fn.Params {
+		if p.Name == "" {
+			c.errf(fn.Pos, "parameter %d of %s has no name", i, fn.Name)
+		}
+		if p.Type.Kind == ctypes.KindStruct {
+			c.errf(p.Pos, "struct parameter %s by value is not supported (pass a pointer)", p.Name)
+		}
+		if _, dup := c.params[p.Name]; dup {
+			c.errf(p.Pos, "duplicate parameter %s", p.Name)
+		}
+		c.params[p.Name] = i
+	}
+	c.scopes = []map[string]*ast.VarDecl{{}}
+	c.checkBlock(fn.Body)
+	c.scopes = nil
+	c.fn = nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*ast.VarDecl{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declareLocal(d *ast.VarDecl) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		c.errf(d.Pos, "variable %s redeclared in this scope", d.Name)
+	}
+	c.checkComplete(d.Pos, d.Type)
+	d.FrameIndex = c.frame
+	c.frame++
+	top[d.Name] = d
+}
+
+func (c *checker) lookupVar(name string) *ast.VarDecl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *ast.Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.Block:
+		c.checkBlock(st)
+	case *ast.DeclStmt:
+		for _, d := range st.Decls {
+			c.declareLocal(d)
+			if d.Init != nil {
+				c.checkInit(d.Type, d.Init)
+			}
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(st.X)
+	case *ast.If:
+		c.checkScalar(st.Cond)
+		c.checkStmt(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *ast.While:
+		c.checkScalar(st.Cond)
+		c.loopDepth++
+		c.checkStmt(st.Body)
+		c.loopDepth--
+	case *ast.DoWhile:
+		c.loopDepth++
+		c.checkStmt(st.Body)
+		c.loopDepth--
+		c.checkScalar(st.Cond)
+	case *ast.For:
+		c.pushScope()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.checkScalar(st.Cond)
+		}
+		if st.Post != nil {
+			c.checkExpr(st.Post)
+		}
+		c.loopDepth++
+		c.checkStmt(st.Body)
+		c.loopDepth--
+		c.popScope()
+	case *ast.Return:
+		ret := c.fn.Ret
+		if st.X == nil {
+			if !ret.IsVoid() {
+				c.errf(st.Pos, "%s: return without value", c.fn.Name)
+			}
+			return
+		}
+		if ret.IsVoid() {
+			c.errf(st.Pos, "%s: return value in void function", c.fn.Name)
+		}
+		t := c.checkExpr(st.X)
+		c.convert(st.Pos, st.X, t, ret)
+	case *ast.Break:
+		if c.loopDepth == 0 && c.swDepth == 0 {
+			c.errf(st.Pos, "break outside loop or switch")
+		}
+	case *ast.Continue:
+		if c.loopDepth == 0 {
+			c.errf(st.Pos, "continue outside loop")
+		}
+	case *ast.Switch:
+		t := c.checkExpr(st.X)
+		if !t.IsInteger() {
+			c.errf(st.Pos, "switch on non-integer %s", t)
+		}
+		seen := map[int64]bool{}
+		hasDefault := false
+		for _, cs := range st.Cases {
+			if cs.IsDefault {
+				if hasDefault {
+					c.errf(cs.Pos, "duplicate default case")
+				}
+				hasDefault = true
+			}
+			for _, v := range cs.Vals {
+				val := v.(*ast.IntLit).Val
+				if seen[val] {
+					c.errf(cs.Pos, "duplicate case %d", val)
+				}
+				seen[val] = true
+			}
+		}
+		c.swDepth++
+		c.pushScope()
+		for _, cs := range st.Cases {
+			for _, s2 := range cs.Stmts {
+				c.checkStmt(s2)
+			}
+		}
+		c.popScope()
+		c.swDepth--
+	default:
+		panic(fmt.Sprintf("sema: unknown stmt %T", s))
+	}
+}
+
+// checkScalar checks a condition expression (int or pointer).
+func (c *checker) checkScalar(e ast.Expr) {
+	t := c.checkExpr(e)
+	if !t.IsInteger() && !t.IsPtr() {
+		c.errf(e.Position(), "condition has non-scalar type %s", t)
+	}
+}
+
+// checkInit checks an initializer against the declared type, including brace
+// lists for arrays and structs.
+func (c *checker) checkInit(want *ctypes.Type, init ast.Expr) {
+	if lst, ok := init.(*ast.InitList); ok {
+		lst.SetType(want)
+		switch want.Kind {
+		case ctypes.KindArray:
+			if int64(len(lst.Elems)) > want.Len {
+				c.errf(lst.Position(), "too many initializers (%d) for %s",
+					len(lst.Elems), want)
+			}
+			for _, e := range lst.Elems {
+				c.checkInit(want.Elem, e)
+			}
+		case ctypes.KindStruct:
+			if len(lst.Elems) > len(want.Struct.Fields) {
+				c.errf(lst.Position(), "too many initializers for %s", want)
+			}
+			for i, e := range lst.Elems {
+				c.checkInit(want.Struct.Fields[i].Type, e)
+			}
+		default:
+			c.errf(lst.Position(), "brace initializer for scalar type %s", want)
+		}
+		return
+	}
+	// char array initialized by string literal.
+	if s, ok := init.(*ast.StrLit); ok && want.Kind == ctypes.KindArray &&
+		want.Elem.Kind == ctypes.KindChar {
+		if int64(len(s.Val))+1 > want.Len {
+			c.errf(s.Position(), "string %q too long for %s", s.Val, want)
+		}
+		return
+	}
+	t := c.checkExpr(init)
+	c.convert(init.Position(), init, t, want)
+}
+
+// convert checks that a value of type 'from' is assignable to 'to'
+// (mini-C's implicit conversion rules; everything else needs a cast).
+func (c *checker) convert(pos token.Pos, e ast.Expr, from, to *ctypes.Type) {
+	if c.assignable(e, from, to) {
+		return
+	}
+	c.errf(pos, "cannot convert %s to %s without a cast", from, to)
+}
+
+func (c *checker) assignable(e ast.Expr, from, to *ctypes.Type) bool {
+	if ctypes.Equal(from, to) {
+		return true
+	}
+	// int <-> char freely.
+	if from.IsInteger() && to.IsInteger() {
+		return true
+	}
+	// Literal 0 is the null pointer constant.
+	if lit, ok := e.(*ast.IntLit); ok && lit.Val == 0 && to.IsPtr() {
+		return true
+	}
+	// Any pointer converts to/from void*; char* accepts any pointer
+	// implicitly too (mini-C is slightly laxer than ISO C here — the
+	// paper's char* universal-pointer handling needs this pattern).
+	if from.IsPtr() && to.IsPtr() {
+		if to.IsUniversalPtr() || from.IsUniversalPtr() {
+			return true
+		}
+	}
+	return false
+}

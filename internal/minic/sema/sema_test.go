@@ -1,0 +1,294 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+)
+
+func check(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(f); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return f
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	err = Check(f)
+	if err == nil {
+		t.Fatalf("no error, want %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestResolveLocalsParamsGlobals(t *testing.T) {
+	f := check(t, `
+int g = 1;
+int add(int a, int b) {
+	int s = a + b + g;
+	return s;
+}
+`)
+	fn := f.Funcs[0]
+	ret := fn.Body.Stmts[1].(*ast.Return)
+	id := ret.X.(*ast.Ident)
+	if id.Kind != ast.RefLocal || id.Decl.Name != "s" {
+		t.Errorf("s resolved to %v", id.Kind)
+	}
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt).Decls[0]
+	if decl.FrameIndex != 0 {
+		t.Errorf("frame index = %d", decl.FrameIndex)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	f := check(t, `
+int x = 1;
+int fn(void) {
+	int x = 2;
+	{ int x = 3; x++; }
+	return x;
+}
+`)
+	ret := f.Funcs[0].Body.Stmts[2].(*ast.Return)
+	id := ret.X.(*ast.Ident)
+	if id.Kind != ast.RefLocal || id.Decl.FrameIndex != 0 {
+		t.Errorf("inner x resolved wrong: kind=%v frame=%d", id.Kind, id.Decl.FrameIndex)
+	}
+}
+
+func TestArrayDecay(t *testing.T) {
+	f := check(t, `
+int sum(int *p, int n) { return p[n-1]; }
+int fn(void) {
+	int a[4];
+	a[0] = 1;
+	return sum(a, 4);
+}
+`)
+	call := f.Funcs[1].Body.Stmts[2].(*ast.Return).X.(*ast.Call)
+	if got := call.Args[0].Type(); got.String() != "int*" {
+		t.Errorf("array arg decayed to %s, want int*", got)
+	}
+}
+
+func TestFunctionAddressTaken(t *testing.T) {
+	f := check(t, `
+int cb(int x) { return x; }
+int direct(int x) { return x; }
+int use(void) {
+	int (*p)(int) = cb;
+	direct(1);
+	return p(2) + (&cb == p);
+}
+`)
+	if !f.FuncByName("cb").AddressTaken {
+		t.Error("cb must be address-taken")
+	}
+	if f.FuncByName("direct").AddressTaken {
+		t.Error("direct must not be address-taken (only called directly)")
+	}
+}
+
+func TestPrototypeMerging(t *testing.T) {
+	f := check(t, `
+int twice(int x);
+int use(void) { return twice(21); }
+int twice(int x) { return x * 2; }
+`)
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want prototype merged", len(f.Funcs))
+	}
+	if f.FuncByName("twice").Body == nil {
+		t.Error("merged prototype lost its body")
+	}
+}
+
+func TestBuiltinsResolved(t *testing.T) {
+	f := check(t, `
+void fn(char *dst, char *src) {
+	char buf[16];
+	strcpy(buf, src);
+	memcpy(dst, buf, strlen(buf));
+	void *p = malloc(64);
+	memset(p, 0, 64);
+	free(p);
+	printf("%s %d\n", buf, 42);
+}
+`)
+	found := false
+	for name, want := range map[string]bool{"strcpy": true} {
+		_ = want
+		for _, fn := range []string{name} {
+			_ = fn
+		}
+	}
+	_ = found
+	// The builtins are registered in the checker's function table but not
+	// appended to f.Funcs; calls resolve to Builtin FuncDecls.
+	call := f.Funcs[0].Body.Stmts[1].(*ast.ExprStmt).X.(*ast.Call)
+	id := call.Fun.(*ast.Ident)
+	if id.Kind != ast.RefFunc || !id.Fn.Builtin || id.Fn.Name != "strcpy" {
+		t.Errorf("strcpy resolved to %+v", id)
+	}
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	check(t, `
+void fn(int *p, char *c) {
+	int *q = p + 3;
+	int d = q - p;
+	c = c + d;
+	p += 1;
+}
+`)
+	checkErr(t, `void fn(void (*f)(void)) { f = f + 1; }`,
+		"arithmetic on function pointer")
+}
+
+func TestConversions(t *testing.T) {
+	check(t, `
+void fn(void) {
+	void *v = 0;
+	int *p = 0;
+	v = p;            // any ptr -> void*
+	char *c = v;      // void* -> any ptr
+	int x = 'a';      // char -> int
+	char ch = x;      // int -> char
+	p = (int *)c;     // explicit
+	x = (int)p;       // ptr -> int explicit
+	p = (int *)x;     // int -> ptr explicit
+}
+`)
+	checkErr(t, `void fn(int *p, char *c) { int x; x = p; }`, "cannot convert")
+	checkErr(t, `void fn(int x) { int *p = x; }`, "cannot convert")
+	checkErr(t, `struct s { int x; }; void fn(void) { struct s a; int y = (int)a; }`,
+		"invalid cast")
+}
+
+func TestStructMemberAccess(t *testing.T) {
+	f := check(t, `
+struct vt { int (*get)(void); };
+struct obj { struct vt *v; int n; };
+int fn(struct obj *o) {
+	struct obj o2;
+	o->n = 1;
+	o2.n = 2;
+	return o->v->get() + o2.n;
+}
+`)
+	_ = f
+	checkErr(t, `struct s { int x; }; void fn(struct s v) {}`,
+		"struct parameter")
+	checkErr(t, `struct s { int x; }; void fn(void) { struct s a; struct s b; a = b; }`,
+		"struct assignment")
+	checkErr(t, `struct s { int x; }; int fn(struct s *p) { return p->y; }`,
+		"no member y")
+	checkErr(t, `int fn(int *p) { return p->x; }`, "-> on non-struct-pointer")
+}
+
+func TestCallChecking(t *testing.T) {
+	checkErr(t, `int f(int a) { return a; } int g(void) { return f(); }`,
+		"wrong number of arguments")
+	checkErr(t, `int f(int a) { return a; } int g(void) { return f(1, 2); }`,
+		"wrong number of arguments")
+	check(t, `int g(void) { printf("%d %d", 1, 2); printf("x"); return 0; }`)
+	checkErr(t, `int g(int x) { return x(); }`, "called object")
+}
+
+func TestReturnChecking(t *testing.T) {
+	checkErr(t, `int f(void) { return; }`, "return without value")
+	checkErr(t, `void f(void) { return 1; }`, "return value in void function")
+	check(t, `void f(void) { return; }`)
+}
+
+func TestBreakContinuePlacement(t *testing.T) {
+	checkErr(t, `void f(void) { break; }`, "break outside")
+	checkErr(t, `void f(void) { continue; }`, "continue outside")
+	check(t, `void f(void) { while (1) { if (1) break; continue; } }`)
+	check(t, `void f(int x) { switch (x) { case 1: break; } }`)
+}
+
+func TestSwitchChecks(t *testing.T) {
+	checkErr(t, `void f(int x) { switch (x) { case 1: case 1: break; } }`,
+		"duplicate case")
+	checkErr(t, `void f(int *p) { switch (p) { case 1: break; } }`,
+		"switch on non-integer")
+	checkErr(t, `void f(int x) { switch (x) { default: break; default: break; } }`,
+		"duplicate default")
+}
+
+func TestIncompleteTypes(t *testing.T) {
+	checkErr(t, `struct s; struct s g;`, "incomplete")
+	check(t, `struct s; struct s *g;`) // pointer to opaque is fine
+	checkErr(t, `void g;`, "void type")
+	checkErr(t, `struct s; int f(struct s *p) { return sizeof(struct s); }`,
+		"incomplete")
+}
+
+func TestRedeclaration(t *testing.T) {
+	checkErr(t, `int x; int x;`, "redeclared")
+	checkErr(t, `int f(void) { int x; int x; return 0; }`, "redeclared")
+	check(t, `int f(void) { int x; { int x; x = 1; } return x; }`)
+	checkErr(t, `int f(void) { return 0; } int f(void) { return 1; }`, "redefined")
+	checkErr(t, `int f(int); int f(char);`, "conflicting")
+	checkErr(t, `int x; int x(void) { return 0; }`, "both function and variable")
+}
+
+func TestLvalueChecks(t *testing.T) {
+	checkErr(t, `void f(void) { 1 = 2; }`, "not an lvalue")
+	checkErr(t, `int g(void) { return 0; } void f(void) { g = g; }`, "not an lvalue")
+	// Array parameters adjust to pointers, so assigning to them is legal;
+	// assigning to a true local array is not.
+	check(t, `void f(int a[3]) { int b[3]; b[0] = 0; a = b; }`)
+	checkErr(t, `void f(void) { int b[3]; int c[3]; b = c; }`, "assignment to array")
+}
+
+func TestVoidDeref(t *testing.T) {
+	checkErr(t, `void f(void *p) { *p = 1; }`, "void*")
+}
+
+func TestSensitiveTypesSurviveSema(t *testing.T) {
+	f := check(t, `
+struct handler { void (*fn)(int); int prio; };
+struct handler table[4];
+void reg(int i, void (*h)(int)) { table[i].fn = h; }
+`)
+	g := f.Globals[0]
+	if !ctypes.Sensitive(g.Type) {
+		t.Error("handler table should be sensitive")
+	}
+	// The assignment target type must be a function pointer.
+	as := f.Funcs[0].Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign)
+	if !as.LHS.Type().IsFuncPtr() {
+		t.Errorf("LHS type = %s", as.LHS.Type())
+	}
+}
+
+func TestCondExprTypes(t *testing.T) {
+	check(t, `
+int f(int c, int *a, int *b) {
+	int *p = c ? a : b;
+	int x = c ? 1 : 2;
+	char *s = c ? "a" : "b";
+	return *p + x + s[0];
+}
+`)
+	checkErr(t, `struct s {int x;}; void f(int c, struct s *p, int *q) { c ? *p : *q; }`,
+		"incompatible branches")
+}

@@ -1,0 +1,165 @@
+// Package token defines the lexical tokens of mini-C and source positions.
+package token
+
+import "fmt"
+
+// Kind is a lexical token kind.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	CharLit
+	StringLit
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwVoid
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwSwitch
+	KwCase
+	KwDefault
+	KwGoto
+	KwStatic
+	KwConst
+	KwUnsigned
+	KwLong
+	KwExtern
+	KwTypedef
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Dot
+	Arrow
+	Ellipsis
+	Colon
+	Question
+
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Not
+	Shl
+	Shr
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	PlusPlus
+	MinusMinus
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign
+	PipeAssign
+	CaretAssign
+	ShlAssign
+	ShrAssign
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer", CharLit: "char",
+	StringLit: "string",
+	KwInt:     "int", KwChar: "char", KwVoid: "void", KwStruct: "struct",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for", KwDo: "do",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	KwSizeof: "sizeof", KwSwitch: "switch", KwCase: "case",
+	KwDefault: "default", KwGoto: "goto", KwStatic: "static",
+	KwConst: "const", KwUnsigned: "unsigned", KwLong: "long",
+	KwExtern: "extern", KwTypedef: "typedef",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Ellipsis: "...", Colon: ":", Question: "?",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Not: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+	PlusPlus: "++", MinusMinus: "--",
+	PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=",
+	PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "void": KwVoid, "struct": KwStruct,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor, "do": KwDo,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"sizeof": KwSizeof, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "goto": KwGoto, "static": KwStatic,
+	"const": KwConst, "unsigned": KwUnsigned, "long": KwLong,
+	"extern": KwExtern, "typedef": KwTypedef,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexed token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier spelling, literal text
+	Val  int64  // IntLit/CharLit value
+	Str  string // StringLit decoded value
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case IntLit:
+		return fmt.Sprintf("integer %d", t.Val)
+	case StringLit:
+		return fmt.Sprintf("string %q", t.Str)
+	case CharLit:
+		return fmt.Sprintf("char %q", rune(t.Val))
+	}
+	return t.Kind.String()
+}

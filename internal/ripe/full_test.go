@@ -1,0 +1,66 @@
+package ripe
+
+import "testing"
+
+// TestPaperNumbersFullMatrix runs the complete §5.1 experiment for the
+// headline defenses: CPS and CPI must prevent every single one of the 741
+// feasible attack forms, and the unprotected system must fall to the
+// overwhelming majority. This is the paper's central security result
+// ("Levee deterministically prevents all attacks, both in CPS and CPI
+// mode"). Slow (~25 s); skipped under -short.
+func TestPaperNumbersFullMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 741-attack matrix; run without -short")
+	}
+	for _, tc := range []struct {
+		defense string
+		check   func(*SuiteResult) error
+	}{
+		{"none", nil},
+		{"cps", nil},
+		{"cpi", nil},
+	} {
+		d, err := DefenseByName(tc.defense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := RunSuite(d, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch tc.defense {
+		case "none":
+			if pct := 100 * sr.Succeeded / sr.Total; pct < 80 {
+				t.Errorf("unprotected: only %d%% of attacks succeed (want ~90%%)", pct)
+			}
+		case "cps", "cpi":
+			if sr.Succeeded != 0 {
+				for _, r := range sr.Results {
+					if r.Outcome == Success {
+						t.Errorf("%s breached by %s (%v)", tc.defense, r.Attack, r.Trap)
+					}
+				}
+			}
+		}
+		t.Logf("%s: %d/%d succeeded, %d prevented, %d failed",
+			tc.defense, sr.Succeeded, sr.Total, sr.Prevented, sr.Failed)
+	}
+}
+
+// TestSafeStackFullMatrixStackSubset: the paper's safe-stack claim on the
+// full matrix — no return-address attack ever succeeds.
+func TestSafeStackFullMatrixStackSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix; run without -short")
+	}
+	d, _ := DefenseByName("safestack")
+	sr, err := RunSuite(d, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sr.Results {
+		if r.Attack.Target == Ret && r.Outcome == Success {
+			t.Errorf("safestack: ret attack succeeded: %s", r.Attack)
+		}
+	}
+}

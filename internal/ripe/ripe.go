@@ -1,0 +1,183 @@
+// Package ripe implements a RIPE-style runtime intrusion prevention
+// evaluator (Wilander et al., ACSAC'11), the benchmark of §5.1. It
+// enumerates control-flow hijack attacks along the same five dimensions as
+// RIPE — technique, location of the overflowed buffer, target code pointer,
+// attack payload, and abused function — generates a concrete vulnerable
+// mini-C program for each feasible combination, mounts the attack against a
+// chosen defense configuration, and classifies the outcome.
+package ripe
+
+import "fmt"
+
+// Technique is the corruption technique dimension.
+type Technique uint8
+
+// Techniques: direct contiguous overflow from a buffer into the target, or
+// indirect corruption through an attacker-controlled pointer (a
+// write-what-where primitive, which also implies an information leak — the
+// same bug class grants reads).
+const (
+	Direct Technique = iota
+	Indirect
+)
+
+var techniqueNames = [...]string{"direct", "indirect"}
+
+func (t Technique) String() string { return techniqueNames[t] }
+
+// Location is the region hosting the overflowed buffer / target.
+type Location uint8
+
+// Locations.
+const (
+	Stack Location = iota
+	Heap
+	BSS
+	Data
+)
+
+var locationNames = [...]string{"stack", "heap", "bss", "data"}
+
+func (l Location) String() string { return locationNames[l] }
+
+// Target is the code pointer under attack.
+type Target uint8
+
+// Targets. FuncPtr* are direct code pointers; StructFuncPtr* are objects
+// whose vtable-style pointer chain leads to a code pointer; LongjmpBuf* are
+// setjmp buffers (implicitly created code pointers, §3.2.1); Ret is the
+// saved return address.
+const (
+	Ret Target = iota
+	FuncPtrStackVar
+	FuncPtrHeap
+	FuncPtrBSS
+	FuncPtrData
+	StructFuncPtrStack
+	StructFuncPtrHeap
+	StructFuncPtrBSS
+	StructFuncPtrData
+	LongjmpBufStack
+	LongjmpBufHeap
+	LongjmpBufBSS
+	LongjmpBufData
+)
+
+var targetNames = [...]string{
+	"ret", "funcptrstackvar", "funcptrheap", "funcptrbss", "funcptrdata",
+	"structfuncptrstack", "structfuncptrheap", "structfuncptrbss",
+	"structfuncptrdata", "longjmpbufstack", "longjmpbufheap",
+	"longjmpbufbss", "longjmpbufdata",
+}
+
+func (t Target) String() string { return targetNames[t] }
+
+// region returns the location hosting the target.
+func (t Target) region() Location {
+	switch t {
+	case Ret, FuncPtrStackVar, StructFuncPtrStack, LongjmpBufStack:
+		return Stack
+	case FuncPtrHeap, StructFuncPtrHeap, LongjmpBufHeap:
+		return Heap
+	case FuncPtrBSS, StructFuncPtrBSS, LongjmpBufBSS:
+		return BSS
+	default:
+		return Data
+	}
+}
+
+// Payload is the attack-code dimension.
+type Payload uint8
+
+// Payloads: injected shellcode (requires executable data), reuse of an
+// existing dangerous function (return-to-libc), or a gadget chain start
+// address (ROP/JOP).
+const (
+	Shellcode Payload = iota
+	Ret2Libc
+	ROP
+)
+
+var payloadNames = [...]string{"shellcode", "ret2libc", "rop"}
+
+func (p Payload) String() string { return payloadNames[p] }
+
+// Abused is the vulnerable function dimension.
+type Abused uint8
+
+// Abused functions. Memcpy and Homebrew (a manual byte loop) can carry NUL
+// bytes; the string family cannot, which makes some payload addresses
+// uncarriable — exactly RIPE's "attack possible but not always practical"
+// distinction.
+const (
+	ViaMemcpy Abused = iota
+	ViaHomebrew
+	ViaStrcpy
+	ViaStrncpy
+	ViaSprintf
+	ViaStrcat
+	ViaSscanf
+)
+
+var abusedNames = [...]string{
+	"memcpy", "homebrew", "strcpy", "strncpy", "sprintf", "strcat", "sscanf",
+}
+
+func (a Abused) String() string { return abusedNames[a] }
+
+// Attack is one point in the RIPE space.
+type Attack struct {
+	Technique Technique
+	Location  Location
+	Target    Target
+	Payload   Payload
+	Abused    Abused
+}
+
+// String renders the attack id.
+func (a Attack) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s",
+		a.Technique, a.Location, a.Target, a.Payload, a.Abused)
+}
+
+// Feasible reports whether the combination is structurally possible:
+//   - a direct overflow needs the buffer in the target's own region;
+//   - indirect attacks are pointer-mediated, so the abused-function
+//     dimension collapses to the pointer-overwrite bug shape (memcpy and
+//     homebrew only, as in RIPE's indirect forms);
+//   - shellcode payloads need a concrete buffer to host the injected code,
+//     which the longjmp-buffer forms do not provide in RIPE.
+func (a Attack) Feasible() bool {
+	if a.Technique == Direct {
+		if a.Location != a.Target.region() {
+			return false
+		}
+	} else {
+		switch a.Abused {
+		case ViaMemcpy, ViaHomebrew, ViaStrcpy:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// All enumerates the feasible attack space.
+func All() []Attack {
+	var out []Attack
+	for _, t := range []Technique{Direct, Indirect} {
+		for _, l := range []Location{Stack, Heap, BSS, Data} {
+			for tg := Ret; tg <= LongjmpBufData; tg++ {
+				for _, p := range []Payload{Shellcode, Ret2Libc, ROP} {
+					for ab := ViaMemcpy; ab <= ViaSscanf; ab++ {
+						a := Attack{t, l, tg, p, ab}
+						if a.Feasible() {
+							out = append(out, a)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package ripe
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/sema"
+)
+
+func TestEnumerationShape(t *testing.T) {
+	attacks := All()
+	if len(attacks) < 400 || len(attacks) > 1200 {
+		t.Fatalf("feasible attack count = %d, want RIPE-order-of-magnitude (~850)", len(attacks))
+	}
+	seen := map[string]bool{}
+	for _, a := range attacks {
+		if !a.Feasible() {
+			t.Fatalf("infeasible attack enumerated: %s", a)
+		}
+		if seen[a.String()] {
+			t.Fatalf("duplicate attack %s", a)
+		}
+		seen[a.String()] = true
+	}
+	t.Logf("feasible attack forms: %d", len(attacks))
+}
+
+func TestAllSourcesCompile(t *testing.T) {
+	// Every distinct (technique, location, target) source must parse,
+	// type-check, and compile under every protection level.
+	srcs := map[string]Attack{}
+	for _, a := range All() {
+		srcs[Source(a)] = a
+	}
+	for src, a := range srcs {
+		f, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", a, err, src)
+		}
+		if err := sema.Check(f); err != nil {
+			t.Fatalf("%s: sema: %v\n%s", a, err, src)
+		}
+	}
+	for _, prot := range []core.Protection{core.Vanilla, core.CPI} {
+		a := Attack{Direct, Stack, Ret, Ret2Libc, ViaMemcpy}
+		if _, err := core.Compile(Source(a), core.Config{Protect: prot}); err != nil {
+			t.Fatalf("compile under %v: %v", prot, err)
+		}
+	}
+}
+
+// sample returns a representative cross-section (full matrix runs live in
+// the harness; tests keep a fast subset).
+func sample() []Attack {
+	return []Attack{
+		{Direct, Stack, Ret, Ret2Libc, ViaMemcpy},
+		{Direct, Stack, Ret, Shellcode, ViaMemcpy},
+		{Direct, Stack, Ret, ROP, ViaHomebrew},
+		{Direct, Stack, Ret, Ret2Libc, ViaStrcpy},
+		{Direct, Stack, FuncPtrStackVar, Ret2Libc, ViaMemcpy},
+		{Direct, Stack, StructFuncPtrStack, Ret2Libc, ViaMemcpy},
+		{Direct, Stack, LongjmpBufStack, Ret2Libc, ViaMemcpy},
+		{Direct, Heap, FuncPtrHeap, Ret2Libc, ViaMemcpy},
+		{Direct, Heap, FuncPtrHeap, ROP, ViaHomebrew},
+		{Direct, Heap, StructFuncPtrHeap, Ret2Libc, ViaSprintf},
+		{Direct, Heap, LongjmpBufHeap, Ret2Libc, ViaMemcpy},
+		{Direct, BSS, FuncPtrBSS, Ret2Libc, ViaMemcpy},
+		{Direct, BSS, StructFuncPtrBSS, Shellcode, ViaMemcpy},
+		{Direct, Data, FuncPtrData, Ret2Libc, ViaStrcat},
+		{Direct, Data, LongjmpBufData, ROP, ViaMemcpy},
+		{Indirect, Stack, Ret, Ret2Libc, ViaMemcpy},
+		{Indirect, Heap, FuncPtrHeap, Ret2Libc, ViaMemcpy},
+		{Indirect, Data, FuncPtrData, Shellcode, ViaMemcpy},
+		{Indirect, BSS, StructFuncPtrBSS, Ret2Libc, ViaMemcpy},
+		{Indirect, Stack, LongjmpBufStack, ROP, ViaMemcpy},
+	}
+}
+
+func runSample(t *testing.T, defense string) (succ, prev, fail int, res []Result) {
+	t.Helper()
+	d, err := DefenseByName(defense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range sample() {
+		r, err := Run(a, d, 42)
+		if err != nil {
+			t.Fatalf("%s vs %s: %v", a, defense, err)
+		}
+		res = append(res, r)
+		switch r.Outcome {
+		case Success:
+			succ++
+		case Prevented:
+			prev++
+		default:
+			fail++
+		}
+	}
+	return
+}
+
+func TestVanillaMostAttacksSucceed(t *testing.T) {
+	succ, _, _, res := runSample(t, "none")
+	// On the unprotected system nearly everything lands (§5.1: 833–848 of
+	// 850 on Ubuntu 6.06).
+	if succ < len(res)*3/4 {
+		for _, r := range res {
+			t.Logf("%-55s %-9s %v (%s)", r.Attack, r.Outcome, r.Trap, r.Detail)
+		}
+		t.Fatalf("unprotected: only %d/%d succeeded", succ, len(res))
+	}
+}
+
+func TestCPIPreventsEverything(t *testing.T) {
+	succ, _, _, res := runSample(t, "cpi")
+	if succ != 0 {
+		for _, r := range res {
+			if r.Outcome == Success {
+				t.Errorf("CPI breached by %s (%v)", r.Attack, r.Trap)
+			}
+		}
+		t.Fatalf("CPI: %d attacks succeeded", succ)
+	}
+}
+
+func TestCPSPreventsEverything(t *testing.T) {
+	succ, _, _, res := runSample(t, "cps")
+	if succ != 0 {
+		for _, r := range res {
+			if r.Outcome == Success {
+				t.Errorf("CPS breached by %s (%v)", r.Attack, r.Trap)
+			}
+		}
+		t.Fatalf("CPS: %d attacks succeeded", succ)
+	}
+}
+
+func TestSafeStackStopsRetAttacks(t *testing.T) {
+	_, _, _, res := runSample(t, "safestack")
+	for _, r := range res {
+		if r.Attack.Target == Ret && r.Outcome == Success {
+			t.Errorf("safestack: ret attack succeeded: %s", r.Attack)
+		}
+	}
+}
+
+func TestDEPStopsShellcodeOnly(t *testing.T) {
+	_, _, _, res := runSample(t, "dep")
+	for _, r := range res {
+		if r.Attack.Payload == Shellcode && r.Outcome == Success {
+			t.Errorf("DEP: shellcode ran: %s", r.Attack)
+		}
+	}
+	// Code-reuse attacks must still succeed under DEP alone.
+	reuse := 0
+	for _, r := range res {
+		if r.Attack.Payload != Shellcode && r.Outcome == Success {
+			reuse++
+		}
+	}
+	if reuse == 0 {
+		t.Error("DEP alone should not stop code-reuse attacks")
+	}
+}
+
+func TestCookiesStopDirectStackRetOnly(t *testing.T) {
+	_, _, _, res := runSample(t, "cookies")
+	for _, r := range res {
+		if r.Attack.Technique == Direct && r.Attack.Target == Ret {
+			if r.Outcome == Success {
+				t.Errorf("cookies: direct ret smash succeeded: %s", r.Attack)
+			}
+		}
+		if r.Attack.Technique == Indirect && r.Attack.Target == Ret {
+			if r.Outcome != Success {
+				t.Errorf("cookies should not stop indirect ret writes: %s → %v (%v)",
+					r.Attack, r.Outcome, r.Trap)
+			}
+		}
+	}
+}
+
+func TestModernBaselineLeavesResidual(t *testing.T) {
+	succ, _, _, _ := runSample(t, "dep+aslr+cookies")
+	// The paper's modern-system residual: some attacks still succeed
+	// (43–49 of 850), driven by leak-equipped indirect attacks.
+	if succ == 0 {
+		t.Error("dep+aslr+cookies: expected a nonzero residual of successes")
+	}
+	cpiSucc, _, _, _ := runSample(t, "cpi")
+	if cpiSucc != 0 {
+		t.Error("cpi must have zero residual")
+	}
+	if succ <= cpiSucc {
+		t.Error("baseline residual must exceed CPI's zero")
+	}
+}

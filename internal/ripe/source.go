@@ -1,0 +1,176 @@
+package ripe
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source generates the vulnerable mini-C program for an attack. Every
+// program follows the RIPE shape: a staging buffer receives attacker input,
+// a vulnerable copy plants it (direct technique), or an attack_point marks
+// where the write-what-where primitive fires (indirect technique); then the
+// target code pointer is used.
+//
+// Naming contract with the driver:
+//
+//	shell      — the ret2libc payload function (prints PWNED)
+//	safe_fn    — the legitimate target
+//	atk        — global staging buffer holding raw attacker input
+//	vuln       — the vulnerable function
+//	probe_point, attack_point — driver hook anchors
+//	buf/fp/jb/o... — per-target objects (see below)
+func Source(a Attack) string {
+	var b strings.Builder
+	b.WriteString(`// RIPE-style attack form: ` + a.String() + `
+void probe_point(void) {}
+void attack_point(void) {}
+void safe_fn(void) { puts("safe"); }
+void shell(void) { puts("PWNED"); }
+struct vt { void (*fn)(void); };
+struct vobj { char pad[32]; struct vt *vt; };
+struct fobj { char pad[32]; void (*fn)(void); };
+struct vt safe_vt = { safe_fn };
+char atk[256];
+`)
+	b.WriteString(globalsFor(a))
+	b.WriteString("void vuln(int n) {\n")
+	b.WriteString(targetDecl(a))
+	b.WriteString("\tprobe_point();\n")
+	if a.Technique == Direct {
+		b.WriteString(copyStmt(a))
+	} else {
+		b.WriteString("\tattack_point();\n")
+	}
+	b.WriteString(targetUse(a))
+	b.WriteString("}\n")
+	b.WriteString(`int main(void) {
+	int n = read_input(atk, 256);
+	vuln(n);
+	puts("done");
+	return 0;
+}
+`)
+	return b.String()
+}
+
+// globalsFor emits the region globals for BSS/Data-hosted targets; buffer
+// and target are declared adjacently so a contiguous overflow reaches the
+// target, as in a real .bss/.data layout.
+func globalsFor(a Attack) string {
+	switch a.Target {
+	case FuncPtrBSS:
+		return "char g_buf[32];\nvoid (*g_fp)(void);\n"
+	case FuncPtrData:
+		return "char g_buf[32] = \"data\";\nvoid (*g_fp)(void) = safe_fn;\n"
+	case StructFuncPtrBSS:
+		return "struct vobj g_obj;\n"
+	case StructFuncPtrData:
+		return "struct vobj g_obj = { \"data\", &safe_vt };\n"
+	case LongjmpBufBSS:
+		return "char g_buf[32];\nint g_jb[8];\n"
+	case LongjmpBufData:
+		return "char g_buf[32] = \"data\";\nint g_jb[8];\n"
+	}
+	return ""
+}
+
+// targetDecl emits the in-function declarations and initialization.
+func targetDecl(a Attack) string {
+	switch a.Target {
+	case Ret:
+		return "\tchar buf[32];\n"
+	case FuncPtrStackVar:
+		return "\tchar buf[32];\n\tvoid (*fp)(void);\n\tfp = safe_fn;\n"
+	case FuncPtrHeap:
+		return "\tstruct fobj *o = (struct fobj *)malloc(sizeof(struct fobj));\n" +
+			"\to->fn = safe_fn;\n"
+	case FuncPtrBSS, FuncPtrData:
+		return "\tg_fp = safe_fn;\n"
+	case StructFuncPtrStack:
+		return "\tstruct vobj o;\n\to.vt = &safe_vt;\n"
+	case StructFuncPtrHeap:
+		return "\tstruct vobj *o = (struct vobj *)malloc(sizeof(struct vobj));\n" +
+			"\to->vt = &safe_vt;\n"
+	case StructFuncPtrBSS, StructFuncPtrData:
+		return "\tg_obj.vt = &safe_vt;\n"
+	case LongjmpBufStack:
+		return "\tchar buf[32];\n\tint jb[8];\n\tif (setjmp(jb)) { puts(\"back\"); return; }\n"
+	case LongjmpBufHeap:
+		return "\tchar *hb = (char *)malloc(96);\n\tint *jb = (int *)(hb + 32);\n" +
+			"\tif (setjmp(jb)) { puts(\"back\"); return; }\n"
+	case LongjmpBufBSS, LongjmpBufData:
+		return "\tif (setjmp(g_jb)) { puts(\"back\"); return; }\n"
+	}
+	return ""
+}
+
+// bufExpr names the overflowed buffer for the direct technique.
+func bufExpr(a Attack) string {
+	switch a.Target {
+	case Ret, FuncPtrStackVar, LongjmpBufStack:
+		return "buf"
+	case FuncPtrHeap:
+		return "o->pad"
+	case StructFuncPtrStack:
+		return "o.pad"
+	case StructFuncPtrHeap:
+		return "o->pad"
+	case FuncPtrBSS, FuncPtrData, LongjmpBufBSS, LongjmpBufData:
+		return "g_buf"
+	case StructFuncPtrBSS, StructFuncPtrData:
+		return "g_obj.pad"
+	case LongjmpBufHeap:
+		return "hb"
+	}
+	return "buf"
+}
+
+// copyStmt emits the vulnerable copy using the abused function.
+func copyStmt(a Attack) string {
+	buf := bufExpr(a)
+	switch a.Abused {
+	case ViaMemcpy:
+		return fmt.Sprintf("\tmemcpy(%s, atk, n);\n", buf)
+	case ViaHomebrew:
+		return fmt.Sprintf("\tfor (int i = 0; i < n; i++) %s[i] = atk[i];\n", buf)
+	case ViaStrcpy:
+		return fmt.Sprintf("\tstrcpy(%s, atk);\n", buf)
+	case ViaStrncpy:
+		return fmt.Sprintf("\tstrncpy(%s, atk, n + 16);\n", buf)
+	case ViaSprintf:
+		return fmt.Sprintf("\tsprintf(%s, \"%%s\", atk);\n", buf)
+	case ViaStrcat:
+		return fmt.Sprintf("\t%s[0] = 0;\n\tstrcat(%s, atk);\n", buf, buf)
+	case ViaSscanf:
+		return fmt.Sprintf("\tsscanf(atk, \"%%s\", %s);\n", buf)
+	}
+	return ""
+}
+
+// targetUse emits the control transfer that consumes the (possibly
+// corrupted) code pointer.
+func targetUse(a Attack) string {
+	switch a.Target {
+	case Ret:
+		return "" // returning from vuln is the use
+	case FuncPtrStackVar:
+		return "\tfp();\n"
+	case FuncPtrHeap:
+		return "\to->fn();\n"
+	case FuncPtrBSS, FuncPtrData:
+		return "\tg_fp();\n"
+	case StructFuncPtrStack:
+		return "\to.vt->fn();\n"
+	case StructFuncPtrHeap:
+		return "\to->vt->fn();\n"
+	case StructFuncPtrBSS, StructFuncPtrData:
+		return "\tg_obj.vt->fn();\n"
+	case LongjmpBufStack:
+		return "\tlongjmp(jb, 1);\n"
+	case LongjmpBufHeap:
+		return "\tlongjmp(jb, 1);\n"
+	case LongjmpBufBSS, LongjmpBufData:
+		return "\tlongjmp(g_jb, 1);\n"
+	}
+	return ""
+}

@@ -1,0 +1,88 @@
+package ripe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SuiteResult aggregates a full run of the attack matrix under one defense.
+type SuiteResult struct {
+	Defense   string
+	Total     int
+	Succeeded int
+	Prevented int
+	Failed    int
+	Results   []Result
+}
+
+// RunSuite mounts every feasible attack against the defense.
+func RunSuite(d Defense, seed int64) (*SuiteResult, error) {
+	attacks := All()
+	sr := &SuiteResult{Defense: d.Name, Total: len(attacks)}
+	for _, a := range attacks {
+		r, err := Run(a, d, seed)
+		if err != nil {
+			return nil, err
+		}
+		sr.Results = append(sr.Results, r)
+		switch r.Outcome {
+		case Success:
+			sr.Succeeded++
+		case Prevented:
+			sr.Prevented++
+		default:
+			sr.Failed++
+		}
+	}
+	return sr, nil
+}
+
+// SucceededStackBased counts successful attacks whose target is on the
+// stack (the subset the safe stack alone must stop, §5.1).
+func (sr *SuiteResult) SucceededStackBased() int {
+	n := 0
+	for _, r := range sr.Results {
+		if r.Outcome == Success && r.Attack.Target.region() == Stack {
+			n++
+		}
+	}
+	return n
+}
+
+// SucceededByTarget breaks successes down by target kind.
+func (sr *SuiteResult) SucceededByTarget() map[Target]int {
+	m := map[Target]int{}
+	for _, r := range sr.Results {
+		if r.Outcome == Success {
+			m[r.Attack.Target]++
+		}
+	}
+	return m
+}
+
+// WriteTable renders the §5.1 summary for several defenses.
+func WriteTable(w io.Writer, suites []*SuiteResult) {
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %10s\n",
+		"defense", "attacks", "succeeded", "prevented", "failed")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	for _, sr := range suites {
+		fmt.Fprintf(w, "%-20s %10d %10d %10d %10d\n",
+			sr.Defense, sr.Total, sr.Succeeded, sr.Prevented, sr.Failed)
+	}
+}
+
+// WriteBreakdown renders successes by target for one defense.
+func WriteBreakdown(w io.Writer, sr *SuiteResult) {
+	fmt.Fprintf(w, "defense %s: %d/%d succeeded\n", sr.Defense, sr.Succeeded, sr.Total)
+	by := sr.SucceededByTarget()
+	var keys []int
+	for k := range by {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-22s %d\n", Target(k).String(), by[Target(k)])
+	}
+}

@@ -1,0 +1,197 @@
+package sps
+
+// pageWords is the number of pointer-sized slots covered by one shadow page
+// of the array organisation (4 KiB of address space, one entry per 8 bytes).
+const pageWords = 512
+
+// Array is the "simple array" organisation: a direct-mapped shadow of the
+// address space relying on sparse mappings. Each touched 4 KiB of regular
+// address space reserves a full shadow block (512 entries x 32 bytes =
+// 16 KiB), which is why the paper reports 105% memory overhead for CPI with
+// this organisation while it remains the fastest (§4: superpages made the
+// simple table the fastest of the three).
+type Array struct {
+	blocks map[uint64]*[pageWords]Entry
+	live   int
+}
+
+// NewArray returns an empty array-organised store.
+func NewArray() *Array { return &Array{blocks: map[uint64]*[pageWords]Entry{}} }
+
+func (a *Array) slot(addr uint64, alloc bool) *Entry {
+	pn := addr >> 12
+	blk := a.blocks[pn]
+	if blk == nil {
+		if !alloc {
+			return nil
+		}
+		blk = new([pageWords]Entry)
+		a.blocks[pn] = blk
+	}
+	return &blk[(addr>>3)&(pageWords-1)]
+}
+
+// Set implements Store.
+func (a *Array) Set(addr uint64, e Entry) {
+	s := a.slot(addr, true)
+	was := *s != (Entry{})
+	now := e != (Entry{})
+	switch {
+	case !was && now:
+		a.live++
+	case was && !now:
+		a.live--
+	}
+	*s = e
+}
+
+// Get implements Store.
+func (a *Array) Get(addr uint64) (Entry, bool) {
+	s := a.slot(addr, false)
+	if s == nil || *s == (Entry{}) {
+		return Entry{}, false
+	}
+	return *s, true
+}
+
+// Delete implements Store.
+func (a *Array) Delete(addr uint64) {
+	if s := a.slot(addr, false); s != nil && *s != (Entry{}) {
+		*s = Entry{}
+		a.live--
+	}
+}
+
+// Len implements Store.
+func (a *Array) Len() int { return a.live }
+
+// FootprintBytes implements Store: whole shadow blocks are resident.
+func (a *Array) FootprintBytes() int64 {
+	return int64(len(a.blocks)) * pageWords * EntryBytes
+}
+
+// LoadCost implements Store (shift/mask plus one access off the dedicated
+// segment register; slightly more than a plain load, per §3.3's "essentially
+// the same number of memory accesses" plus address arithmetic).
+func (a *Array) LoadCost() int64 { return 4 }
+
+// StoreCost implements Store.
+func (a *Array) StoreCost() int64 { return 4 }
+
+// Name implements Store.
+func (a *Array) Name() string { return "array" }
+
+// Reset implements Store.
+func (a *Array) Reset() { a.blocks = map[uint64]*[pageWords]Entry{}; a.live = 0 }
+
+// TwoLevel is the two-level lookup table organisation (directory of
+// second-level tables, like the MPX layout the paper plans to adopt, §4).
+type TwoLevel struct {
+	dir  map[uint64]map[uint64]Entry
+	live int
+}
+
+// NewTwoLevel returns an empty two-level store.
+func NewTwoLevel() *TwoLevel { return &TwoLevel{dir: map[uint64]map[uint64]Entry{}} }
+
+const l2Bits = 15 // second-level covers 32K slots (256 KiB of address space)
+
+// Set implements Store.
+func (t *TwoLevel) Set(addr uint64, e Entry) {
+	hi, lo := (addr>>3)>>l2Bits, (addr>>3)&((1<<l2Bits)-1)
+	tbl := t.dir[hi]
+	if tbl == nil {
+		tbl = map[uint64]Entry{}
+		t.dir[hi] = tbl
+	}
+	if _, ok := tbl[lo]; !ok {
+		t.live++
+	}
+	tbl[lo] = e
+}
+
+// Get implements Store.
+func (t *TwoLevel) Get(addr uint64) (Entry, bool) {
+	hi, lo := (addr>>3)>>l2Bits, (addr>>3)&((1<<l2Bits)-1)
+	tbl := t.dir[hi]
+	if tbl == nil {
+		return Entry{}, false
+	}
+	e, ok := tbl[lo]
+	return e, ok
+}
+
+// Delete implements Store.
+func (t *TwoLevel) Delete(addr uint64) {
+	hi, lo := (addr>>3)>>l2Bits, (addr>>3)&((1<<l2Bits)-1)
+	if tbl := t.dir[hi]; tbl != nil {
+		if _, ok := tbl[lo]; ok {
+			delete(tbl, lo)
+			t.live--
+		}
+	}
+}
+
+// Len implements Store.
+func (t *TwoLevel) Len() int { return t.live }
+
+// FootprintBytes implements Store: directory entries plus per-entry slots
+// (second-level tables are allocated sparsely at entry granularity in this
+// model, so footprint tracks live entries plus directory overhead).
+func (t *TwoLevel) FootprintBytes() int64 {
+	return int64(len(t.dir))*4096 + int64(t.live)*EntryBytes
+}
+
+// LoadCost implements Store (two dependent lookups).
+func (t *TwoLevel) LoadCost() int64 { return 7 }
+
+// StoreCost implements Store.
+func (t *TwoLevel) StoreCost() int64 { return 7 }
+
+// Name implements Store.
+func (t *TwoLevel) Name() string { return "twolevel" }
+
+// Reset implements Store.
+func (t *TwoLevel) Reset() { t.dir = map[uint64]map[uint64]Entry{}; t.live = 0 }
+
+// Hash is the hash-table organisation: most compact, slowest (probing plus
+// worse locality, §4/§5.2: 13.9% CPI memory overhead vs 105% for the array).
+type Hash struct {
+	m map[uint64]Entry
+}
+
+// NewHash returns an empty hash-organised store.
+func NewHash() *Hash { return &Hash{m: map[uint64]Entry{}} }
+
+// Set implements Store.
+func (h *Hash) Set(addr uint64, e Entry) { h.m[addr>>3] = e }
+
+// Get implements Store.
+func (h *Hash) Get(addr uint64) (Entry, bool) {
+	e, ok := h.m[addr>>3]
+	return e, ok
+}
+
+// Delete implements Store.
+func (h *Hash) Delete(addr uint64) { delete(h.m, addr>>3) }
+
+// Len implements Store.
+func (h *Hash) Len() int { return len(h.m) }
+
+// FootprintBytes implements Store: entries plus hashing overhead (key word
+// and ~1.5x table slack).
+func (h *Hash) FootprintBytes() int64 {
+	return int64(len(h.m)) * (EntryBytes + 8) * 3 / 2
+}
+
+// LoadCost implements Store (hash + probe + compare).
+func (h *Hash) LoadCost() int64 { return 12 }
+
+// StoreCost implements Store.
+func (h *Hash) StoreCost() int64 { return 12 }
+
+// Name implements Store.
+func (h *Hash) Name() string { return "hash" }
+
+// Reset implements Store.
+func (h *Hash) Reset() { h.m = map[uint64]Entry{} }

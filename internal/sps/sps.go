@@ -1,0 +1,89 @@
+// Package sps implements the safe pointer store of §3.2.2: the isolated map
+// from the address of a sensitive pointer (as allocated in the regular
+// region) to its protected value and based-on metadata (lower/upper bounds
+// and a temporal id, Fig. 2).
+//
+// Three organisations are provided, matching §4: a simple array relying on
+// sparse address-space support (modelled with per-page entry blocks, the
+// superpage-backed variant the paper found fastest), a two-level lookup
+// table, and a hash table. All three behave identically; they differ in
+// access cost and memory footprint, which the cost model and the memory
+// overhead experiment (§5.2) consume.
+package sps
+
+// Entry is the protected copy of one sensitive pointer.
+type Entry struct {
+	Value uint64 // the pointer value itself (CPI also stores the value, §3.2.2)
+	Lower uint64 // lowest valid address of the target object
+	Upper uint64 // one past the highest valid address
+	ID    uint64 // temporal allocation id (0 for static objects)
+	Kind  Kind   // provenance of the value
+}
+
+// Kind is the provenance class of a protected value.
+type Kind uint8
+
+// Provenance kinds.
+const (
+	// KindInvalid marks universal pointers holding non-sensitive values;
+	// such entries never grant access to the safe region (§3.2.2:
+	// "invalid" metadata, e.g. lower bound greater than upper bound).
+	KindInvalid Kind = iota
+	// KindData is a data pointer with object bounds.
+	KindData
+	// KindCode is a code pointer (bounds degenerate to the exact target,
+	// §3.3: "the pointer value must always match the destination exactly").
+	KindCode
+)
+
+// Valid reports whether the entry grants any access.
+func (e Entry) Valid() bool { return e.Kind != KindInvalid }
+
+// InBounds reports whether an access of size bytes at addr is within the
+// entry's target object (the Appendix A check l' ∈ [b, e-sizeof(a)]).
+func (e Entry) InBounds(addr uint64, size int64) bool {
+	if e.Kind != KindData {
+		return false
+	}
+	return addr >= e.Lower && addr+uint64(size) <= e.Upper
+}
+
+// EntryBytes is the modelled size of one safe-pointer-store entry:
+// value + lower + upper + id, four 8-byte words (Fig. 2).
+const EntryBytes = 32
+
+// Store is a safe pointer store organisation.
+type Store interface {
+	// Set records the protected copy for the sensitive pointer stored at
+	// regular-region address addr.
+	Set(addr uint64, e Entry)
+	// Get returns the protected copy, if any.
+	Get(addr uint64) (Entry, bool)
+	// Delete removes the entry (used on frees and invalidating stores).
+	Delete(addr uint64)
+	// Len returns the number of live entries.
+	Len() int
+	// FootprintBytes models the memory the organisation consumes
+	// (the §5.2 memory-overhead experiment).
+	FootprintBytes() int64
+	// LoadCost and StoreCost are the cycle-model access costs.
+	LoadCost() int64
+	StoreCost() int64
+	// Name identifies the organisation.
+	Name() string
+	// Reset drops all entries.
+	Reset()
+}
+
+// New returns a store by organisation name: "array", "twolevel", "hash".
+func New(name string) Store {
+	switch name {
+	case "array", "":
+		return NewArray()
+	case "twolevel":
+		return NewTwoLevel()
+	case "hash":
+		return NewHash()
+	}
+	panic("sps: unknown organisation " + name)
+}

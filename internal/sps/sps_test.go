@@ -1,0 +1,185 @@
+package sps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allStores() []Store {
+	return []Store{NewArray(), NewTwoLevel(), NewHash()}
+}
+
+func TestBasicSetGetDelete(t *testing.T) {
+	for _, s := range allStores() {
+		e := Entry{Value: 0x400010, Lower: 0x400000, Upper: 0x400100, ID: 7, Kind: KindData}
+		s.Set(0x7000_0000, e)
+		got, ok := s.Get(0x7000_0000)
+		if !ok || got != e {
+			t.Errorf("%s: Get = %+v, %v", s.Name(), got, ok)
+		}
+		if _, ok := s.Get(0x7000_0008); ok {
+			t.Errorf("%s: adjacent slot should be empty", s.Name())
+		}
+		s.Delete(0x7000_0000)
+		if _, ok := s.Get(0x7000_0000); ok {
+			t.Errorf("%s: deleted entry still present", s.Name())
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	for _, s := range allStores() {
+		s.Set(64, Entry{Value: 1, Kind: KindCode})
+		s.Set(64, Entry{Value: 2, Kind: KindCode})
+		e, ok := s.Get(64)
+		if !ok || e.Value != 2 {
+			t.Errorf("%s: overwrite lost: %+v", s.Name(), e)
+		}
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	// The array must cost dramatically more memory than the hash for
+	// scattered pointers (105% vs 13.9% in §5.2).
+	arr, hash := NewArray(), NewHash()
+	for i := uint64(0); i < 1000; i++ {
+		addr := i * 4096 // one pointer per page: worst case for the array
+		e := Entry{Value: addr, Kind: KindData, Upper: addr + 8}
+		arr.Set(addr, e)
+		hash.Set(addr, e)
+	}
+	if arr.FootprintBytes() <= hash.FootprintBytes()*4 {
+		t.Errorf("array footprint %d should far exceed hash %d for sparse data",
+			arr.FootprintBytes(), hash.FootprintBytes())
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	arr, two, hash := NewArray(), NewTwoLevel(), NewHash()
+	if !(arr.LoadCost() < two.LoadCost() && two.LoadCost() < hash.LoadCost()) {
+		t.Errorf("cost order must be array < twolevel < hash: %d %d %d",
+			arr.LoadCost(), two.LoadCost(), hash.LoadCost())
+	}
+}
+
+func TestEntryInBounds(t *testing.T) {
+	e := Entry{Lower: 100, Upper: 164, Kind: KindData}
+	cases := []struct {
+		addr uint64
+		size int64
+		want bool
+	}{
+		{100, 8, true},
+		{156, 8, true},
+		{157, 8, false},
+		{99, 8, false},
+		{100, 64, true},
+		{100, 65, false},
+		{163, 1, true},
+		{164, 1, false},
+	}
+	for _, c := range cases {
+		if got := e.InBounds(c.addr, c.size); got != c.want {
+			t.Errorf("InBounds(%d, %d) = %v, want %v", c.addr, c.size, got, c.want)
+		}
+	}
+	// Code and invalid entries never grant data access.
+	if (Entry{Lower: 0, Upper: ^uint64(0), Kind: KindCode}).InBounds(5, 1) {
+		t.Error("code entry must not pass data bounds check")
+	}
+	if (Entry{Lower: 0, Upper: ^uint64(0), Kind: KindInvalid}).InBounds(5, 1) {
+		t.Error("invalid entry must not pass bounds check")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if (Entry{Kind: KindInvalid}).Valid() {
+		t.Error("invalid entry is Valid")
+	}
+	if !(Entry{Kind: KindCode}).Valid() || !(Entry{Kind: KindData}).Valid() {
+		t.Error("code/data entries must be Valid")
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"array", "twolevel", "hash"} {
+		s := New(name)
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if New("").Name() != "array" {
+		t.Error("default organisation should be array")
+	}
+}
+
+// Property: the three organisations are observationally equivalent under a
+// random operation sequence.
+func TestImplementationsAgree(t *testing.T) {
+	f := func(ops []struct {
+		Addr uint64
+		Val  uint64
+		Op   uint8
+	}) bool {
+		ss := allStores()
+		for _, op := range ops {
+			addr := op.Addr % (1 << 20)
+			switch op.Op % 3 {
+			case 0:
+				e := Entry{Value: op.Val, Lower: op.Val, Upper: op.Val + 64, Kind: KindData}
+				for _, s := range ss {
+					s.Set(addr, e)
+				}
+			case 1:
+				var ref Entry
+				var refOK bool
+				for i, s := range ss {
+					e, ok := s.Get(addr)
+					if i == 0 {
+						ref, refOK = e, ok
+					} else if e != ref || ok != refOK {
+						return false
+					}
+				}
+			case 2:
+				for _, s := range ss {
+					s.Delete(addr)
+				}
+			}
+		}
+		for i := 1; i < len(ss); i++ {
+			if ss[i].Len() != ss[0].Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len tracks live entries exactly.
+func TestLenExact(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		for _, s := range allStores() {
+			seen := map[uint64]bool{}
+			for _, a := range addrs {
+				addr := uint64(a&0xffff) &^ 7
+				s.Set(addr, Entry{Value: 1, Kind: KindCode})
+				seen[addr>>3] = true
+			}
+			if s.Len() != len(seen) {
+				return false
+			}
+			s.Reset()
+			if s.Len() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package vm
+
+import (
+	"repro/internal/ir"
+	"repro/internal/sps"
+)
+
+// targetClass classifies a control-transfer target address.
+type targetClass uint8
+
+const (
+	targetFuncEntry targetClass = iota
+	targetRetSite
+	targetGadget  // inside the code segment, neither entry nor site
+	targetData    // mapped non-code memory
+	targetInvalid // unmapped
+)
+
+func (m *Machine) classifyTarget(addr uint64) targetClass {
+	if _, ok := m.funcByAddr[addr]; ok {
+		return targetFuncEntry
+	}
+	if _, ok := m.retSites[addr]; ok {
+		return targetRetSite
+	}
+	lo := uint64(codeBase) + m.slideCode
+	if addr >= lo && addr < lo+codeSize {
+		return targetGadget
+	}
+	if m.mem.Mapped(addr) {
+		return targetData
+	}
+	return targetInvalid
+}
+
+// hijackTransfer handles a control transfer to an attacker-influenced
+// target: the machine "executes" whatever is there, which the simulation
+// resolves into the appropriate outcome (shellcode needs an executable
+// page, gadgets/valid-code targets hand control to the attacker, garbage
+// crashes).
+func (m *Machine) hijackTransfer(target uint64, via HijackVia) {
+	switch m.classifyTarget(target) {
+	case targetFuncEntry, targetRetSite, targetGadget:
+		m.trapf(TrapHijacked, target, via, "control flow diverted to %#x", target)
+	case targetData:
+		if err := m.mem.CheckExec(target); err != nil {
+			m.trapf(TrapNXFault, target, via, "%v", err)
+			return
+		}
+		// Writable+executable page: injected shellcode runs.
+		m.trapf(TrapHijacked, target, via, "shellcode executed at %#x", target)
+	default:
+		m.trapf(TrapSegFault, target, via, "jump to unmapped %#x", target)
+	}
+}
+
+// runHook fires a registered driver hook for function fi, if any.
+func (m *Machine) runHook(fi int) {
+	if h := m.hooks[fi]; h != nil {
+		h(m)
+	}
+}
+
+func (m *Machine) execCall(f *frame, in *ir.Instr) {
+	if in.Callee < 0 {
+		m.execIntrinsic(f, in)
+		return
+	}
+	m.runHook(in.Callee)
+	if m.trap != nil {
+		return
+	}
+	m.cycles += m.cfg.Cost.Call
+	args := make([]uint64, len(in.Args))
+	metas := make([]Meta, len(in.Args))
+	for i, a := range in.Args {
+		args[i], metas[i] = m.eval(f, a)
+	}
+	ret := site{fn: f.fidx, blk: f.blk, ip: f.ip + 1}
+	m.pushFrame(in.Callee, args, metas, ret, in.Dst)
+}
+
+func (m *Machine) execICall(f *frame, in *ir.Instr) {
+	m.cycles += m.cfg.Cost.ICall
+	target, meta := m.eval(f, in.A)
+
+	if m.cfg.CFI && in.Flags&ir.ProtCFI != 0 {
+		// Coarse-grained CFI: the merged valid set is "any function entry"
+		// ([53, 54]); finer sets would still admit the attacks of
+		// [19, 15, 9].
+		m.cycles += m.cfg.Cost.CFICheck
+		if m.classifyTarget(target) != targetFuncEntry {
+			m.trapf(TrapCFIViolation, target, ViaICall,
+				"indirect call target %#x outside valid set", target)
+			return
+		}
+	}
+
+	if m.cfg.CPI || m.cfg.CPS {
+		// The function pointer was loaded via the safe store; a value
+		// without code provenance means it was never a legitimately
+		// stored code pointer.
+		if meta.Kind != sps.KindCode {
+			m.trapf(m.violationKind(m.cfg.CPS), target, ViaICall,
+				"indirect call through unprotected pointer %#x", target)
+			return
+		}
+	}
+
+	if target == 0 {
+		m.trapf(TrapNullCall, 0, ViaICall, "call through null pointer")
+		return
+	}
+
+	fi, ok := m.funcByAddr[target]
+	if !ok {
+		// Not a function entry: attacker-controlled transfer.
+		m.hijackTransfer(target, ViaICall)
+		return
+	}
+	m.runHook(fi)
+	if m.trap != nil {
+		return
+	}
+
+	args := make([]uint64, len(in.Args))
+	metas := make([]Meta, len(in.Args))
+	for i, a := range in.Args {
+		args[i], metas[i] = m.eval(f, a)
+	}
+	ret := site{fn: f.fidx, blk: f.blk, ip: f.ip + 1}
+	m.pushFrame(fi, args, metas, ret, in.Dst)
+}
+
+func (m *Machine) execRet(f *frame, in *ir.Instr) {
+	m.cycles += m.cfg.Cost.Ret
+	var rv uint64
+	var rm Meta
+	if in.A.Kind != ir.ValNone {
+		rv, rm = m.eval(f, in.A)
+	}
+
+	// Stack-cookie epilogue: verify the canary before trusting the frame.
+	if f.canaryAddr != 0 {
+		m.cycles += m.cfg.Cost.CookieCheck
+		c, err := m.mem.Load(f.canaryAddr, 8)
+		if err != nil {
+			m.memFault(err)
+			return
+		}
+		if c != m.canary {
+			m.trapf(TrapStackSmash, f.canaryAddr, ViaReturn,
+				"canary clobbered (%#x)", c)
+			return
+		}
+	}
+
+	// Load the return address from its in-memory slot — the attack surface
+	// when it lives on the regular stack.
+	space := m.mem
+	if f.retOnSafe {
+		space = m.safe
+	}
+	retWord, err := space.Load(f.retSlot, 8)
+	if err != nil {
+		m.memFault(err)
+		return
+	}
+	m.cycles += m.cfg.Cost.Load
+
+	if retWord != f.retAddr {
+		// Corrupted return address.
+		if m.cfg.CFI {
+			m.cycles += m.cfg.Cost.CFICheck
+			if _, ok := m.retSites[retWord]; !ok {
+				m.trapf(TrapCFIViolation, retWord, ViaReturn,
+					"return target %#x outside valid set", retWord)
+				return
+			}
+			// A different-but-valid return site: exactly the gadget
+			// granularity coarse CFI cannot distinguish [19, 15, 9].
+		}
+		m.hijackTransfer(retWord, ViaReturn)
+		return
+	}
+
+	m.popFrame(f, rv, rm)
+}
+
+// clearSafeMeta drops shadow metadata for a released safe-stack range so a
+// later frame reusing the addresses does not inherit stale bounds.
+func (m *Machine) clearSafeMeta(lo, hi uint64) {
+	for a := lo &^ 7; a < hi; a += 8 {
+		delete(m.safeMeta, a)
+	}
+}
+
+// popFrame releases the callee frame and resumes the caller.
+func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
+	if f.safeSize > 0 {
+		m.clearSafeMeta(f.safeBase, f.safeBase+f.safeSize)
+	}
+	m.sp += f.regSize
+	m.ssp += f.safeSize
+	m.frames = m.frames[:len(m.frames)-1]
+	if len(m.frames) == 0 {
+		m.exitCode = int64(rv)
+		m.trap = &Trap{Kind: TrapExit, PC: "<exit>"}
+		return
+	}
+	caller := m.frames[len(m.frames)-1]
+	caller.blk = f.retSite.blk
+	caller.ip = f.retSite.ip
+	if f.dst >= 0 {
+		caller.regs[f.dst] = rv
+		caller.meta[f.dst] = rm
+	}
+}

@@ -1,0 +1,103 @@
+package vm
+
+// CostModel assigns deterministic cycle costs to simulated operations. The
+// absolute values approximate micro-op counts on an out-of-order x86; what
+// the experiments consume is the *relative* cost of instrumented vs plain
+// operations, which is where the paper's overhead shapes come from:
+// instrumented accesses pay the safe-pointer-store access on top of the
+// regular access, unsafe frames pay an extra setup, SFI pays a mask per
+// memory operation, and so on.
+type CostModel struct {
+	Bin    int64 // ALU op
+	Load   int64 // regular memory load
+	Store  int64 // regular memory store
+	GEP    int64 // pointer arithmetic
+	Cast   int64
+	Addr   int64 // address materialization
+	Br     int64
+	CondBr int64
+	Call   int64 // direct call (frame setup on one stack)
+	ICall  int64 // indirect call
+	Ret    int64
+	Arg    int64 // per-argument move
+
+	// IntrBase and IntrByte price the libc intrinsics.
+	IntrBase int64
+	IntrByte int64 // per 8 bytes processed
+	Alloc    int64 // malloc/free bookkeeping
+
+	// UnsafeFrame is the extra cost per call for functions that need a
+	// second (unsafe) stack frame (§3.2.4: "the overhead of setting up the
+	// extra stack frame is non-negligible" for short functions).
+	UnsafeFrame int64
+
+	// CookieSet/CookieCheck price stack-cookie prologue/epilogue work.
+	CookieSet   int64
+	CookieCheck int64
+
+	// CFICheck prices one target-set membership test.
+	CFICheck int64
+
+	// CPICheck prices one bounds/validity check against loaded metadata.
+	// With MPX true, checks use the hardware-assisted cost instead (§4's
+	// anticipated MPX implementation).
+	CPICheck int64
+	MPXCheck int64
+	MPX      bool
+
+	// SBCheck and SBGEP price SoftBound's per-access check and per-pointer-
+	// arithmetic metadata propagation. Full memory safety keeps two bounds
+	// registers live per pointer and checks every dereference, which costs
+	// more than CPI's rare checks (the whole point of Table 3).
+	SBCheck int64
+	SBGEP   int64
+
+	// SafeIntrWord is the per-word extra cost of the safe-region-aware
+	// memcpy/memset variants (§3.2.2), on top of the SPS probe.
+	SafeIntrWord int64
+
+	// SFIMask is the per-store masking cost under SFI isolation (§3.2.3:
+	// "as small as a single and operation"; measured <5% total extra).
+	// Only stores are masked — store-only sandboxing suffices to keep the
+	// safe region intact, as in NaCl-style SFI designs.
+	SFIMask int64
+}
+
+// DefaultCosts returns the calibrated cost model used by the experiments.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Bin:          1,
+		Load:         2,
+		Store:        2,
+		GEP:          1,
+		Cast:         0,
+		Addr:         0,
+		Br:           1,
+		CondBr:       1,
+		Call:         5,
+		ICall:        7,
+		Ret:          3,
+		Arg:          1,
+		IntrBase:     6,
+		IntrByte:     1,
+		Alloc:        30,
+		UnsafeFrame:  4,
+		CookieSet:    2,
+		CookieCheck:  2,
+		CFICheck:     3,
+		CPICheck:     3,
+		MPXCheck:     1,
+		SBCheck:      6,
+		SBGEP:        2,
+		SafeIntrWord: 2,
+		SFIMask:      1,
+	}
+}
+
+// checkCost returns the metadata-check cost under the active model.
+func (c *CostModel) checkCost() int64 {
+	if c.MPX {
+		return c.MPXCheck
+	}
+	return c.CPICheck
+}

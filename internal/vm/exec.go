@@ -1,0 +1,396 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sps"
+)
+
+// Run executes the named entry function (usually "main") to completion and
+// returns the result. Run can be called once per Machine.
+func (m *Machine) Run(entry string) *Result {
+	fi := -1
+	for i, f := range m.prog.Funcs {
+		if f.Name == entry {
+			fi = i
+			break
+		}
+	}
+	if fi < 0 {
+		return m.finish(&Trap{Kind: TrapAbort, Msg: "no entry function " + entry})
+	}
+	m.pushFrame(fi, nil, nil, site{fn: -1}, -1)
+	for m.trap == nil {
+		m.step()
+	}
+	return m.finish(m.trap)
+}
+
+func (m *Machine) finish(t *Trap) *Result {
+	m.updateMemPeaks()
+	r := &Result{
+		Trap:     t.Kind,
+		ExitCode: m.exitCode,
+		Cycles:   m.cycles,
+		Steps:    m.steps,
+		Output:   m.out.String(),
+		Mem:      m.memStats,
+		Err:      t,
+	}
+	if t.Kind == TrapHijacked {
+		r.HijackTarget = t.Target
+		r.HijackVia = t.Via
+	}
+	return r
+}
+
+// trapf stops execution.
+func (m *Machine) trapf(kind TrapKind, target uint64, via HijackVia, format string, args ...any) {
+	if m.trap != nil {
+		return
+	}
+	m.trap = &Trap{
+		Kind: kind, Msg: fmt.Sprintf(format, args...),
+		Target: target, Via: via, PC: m.pcString(),
+	}
+}
+
+// memFault converts a memory error into the right trap.
+func (m *Machine) memFault(err error) {
+	if f, ok := err.(*mem.Fault); ok {
+		switch f.Kind {
+		case mem.FaultNoExec:
+			m.trapf(TrapNXFault, f.Addr, ViaNone, "%v", err)
+		default:
+			m.trapf(TrapSegFault, f.Addr, ViaNone, "%v", err)
+		}
+		return
+	}
+	m.trapf(TrapSegFault, 0, ViaNone, "%v", err)
+}
+
+// pushFrame establishes a new activation record and charges frame-setup
+// costs.
+func (m *Machine) pushFrame(fi int, args []uint64, argMeta []Meta, ret site, dst int) {
+	if len(m.frames) >= m.cfg.MaxCallDepth {
+		m.trapf(TrapStackOverflow, 0, ViaNone, "call depth %d", len(m.frames))
+		return
+	}
+	fn := m.prog.Funcs[fi]
+	f := &frame{
+		fn: fn, fidx: fi,
+		regs:    make([]uint64, fn.NumRegs),
+		meta:    make([]Meta, fn.NumRegs),
+		retSite: ret, dst: dst,
+	}
+	for i := range args {
+		if i < len(f.regs) {
+			f.regs[i] = args[i]
+			f.meta[i] = argMeta[i]
+		}
+		m.cycles += m.cfg.Cost.Arg
+	}
+
+	// Stack frame layout; see DESIGN.md §4 and machine.go comments.
+	objsOnSafeStack := m.cfg.SafeStack
+	var regularObjBytes uint64
+	if objsOnSafeStack {
+		regularObjBytes = uint64(fn.UnsafeSize)
+	} else {
+		regularObjBytes = uint64(fn.SafeSize + fn.UnsafeSize)
+	}
+	regularTotal := regularObjBytes
+	retOnSafe := objsOnSafeStack
+	cookie := m.cfg.StackCookies && !retOnSafe
+	if cookie {
+		regularTotal += 8
+	}
+	if !retOnSafe {
+		regularTotal += 8
+	}
+	var safeTotal uint64
+	if objsOnSafeStack {
+		safeTotal = uint64(fn.SafeSize) + 8 // + return address slot
+	}
+
+	if regularTotal > 0 {
+		if m.sp < uint64(stackTop)-m.slideStack-stackMax+regularTotal {
+			m.trapf(TrapStackOverflow, m.sp, ViaNone, "regular stack exhausted")
+			return
+		}
+		m.sp -= regularTotal
+		f.regBase = m.sp
+	}
+	if safeTotal > 0 {
+		if m.ssp < uint64(safeStackTop)-stackMax+safeTotal {
+			m.trapf(TrapStackOverflow, m.ssp, ViaNone, "safe stack exhausted")
+			return
+		}
+		m.ssp -= safeTotal
+		f.safeBase = m.ssp
+	}
+	f.regSize = regularTotal
+	f.safeSize = safeTotal
+
+	// Return address slot: the word an attacker aims for when it lives on
+	// the regular stack.
+	f.retAddr = m.siteAddr(ret)
+	if retOnSafe {
+		f.retOnSafe = true
+		f.retSlot = f.safeBase + uint64(fn.SafeSize)
+		if err := m.safe.Store(f.retSlot, 8, f.retAddr); err != nil {
+			m.memFault(err)
+			return
+		}
+	} else {
+		f.retSlot = f.regBase + regularObjBytes
+		if cookie {
+			f.canaryAddr = f.regBase + regularObjBytes
+			f.retSlot = f.canaryAddr + 8
+			if err := m.mem.Store(f.canaryAddr, 8, m.canary); err != nil {
+				m.memFault(err)
+				return
+			}
+			m.cycles += m.cfg.Cost.CookieSet
+		}
+		if err := m.mem.Store(f.retSlot, 8, f.retAddr); err != nil {
+			m.memFault(err)
+			return
+		}
+	}
+
+	if !objsOnSafeStack {
+		f.safeBase = f.regBase // "safe-space" objects live on the regular stack
+	}
+	if fn.NeedsUnsafeFrame {
+		m.cycles += m.cfg.Cost.UnsafeFrame
+	}
+	m.frames = append(m.frames, f)
+	m.updateMemPeaks()
+}
+
+// siteAddr returns the code address of a return site (0 for the entry
+// frame's pseudo-caller).
+func (m *Machine) siteAddr(s site) uint64 {
+	if s.fn < 0 {
+		return 0
+	}
+	for addr, st := range m.retSites {
+		if st.fn == s.fn && st.blk == s.blk && st.ip == s.ip {
+			return addr
+		}
+	}
+	return 0
+}
+
+// objAddr resolves a frame object's address and which address space it
+// lives in.
+func (m *Machine) objAddr(f *frame, idx int) (uint64, bool) {
+	obj := f.fn.Frame[idx]
+	if obj.Unsafe {
+		return f.regBase + uint64(obj.Offset), false
+	}
+	if m.cfg.SafeStack {
+		return f.safeBase + uint64(obj.Offset), true
+	}
+	return f.safeBase + uint64(obj.Offset), false
+}
+
+// eval resolves an operand to (value, metadata).
+func (m *Machine) eval(f *frame, v ir.Value) (uint64, Meta) {
+	switch v.Kind {
+	case ir.ValNone:
+		return 0, invalidMeta
+	case ir.ValReg:
+		return f.regs[v.Reg], f.meta[v.Reg]
+	case ir.ValConst:
+		return uint64(v.Imm), invalidMeta
+	case ir.ValFrame:
+		addr, _ := m.objAddr(f, v.Index)
+		obj := f.fn.Frame[v.Index]
+		return addr + uint64(v.Imm), Meta{
+			Kind: sps.KindData, Lower: addr, Upper: addr + uint64(obj.Size),
+		}
+	case ir.ValGlobal:
+		base := m.globalAddrs[v.Index]
+		return base + uint64(v.Imm), Meta{
+			Kind: sps.KindData, Lower: base,
+			Upper: base + uint64(m.prog.Globals[v.Index].Size),
+		}
+	case ir.ValFunc:
+		a := m.funcAddrs[v.Index]
+		return a, Meta{Kind: sps.KindCode, Lower: a, Upper: a}
+	case ir.ValString:
+		base := m.strAddrs[v.Index]
+		return base + uint64(v.Imm), Meta{
+			Kind: sps.KindData, Lower: base,
+			Upper: base + uint64(len(m.prog.Strings[v.Index])+1),
+		}
+	}
+	panic("vm: bad value kind")
+}
+
+// isSafeFrameAddr reports whether a direct operand names a safe-stack
+// object (whose accesses go to the safe address space).
+func (m *Machine) addrSpace(f *frame, v ir.Value) (addr uint64, meta Meta, safe bool) {
+	if v.Kind == ir.ValFrame {
+		a, onSafe := m.objAddr(f, v.Index)
+		obj := f.fn.Frame[v.Index]
+		return a + uint64(v.Imm), Meta{
+			Kind: sps.KindData, Lower: a, Upper: a + uint64(obj.Size),
+		}, onSafe
+	}
+	addr, meta = m.eval(f, v)
+	return addr, meta, false
+}
+
+// step executes one instruction.
+func (m *Machine) step() {
+	m.steps++
+	if m.steps > m.stepBudget {
+		m.trapf(TrapMaxSteps, 0, ViaNone, "after %d steps", m.steps)
+		return
+	}
+	f := m.frames[len(m.frames)-1]
+	in := &f.fn.Blocks[f.blk].Ins[f.ip]
+	cost := &m.cfg.Cost
+
+	switch in.Op {
+	case ir.OpNop:
+		f.ip++
+
+	case ir.OpBin:
+		a, _ := m.eval(f, in.A)
+		b, _ := m.eval(f, in.B)
+		v, err := aluEval(in.ALU, a, b)
+		if err != nil {
+			m.trapf(TrapDivZero, 0, ViaNone, "division by zero")
+			return
+		}
+		f.regs[in.Dst] = v
+		f.meta[in.Dst] = invalidMeta
+		m.cycles += cost.Bin
+		f.ip++
+
+	case ir.OpAddr:
+		v, meta := m.eval(f, in.A)
+		f.regs[in.Dst] = v
+		f.meta[in.Dst] = meta
+		m.cycles += cost.Addr
+		f.ip++
+
+	case ir.OpGEP:
+		base, meta := m.eval(f, in.A)
+		idx, _ := m.eval(f, in.B)
+		f.regs[in.Dst] = base + idx*uint64(in.Scale) + uint64(in.Off)
+		f.meta[in.Dst] = meta // based-on propagation, §3.1 case (iv)
+		m.cycles += cost.GEP
+		if m.cfg.SoftBound {
+			// Full memory safety propagates bounds metadata on every
+			// pointer arithmetic operation (register pressure + moves).
+			m.cycles += cost.SBGEP
+		}
+		f.ip++
+
+	case ir.OpCast:
+		v, meta := m.eval(f, in.A)
+		// Metadata propagates through casts (the Levee relaxation for
+		// unsafe casts, §4 and Appendix A); char casts truncate.
+		if in.Ty != nil && in.Ty.Kind == ctypes.KindChar {
+			v &= 0xff
+		}
+		f.regs[in.Dst] = v
+		f.meta[in.Dst] = meta
+		m.cycles += cost.Cast
+		f.ip++
+
+	case ir.OpLoad:
+		m.execLoad(f, in)
+
+	case ir.OpStore:
+		m.execStore(f, in)
+
+	case ir.OpCall:
+		m.execCall(f, in)
+
+	case ir.OpICall:
+		m.execICall(f, in)
+
+	case ir.OpRet:
+		m.execRet(f, in)
+
+	case ir.OpBr:
+		f.blk = in.Blk0
+		f.ip = 0
+		m.cycles += cost.Br
+
+	case ir.OpCondBr:
+		v, _ := m.eval(f, in.A)
+		if v != 0 {
+			f.blk = in.Blk0
+		} else {
+			f.blk = in.Blk1
+		}
+		f.ip = 0
+		m.cycles += cost.CondBr
+
+	default:
+		m.trapf(TrapAbort, 0, ViaNone, "bad opcode %d", in.Op)
+	}
+}
+
+func aluEval(op ir.ALU, ua, ub uint64) (uint64, error) {
+	a, b := int64(ua), int64(ub)
+	boolv := func(c bool) uint64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.AAdd:
+		return ua + ub, nil
+	case ir.ASub:
+		return ua - ub, nil
+	case ir.AMul:
+		return uint64(a * b), nil
+	case ir.ADiv:
+		if b == 0 {
+			return 0, errDiv
+		}
+		return uint64(a / b), nil
+	case ir.ARem:
+		if b == 0 {
+			return 0, errDiv
+		}
+		return uint64(a % b), nil
+	case ir.AAnd:
+		return ua & ub, nil
+	case ir.AOr:
+		return ua | ub, nil
+	case ir.AXor:
+		return ua ^ ub, nil
+	case ir.AShl:
+		return ua << (ub & 63), nil
+	case ir.AShr:
+		return uint64(a >> (ub & 63)), nil
+	case ir.ALt:
+		return boolv(a < b), nil
+	case ir.AGt:
+		return boolv(a > b), nil
+	case ir.ALe:
+		return boolv(a <= b), nil
+	case ir.AGe:
+		return boolv(a >= b), nil
+	case ir.AEq:
+		return boolv(ua == ub), nil
+	case ir.ANe:
+		return boolv(ua != ub), nil
+	}
+	return 0, errDiv
+}
+
+var errDiv = fmt.Errorf("division by zero")

@@ -1,0 +1,681 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/minic/builtins"
+	"repro/internal/sps"
+)
+
+// execIntrinsic dispatches builtin library calls. The memory-manipulation
+// intrinsics are the §3.2.2 cases: when the instrumentation pass could not
+// prove the arguments insensitive it sets ProtSafeIntr and the safe-region-
+// aware variant runs (per-word safe pointer store maintenance, the measured
+// source of memcpy-related CPI overhead).
+func (m *Machine) execIntrinsic(f *frame, in *ir.Instr) {
+	cost := &m.cfg.Cost
+	m.cycles += cost.IntrBase
+
+	arg := func(i int) uint64 {
+		if i >= len(in.Args) {
+			return 0
+		}
+		v, _ := m.eval(f, in.Args[i])
+		return v
+	}
+	setDst := func(v uint64, meta Meta) {
+		if in.Dst >= 0 {
+			f.regs[in.Dst] = v
+			f.meta[in.Dst] = meta
+		}
+	}
+	done := func() { f.ip++ }
+
+	switch in.Intr {
+	case builtins.Malloc, builtins.Calloc:
+		n := int64(arg(0))
+		if in.Intr == builtins.Calloc {
+			n = int64(arg(0)) * int64(arg(1))
+		}
+		addr, ok := m.malloc(n)
+		if !ok {
+			setDst(0, invalidMeta)
+			done()
+			return
+		}
+		if in.Intr == builtins.Calloc {
+			m.zero(addr, n)
+			m.cycles += n / 8 * cost.IntrByte
+		}
+		m.cycles += cost.Alloc
+		setDst(addr, Meta{Kind: sps.KindData, Lower: addr, Upper: addr + uint64(n),
+			ID: m.allocs[addr].id})
+		done()
+
+	case builtins.Free:
+		m.free(arg(0))
+		m.cycles += cost.Alloc
+		setDst(0, invalidMeta)
+		done()
+
+	case builtins.Memcpy, builtins.Memmove:
+		dst, src, n := arg(0), arg(1), int64(arg(2))
+		if lim := m.fortifyLimit(f, in, 0); lim >= 0 && n > lim {
+			m.fortifyFail("memcpy")
+			return
+		}
+		if !m.memcpy(dst, src, n, in.Flags&ir.ProtSafeIntr != 0) {
+			return
+		}
+		setDst(dst, m.argMeta(f, in, 0))
+		done()
+
+	case builtins.Memset:
+		dst, c, n := arg(0), byte(arg(1)), int64(arg(2))
+		if lim := m.fortifyLimit(f, in, 0); lim >= 0 && n > lim {
+			m.fortifyFail("memset")
+			return
+		}
+		if !m.memset(dst, c, n, in.Flags&ir.ProtSafeIntr != 0) {
+			return
+		}
+		setDst(dst, m.argMeta(f, in, 0))
+		done()
+
+	case builtins.Memcmp:
+		a, b, n := arg(0), arg(1), int64(arg(2))
+		r, ok := m.memcmp(a, b, n)
+		if !ok {
+			return
+		}
+		m.cycles += n / 8 * cost.IntrByte
+		setDst(uint64(r), invalidMeta)
+		done()
+
+	case builtins.Strcpy:
+		if !m.strcpyChk(arg(0), arg(1), -1, m.fortifyLimit(f, in, 0), "strcpy") {
+			return
+		}
+		setDst(arg(0), m.argMeta(f, in, 0))
+		done()
+
+	case builtins.Strncpy:
+		if !m.strcpyChk(arg(0), arg(1), int64(arg(2)), m.fortifyLimit(f, in, 0), "strncpy") {
+			return
+		}
+		setDst(arg(0), m.argMeta(f, in, 0))
+		done()
+
+	case builtins.Strcat, builtins.Strncat:
+		dst := arg(0)
+		dlen, ok := m.strlen(dst)
+		if !ok {
+			return
+		}
+		max := int64(-1)
+		if in.Intr == builtins.Strncat {
+			max = int64(arg(2))
+		}
+		lim := m.fortifyLimit(f, in, 0)
+		if lim >= 0 {
+			lim -= dlen
+		}
+		if !m.strcpyChk(dst+uint64(dlen), arg(1), max, lim, "strcat") {
+			return
+		}
+		setDst(dst, m.argMeta(f, in, 0))
+		done()
+
+	case builtins.Strcmp, builtins.Strncmp:
+		max := int64(-1)
+		if in.Intr == builtins.Strncmp {
+			max = int64(arg(2))
+		}
+		r, ok := m.strcmp(arg(0), arg(1), max)
+		if !ok {
+			return
+		}
+		setDst(uint64(r), invalidMeta)
+		done()
+
+	case builtins.Strlen:
+		n, ok := m.strlen(arg(0))
+		if !ok {
+			return
+		}
+		m.cycles += n / 8 * cost.IntrByte
+		setDst(uint64(n), invalidMeta)
+		done()
+
+	case builtins.Printf:
+		s, ok := m.format(f, in, 0)
+		if !ok {
+			return
+		}
+		m.out.WriteString(s)
+		m.cycles += int64(len(s)) / 8 * cost.IntrByte
+		setDst(uint64(len(s)), invalidMeta)
+		done()
+
+	case builtins.Puts:
+		s, ok := m.cstr(arg(0))
+		if !ok {
+			return
+		}
+		m.out.WriteString(s)
+		m.out.WriteByte('\n')
+		setDst(uint64(len(s)+1), invalidMeta)
+		done()
+
+	case builtins.Putchar:
+		m.out.WriteByte(byte(arg(0)))
+		setDst(arg(0), invalidMeta)
+		done()
+
+	case builtins.Sprintf, builtins.Snprintf:
+		fmtIdx := 1
+		max := int64(-1)
+		if in.Intr == builtins.Snprintf {
+			fmtIdx = 2
+			max = int64(arg(1))
+		}
+		s, ok := m.format(f, in, fmtIdx)
+		if !ok {
+			return
+		}
+		if max >= 0 && int64(len(s)) >= max {
+			if max == 0 {
+				s = ""
+			} else {
+				s = s[:max-1]
+			}
+		}
+		if lim := m.fortifyLimit(f, in, 0); lim >= 0 && int64(len(s))+1 > lim {
+			m.fortifyFail("sprintf")
+			return
+		}
+		// sprintf writes unbounded into dst: a classic overflow vector.
+		if err := m.mem.WriteBytes(arg(0), append([]byte(s), 0)); err != nil {
+			m.memFault(err)
+			return
+		}
+		m.cycles += int64(len(s)) / 8 * cost.IntrByte
+		setDst(uint64(len(s)), invalidMeta)
+		done()
+
+	case builtins.Sscanf:
+		n, ok := m.sscanf(f, in)
+		if !ok {
+			return
+		}
+		setDst(uint64(n), invalidMeta)
+		done()
+
+	case builtins.Atoi:
+		s, ok := m.cstr(arg(0))
+		if !ok {
+			return
+		}
+		v, _ := strconv.ParseInt(trimNum(s), 10, 64)
+		setDst(uint64(v), invalidMeta)
+		done()
+
+	case builtins.Abs:
+		v := int64(arg(0))
+		if v < 0 {
+			v = -v
+		}
+		setDst(uint64(v), invalidMeta)
+		done()
+
+	case builtins.Rand:
+		m.randState = m.randState*6364136223846793005 + 1442695040888963407
+		setDst((m.randState>>33)&0x7fffffff, invalidMeta)
+		done()
+
+	case builtins.Srand:
+		m.randState = arg(0)*2862933555777941757 + 3037000493
+		setDst(0, invalidMeta)
+		done()
+
+	case builtins.Exit:
+		m.exitCode = int64(arg(0))
+		m.trap = &Trap{Kind: TrapExit, PC: m.pcString()}
+
+	case builtins.Abort:
+		m.trapf(TrapAbort, 0, ViaNone, "abort() called")
+
+	case builtins.Setjmp:
+		m.setjmp(f, in, arg(0))
+
+	case builtins.Longjmp:
+		m.longjmp(arg(0), arg(1))
+
+	case builtins.ReadInput:
+		buf, n := arg(0), int64(arg(1))
+		data := m.cfg.Input
+		if int64(len(data)) > n {
+			data = data[:n]
+		}
+		if err := m.mem.WriteBytes(buf, data); err != nil {
+			m.memFault(err)
+			return
+		}
+		m.cycles += int64(len(data)) / 8 * cost.IntrByte
+		setDst(uint64(len(data)), invalidMeta)
+		done()
+
+	case builtins.InputLen:
+		setDst(uint64(len(m.cfg.Input)), invalidMeta)
+		done()
+
+	case builtins.Getenv:
+		setDst(0, invalidMeta)
+		done()
+
+	case builtins.Clock:
+		setDst(uint64(m.cycles), invalidMeta)
+		done()
+
+	default:
+		m.trapf(TrapAbort, 0, ViaNone, "unknown intrinsic %v", in.Intr)
+	}
+}
+
+// fortifyLimit returns the FORTIFY bound for a destination argument: the
+// remaining bytes of the destination object when known (glibc
+// __builtin_object_size semantics), or -1 when unknown.
+func (m *Machine) fortifyLimit(f *frame, in *ir.Instr, i int) int64 {
+	if !m.cfg.Fortify || i >= len(in.Args) {
+		return -1
+	}
+	addr, meta := m.eval(f, in.Args[i])
+	if meta.Kind != sps.KindData || addr < meta.Lower || addr >= meta.Upper {
+		return -1
+	}
+	return int64(meta.Upper - addr)
+}
+
+// fortifyFail aborts with the glibc *_chk diagnostic.
+func (m *Machine) fortifyFail(name string) {
+	m.trapf(TrapFortify, 0, ViaNone, "*** %s_chk: buffer overflow detected ***", name)
+}
+
+// argMeta returns the metadata of the i-th argument.
+func (m *Machine) argMeta(f *frame, in *ir.Instr, i int) Meta {
+	if i >= len(in.Args) {
+		return invalidMeta
+	}
+	_, meta := m.eval(f, in.Args[i])
+	return meta
+}
+
+// ---- heap ----
+
+func (m *Machine) malloc(n int64) (uint64, bool) {
+	if n <= 0 {
+		n = 1
+	}
+	n = (n + 15) &^ 15
+	m.nextID++
+	// Exact-size free-list reuse: realistic allocator behaviour that makes
+	// use-after-free attacks possible in the unprotected configuration.
+	if lst := m.freeLst[n]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		m.freeLst[n] = lst[:len(lst)-1]
+		a := m.allocs[addr]
+		a.freed = false
+		a.id = m.nextID
+		m.heapLive += n
+		m.updateMemPeaks()
+		return addr, true
+	}
+	addr := m.heapBrk
+	end := addr + uint64(n)
+	if end > heapBase+m.slideHeap+heapMax {
+		m.trapf(TrapOOM, addr, ViaNone, "heap exhausted")
+		return 0, false
+	}
+	dataPerm := mem.R | mem.W
+	if !m.cfg.DEP {
+		dataPerm |= mem.X
+	}
+	m.mem.Map(addr, uint64(n), dataPerm)
+	m.heapBrk = end
+	m.allocs[addr] = &allocation{addr: addr, size: n, id: m.nextID}
+	m.heapLive += n
+	m.updateMemPeaks()
+	return addr, true
+}
+
+func (m *Machine) free(addr uint64) {
+	a := m.allocs[addr]
+	if a == nil || a.freed {
+		return // lenient, like most allocators
+	}
+	a.freed = true
+	m.heapLive -= a.size
+	m.freeLst[a.size] = append(m.freeLst[a.size], addr)
+}
+
+func (m *Machine) zero(addr uint64, n int64) {
+	b := make([]byte, n)
+	if err := m.mem.WriteBytes(addr, b); err != nil {
+		m.memFault(err)
+	}
+}
+
+// ---- memory intrinsics ----
+
+// memcpy copies n bytes; the safe variant additionally migrates safe
+// pointer store entries for each covered word (cost per word).
+func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
+	if n <= 0 {
+		return true
+	}
+	b, err := m.mem.ReadBytes(src, int(n))
+	if err != nil {
+		m.memFault(err)
+		return false
+	}
+	if err := m.mem.WriteBytes(dst, b); err != nil {
+		m.memFault(err)
+		return false
+	}
+	m.cycles += (n/8 + 1) * m.cfg.Cost.IntrByte
+	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
+		words := n / 8
+		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.LoadCost())
+		for off := int64(0); off+8 <= n; off += 8 {
+			if e, ok := m.sps.Get(src + uint64(off)); ok {
+				m.sps.Set(dst+uint64(off), e)
+			} else {
+				m.sps.Delete(dst + uint64(off))
+			}
+		}
+	}
+	return true
+}
+
+func (m *Machine) memset(dst uint64, c byte, n int64, safeVariant bool) bool {
+	if n <= 0 {
+		return true
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	if err := m.mem.WriteBytes(dst, b); err != nil {
+		m.memFault(err)
+		return false
+	}
+	m.cycles += (n/8 + 1) * m.cfg.Cost.IntrByte
+	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
+		words := n / 8
+		m.cycles += words * m.cfg.Cost.SafeIntrWord
+		for off := int64(0); off+8 <= n; off += 8 {
+			m.sps.Delete(dst + uint64(off))
+		}
+	}
+	return true
+}
+
+func (m *Machine) memcmp(a, b uint64, n int64) (int64, bool) {
+	ba, err := m.mem.ReadBytes(a, int(n))
+	if err != nil {
+		m.memFault(err)
+		return 0, false
+	}
+	bb, err := m.mem.ReadBytes(b, int(n))
+	if err != nil {
+		m.memFault(err)
+		return 0, false
+	}
+	for i := int64(0); i < n; i++ {
+		if ba[i] != bb[i] {
+			return int64(ba[i]) - int64(bb[i]), true
+		}
+	}
+	return 0, true
+}
+
+// strcpyChk is strcpy with an optional FORTIFY destination limit.
+func (m *Machine) strcpyChk(dst, src uint64, max, lim int64, name string) bool {
+	if lim >= 0 && (max < 0 || max > lim) {
+		// Determine the copy length first, as __strcpy_chk does.
+		n, ok := m.strlen(src)
+		if !ok {
+			return false
+		}
+		if max >= 0 && n > max {
+			n = max
+		}
+		if n+1 > lim {
+			m.fortifyFail(name)
+			return false
+		}
+	}
+	return m.strcpy(dst, src, max, true)
+}
+
+// strcpy copies src to dst up to NUL (or max bytes when max >= 0). It is
+// deliberately unbounded when max < 0 — the classic overflow.
+func (m *Machine) strcpy(dst, src uint64, max int64, nulTerm bool) bool {
+	var i int64
+	for {
+		if max >= 0 && i >= max {
+			return true
+		}
+		c, err := m.mem.Load(src+uint64(i), 1)
+		if err != nil {
+			m.memFault(err)
+			return false
+		}
+		if err := m.mem.Store(dst+uint64(i), 1, c); err != nil {
+			m.memFault(err)
+			return false
+		}
+		m.cycles += m.cfg.Cost.IntrByte / 4
+		if c == 0 {
+			return true
+		}
+		i++
+		if i > 1<<20 {
+			m.trapf(TrapSegFault, src, ViaNone, "runaway string copy")
+			return false
+		}
+	}
+}
+
+func (m *Machine) strlen(s uint64) (int64, bool) {
+	var n int64
+	for {
+		c, err := m.mem.Load(s+uint64(n), 1)
+		if err != nil {
+			m.memFault(err)
+			return 0, false
+		}
+		if c == 0 {
+			return n, true
+		}
+		n++
+		if n > 1<<20 {
+			m.trapf(TrapSegFault, s, ViaNone, "unterminated string")
+			return 0, false
+		}
+	}
+}
+
+func (m *Machine) strcmp(a, b uint64, max int64) (int64, bool) {
+	var i int64
+	for {
+		if max >= 0 && i >= max {
+			return 0, true
+		}
+		ca, err := m.mem.Load(a+uint64(i), 1)
+		if err != nil {
+			m.memFault(err)
+			return 0, false
+		}
+		cb, err := m.mem.Load(b+uint64(i), 1)
+		if err != nil {
+			m.memFault(err)
+			return 0, false
+		}
+		if ca != cb {
+			return int64(ca) - int64(cb), true
+		}
+		if ca == 0 {
+			return 0, true
+		}
+		i++
+	}
+}
+
+func (m *Machine) cstr(addr uint64) (string, bool) {
+	s, err := m.mem.CString(addr, 1<<20)
+	if err != nil {
+		m.memFault(err)
+		return "", false
+	}
+	return s, true
+}
+
+// format implements the printf family for %d %s %c %x %p %%.
+func (m *Machine) format(f *frame, in *ir.Instr, fmtIdx int) (string, bool) {
+	fv, _ := m.eval(f, in.Args[fmtIdx])
+	fs, ok := m.cstr(fv)
+	if !ok {
+		return "", false
+	}
+	var out []byte
+	argi := fmtIdx + 1
+	nextArg := func() uint64 {
+		if argi < len(in.Args) {
+			v, _ := m.eval(f, in.Args[argi])
+			argi++
+			return v
+		}
+		return 0
+	}
+	for i := 0; i < len(fs); i++ {
+		c := fs[i]
+		if c != '%' || i+1 >= len(fs) {
+			out = append(out, c)
+			continue
+		}
+		i++
+		// Skip width/flags (enough for the workloads' formats).
+		for i < len(fs) && (fs[i] == '-' || fs[i] == '0' || (fs[i] >= '0' && fs[i] <= '9') || fs[i] == 'l') {
+			i++
+		}
+		if i >= len(fs) {
+			break
+		}
+		switch fs[i] {
+		case 'd', 'i':
+			out = append(out, []byte(strconv.FormatInt(int64(nextArg()), 10))...)
+		case 'u':
+			out = append(out, []byte(strconv.FormatUint(nextArg(), 10))...)
+		case 'x':
+			out = append(out, []byte(strconv.FormatUint(nextArg(), 16))...)
+		case 'p':
+			out = append(out, []byte(fmt.Sprintf("%#x", nextArg()))...)
+		case 'c':
+			out = append(out, byte(nextArg()))
+		case 's':
+			s, ok := m.cstr(nextArg())
+			if !ok {
+				return "", false
+			}
+			out = append(out, []byte(s)...)
+		case '%':
+			out = append(out, '%')
+		default:
+			out = append(out, '%', fs[i])
+		}
+	}
+	return string(out), true
+}
+
+// sscanf supports %d and %s (unbounded %s: another overflow vector).
+func (m *Machine) sscanf(f *frame, in *ir.Instr) (int, bool) {
+	sv, _ := m.eval(f, in.Args[0])
+	src, ok := m.cstr(sv)
+	if !ok {
+		return 0, false
+	}
+	fv, _ := m.eval(f, in.Args[1])
+	fs, ok := m.cstr(fv)
+	if !ok {
+		return 0, false
+	}
+	argi := 2
+	matched := 0
+	pos := 0
+	skipWS := func() {
+		for pos < len(src) && (src[pos] == ' ' || src[pos] == '\t' || src[pos] == '\n') {
+			pos++
+		}
+	}
+	for i := 0; i < len(fs)-1; i++ {
+		if fs[i] != '%' {
+			continue
+		}
+		if argi >= len(in.Args) {
+			break
+		}
+		dst, _ := m.eval(f, in.Args[argi])
+		argi++
+		switch fs[i+1] {
+		case 'd':
+			skipWS()
+			start := pos
+			for pos < len(src) && (src[pos] == '-' || (src[pos] >= '0' && src[pos] <= '9')) {
+				pos++
+			}
+			if start == pos {
+				return matched, true
+			}
+			v, _ := strconv.ParseInt(src[start:pos], 10, 64)
+			if err := m.mem.Store(dst, 8, uint64(v)); err != nil {
+				m.memFault(err)
+				return 0, false
+			}
+			matched++
+		case 's':
+			skipWS()
+			start := pos
+			for pos < len(src) && src[pos] != ' ' && src[pos] != '\t' && src[pos] != '\n' {
+				pos++
+			}
+			if start == pos {
+				return matched, true
+			}
+			if err := m.mem.WriteBytes(dst, append([]byte(src[start:pos]), 0)); err != nil {
+				m.memFault(err)
+				return 0, false
+			}
+			matched++
+		}
+	}
+	return matched, true
+}
+
+func trimNum(s string) string {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	j := i
+	if j < len(s) && (s[j] == '-' || s[j] == '+') {
+		j++
+	}
+	for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+		j++
+	}
+	return s[i:j]
+}

@@ -1,0 +1,508 @@
+// Package vm executes instrumented IR programs on a simulated 64-bit
+// machine. It provides the runtime half of the Levee reproduction: the
+// memory layout of Fig. 2 (code, regular region with heap/globals/unsafe
+// stacks, safe region with safe stacks and the safe pointer store), the
+// enforcement semantics of §3.2 (safe pointer store accesses, bounds checks,
+// safe stack, isolation) and of the baseline defenses (DEP, ASLR, stack
+// cookies, coarse-grained CFI, SoftBound), a deterministic cycle cost model,
+// and the attacker interface implied by the §2 threat model (full control
+// over regular process memory, no writes to the code segment).
+package vm
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sps"
+)
+
+// IsolationMode selects how the safe region is isolated (§3.2.3).
+type IsolationMode uint8
+
+// Isolation modes.
+const (
+	// IsoSegment models x86-32 segment-register protection: the safe
+	// region is in a separate address space that regular accesses cannot
+	// name at all.
+	IsoSegment IsolationMode = iota
+	// IsoInfoHide models x86-64 information hiding: the safe region base
+	// is randomized in a 47-bit space and no pointer into it is ever
+	// stored in regular memory; the attacker may guess (GuessSafeRegion).
+	IsoInfoHide
+	// IsoSFI models software fault isolation: same separation, plus a
+	// masking cost on every regular memory operation.
+	IsoSFI
+)
+
+var isoNames = [...]string{"segment", "infohide", "sfi"}
+
+// String names the isolation mode.
+func (m IsolationMode) String() string { return isoNames[m] }
+
+// Config controls the runtime protection behaviour. The instruction-level
+// flags (which loads/stores use the safe pointer store) come from the
+// instrumentation passes; Config controls the runtime mechanisms.
+type Config struct {
+	// SafeStack places return addresses and proven-safe frame objects on
+	// the isolated safe stack (§3.2.4). Without it, everything including
+	// return addresses lives on the regular stack.
+	SafeStack bool
+	// CPI/CPS enable safe-pointer-store semantics for flagged accesses.
+	CPI bool
+	CPS bool
+	// SoftBound enables full-memory-safety semantics for ProtSB accesses.
+	SoftBound bool
+	// CFI checks indirect-call and return targets against statically valid
+	// sets (coarse-grained, merged target sets, as in [53, 54]).
+	CFI bool
+	// StackCookies places a canary between locals and the return address
+	// on the regular stack.
+	StackCookies bool
+	// DEP makes data pages non-executable.
+	DEP bool
+	// ASLR randomizes the stack and heap bases. Code and globals stay
+	// fixed unless PIE is also set, matching the era's non-PIE default
+	// (RIPE's surviving attacks on hardened systems target exactly those
+	// fixed segments).
+	ASLR bool
+	// PIE additionally randomizes the executable's code and data segments
+	// (position-independent executable).
+	PIE bool
+	// Fortify bounds-checks the libc copy functions against the
+	// destination object when its extent is known (glibc
+	// _FORTIFY_SOURCE=2 semantics: the *_chk family).
+	Fortify bool
+	// PtrMangle XORs the resume address stored by setjmp with a secret
+	// per-process guard (glibc PTR_MANGLE), so raw addresses written into
+	// a jmp_buf demangle to garbage.
+	PtrMangle bool
+	// Isolation selects the safe-region isolation mechanism.
+	Isolation IsolationMode
+	// DebugDualStore stores protected pointers in both regions and traps
+	// on mismatch at load (§3.2.2 debug mode).
+	DebugDualStore bool
+	// TemporalSafety enables CETS-style temporal id checks (the §4
+	// "can be easily extended" extension; off by default, like Levee).
+	TemporalSafety bool
+
+	// SPS selects the safe pointer store organisation: array (default),
+	// twolevel, hash.
+	SPS string
+	// Cost is the cycle model; zero value means DefaultCosts.
+	Cost CostModel
+
+	// Seed drives ASLR slides, canary values and rand().
+	Seed int64
+	// Input is the attacker-controlled input returned by read_input().
+	Input []byte
+	// MaxSteps bounds execution (0 = default 200M).
+	MaxSteps int64
+	// MaxCallDepth bounds recursion (0 = default 4096).
+	MaxCallDepth int
+}
+
+// Memory layout constants (pre-ASLR bases). Bases are chosen so that code
+// and data addresses have no NUL bytes in their low four bytes: like
+// real-world exploit targets, string-copy overflows must be able to carry
+// the payload address (RIPE faces the same constraint).
+const (
+	codeBase   = 0x0101_0140
+	funcStride = 0x100
+	retSiteOff = 0x0010_0000 // return-site addresses within the code segment
+	jmpSiteOff = 0x0018_0000 // setjmp-site addresses
+	codeSize   = 0x0020_0000
+
+	rodataBase = 0x0160_0140
+	globalBase = 0x0180_0140
+	heapBase   = 0x0240_0140
+	heapMax    = 0x0800_0000
+	stackTop   = 0x7fff_0140
+	stackMax   = 0x0040_0000 // 4 MiB regular stack
+
+	safeStackTop = 0x5afe_0000_0000 // in the safe address space
+)
+
+// site is a resume point in the program.
+type site struct {
+	fn  int
+	blk int
+	ip  int // instruction index to resume at
+	dst int // destination register (setjmp sites)
+}
+
+// allocation tracks one heap object.
+type allocation struct {
+	addr  uint64
+	size  int64
+	id    uint64
+	freed bool
+}
+
+// frame is one activation record.
+type frame struct {
+	fn   *ir.Func
+	fidx int
+	regs []uint64
+	meta []Meta
+	blk  int
+	ip   int
+
+	regBase  uint64 // base of this frame's objects on the regular stack
+	safeBase uint64 // base of this frame's objects on the safe stack
+	regSize  uint64 // total regular-stack bytes consumed
+	safeSize uint64 // total safe-stack bytes consumed
+
+	retSlot    uint64 // where the return address word is stored
+	retOnSafe  bool   // retSlot is in the safe address space
+	canaryAddr uint64 // 0 when no cookie
+	retAddr    uint64 // true (shadow) return address
+	retSite    site   // caller resume point
+	dst        int    // caller register for the return value
+}
+
+// Meta is the based-on metadata carried alongside register values (§3.1):
+// bounds of the target object, a temporal id, and a provenance kind.
+type Meta struct {
+	Kind  sps.Kind
+	Lower uint64
+	Upper uint64
+	ID    uint64
+}
+
+// invalidMeta is the metadata of non-pointer or unknown values.
+var invalidMeta = Meta{Kind: sps.KindInvalid}
+
+func metaFromEntry(e sps.Entry) Meta {
+	return Meta{Kind: e.Kind, Lower: e.Lower, Upper: e.Upper, ID: e.ID}
+}
+
+func entryFromMeta(v uint64, m Meta) sps.Entry {
+	return sps.Entry{Value: v, Lower: m.Lower, Upper: m.Upper, ID: m.ID, Kind: m.Kind}
+}
+
+// Machine executes one program instance.
+type Machine struct {
+	cfg  Config
+	prog *ir.Program
+
+	mem  *mem.Memory // regular region (+code, rodata)
+	safe *mem.Memory // safe region (safe stacks)
+	sps  sps.Store
+
+	frames []*frame
+	cycles int64
+	steps  int64
+	out    bytes.Buffer
+	rng    uint64
+
+	// Layout.
+	slideCode   uint64
+	slideData   uint64
+	slideStack  uint64
+	slideHeap   uint64
+	funcAddrs   []uint64
+	funcByAddr  map[uint64]int
+	globalAddrs []uint64
+	strAddrs    []uint64
+	retSites    map[uint64]site
+	jmpSites    map[uint64]site
+	nextRetSite int
+	nextJmpSite map[siteKey]uint64
+	canary      uint64
+	ptrGuard    uint64 // PTR_MANGLE secret
+	safeBaseSec uint64 // secret safe-region base (info hiding)
+
+	sp  uint64 // regular stack pointer
+	ssp uint64 // safe stack pointer
+
+	heapBrk uint64
+	allocs  map[uint64]*allocation // by address
+	nextID  uint64
+	freeLst map[int64][]uint64 // size -> addresses (enables reuse/UAF)
+
+	// hooks are driver callbacks invoked when a function is entered; the
+	// attack harness uses them to model the §2 attacker acting at a chosen
+	// moment (e.g. between setup and dispatch).
+	hooks map[int]func(*Machine)
+
+	// safeMeta shadows based-on metadata for words in the safe address
+	// space. The safe stack holds spilled registers and proven-safe locals
+	// (§3.2.4); their metadata is compiler-managed state that needs no
+	// runtime representation, so the shadow map models it at zero cycle
+	// cost. It is not addressable by the program or the attacker.
+	safeMeta map[uint64]Meta
+
+	// Peak memory accounting.
+	memStats   MemStats
+	heapLive   int64
+	exitCode   int64
+	trap       *Trap
+	randState  uint64
+	stepBudget int64
+}
+
+type siteKey struct{ fn, blk, ip int }
+
+// New prepares a machine for the given instrumented program.
+func New(p *ir.Program, cfg Config) (*Machine, error) {
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCosts()
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = 4096
+	}
+	m := &Machine{
+		cfg:         cfg,
+		prog:        p,
+		mem:         mem.New(),
+		safe:        mem.New(),
+		sps:         sps.New(cfg.SPS),
+		funcByAddr:  map[uint64]int{},
+		retSites:    map[uint64]site{},
+		jmpSites:    map[uint64]site{},
+		nextJmpSite: map[siteKey]uint64{},
+		allocs:      map[uint64]*allocation{},
+		freeLst:     map[int64][]uint64{},
+		safeMeta:    map[uint64]Meta{},
+		rng:         uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
+		randState:   uint64(cfg.Seed)*6364136223846793005 + 1,
+		stepBudget:  cfg.MaxSteps,
+	}
+	if err := m.load(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// nextRand is a small deterministic PRNG for layout and canaries.
+func (m *Machine) nextRand() uint64 {
+	m.rng ^= m.rng << 13
+	m.rng ^= m.rng >> 7
+	m.rng ^= m.rng << 17
+	return m.rng
+}
+
+// load lays out the address space and initializes memory.
+func (m *Machine) load() error {
+	if m.cfg.ASLR {
+		// Page-aligned slides up to 16 MiB per segment group. Stack and
+		// heap always move; code/globals only for PIE builds.
+		m.slideStack = (m.nextRand() % 4096) * mem.PageSize
+		m.slideHeap = (m.nextRand() % 4096) * mem.PageSize
+		if m.cfg.PIE {
+			m.slideCode = (m.nextRand() % 4096) * mem.PageSize
+			m.slideData = (m.nextRand() % 4096) * mem.PageSize
+		}
+	}
+	m.canary = m.nextRand() | 1 // never zero
+	m.ptrGuard = m.nextRand() | 1
+	m.safeBaseSec = (m.nextRand() % (1 << 46)) &^ (mem.PageSize - 1)
+
+	dataPerm := mem.R | mem.W
+	if !m.cfg.DEP {
+		dataPerm |= mem.X // without DEP, writable memory is executable
+	}
+
+	// Code segment: function entries, return sites, setjmp sites. Pages
+	// are read-execute; the threat model (§2) guarantees code immutability.
+	m.mem.Map(codeBase+m.slideCode, codeSize, mem.R|mem.X)
+	m.funcAddrs = make([]uint64, len(m.prog.Funcs))
+	for i := range m.prog.Funcs {
+		a := codeBase + m.slideCode + uint64(i)*funcStride
+		m.funcAddrs[i] = a
+		m.funcByAddr[a] = i
+	}
+	// Return sites: one address per static call site.
+	for fi, f := range m.prog.Funcs {
+		for bi, b := range f.Blocks {
+			for ii := range b.Ins {
+				in := &b.Ins[ii]
+				if in.Op == ir.OpCall && in.Callee >= 0 || in.Op == ir.OpICall {
+					addr := codeBase + m.slideCode + retSiteOff + uint64(m.nextRetSite)*16
+					m.retSites[addr] = site{fn: fi, blk: bi, ip: ii + 1, dst: in.Dst}
+					m.nextRetSite++
+				}
+				if in.Op == ir.OpCall && in.Callee < 0 {
+					// setjmp sites get stable addresses too.
+					key := siteKey{fi, bi, ii}
+					addr := codeBase + m.slideCode + jmpSiteOff + uint64(len(m.nextJmpSite))*16
+					m.nextJmpSite[key] = addr
+					m.jmpSites[addr] = site{fn: fi, blk: bi, ip: ii + 1, dst: in.Dst}
+				}
+			}
+		}
+	}
+
+	// Read-only data: string literals.
+	m.strAddrs = make([]uint64, len(m.prog.Strings))
+	saddr := uint64(rodataBase) + m.slideData
+	var rodataEnd uint64 = saddr
+	for i, s := range m.prog.Strings {
+		m.strAddrs[i] = saddr
+		rodataEnd = saddr + uint64(len(s)) + 1
+		saddr = align8(rodataEnd)
+	}
+	if len(m.prog.Strings) > 0 {
+		m.mem.Map(rodataBase+m.slideData, rodataEnd-(rodataBase+m.slideData), mem.R)
+		for i, s := range m.prog.Strings {
+			if err := m.mem.ForceWrite(m.strAddrs[i], append([]byte(s), 0)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Globals: contiguous, natural alignment (overflows between adjacent
+	// globals are possible, as on a real ELF data/bss segment).
+	m.globalAddrs = make([]uint64, len(m.prog.Globals))
+	gaddr := uint64(globalBase) + m.slideData
+	for i, g := range m.prog.Globals {
+		a := uint64(g.Type.Align())
+		gaddr = (gaddr + a - 1) &^ (a - 1)
+		m.globalAddrs[i] = gaddr
+		gaddr += uint64(g.Size)
+	}
+	if len(m.prog.Globals) > 0 {
+		m.mem.Map(globalBase+m.slideData, gaddr-(globalBase+m.slideData)+8, dataPerm)
+	}
+	m.memStats.Globals = int64(gaddr - (globalBase + m.slideData))
+	if err := m.initGlobals(); err != nil {
+		return err
+	}
+
+	// Heap.
+	m.heapBrk = heapBase + m.slideHeap
+	m.mem.Map(heapBase+m.slideHeap, mem.PageSize*16, dataPerm)
+
+	// Regular stack.
+	m.sp = stackTop - m.slideStack
+	m.mem.Map(m.sp-stackMax, stackMax, dataPerm)
+
+	// Safe stack (separate address space; see DESIGN.md on isolation).
+	m.ssp = safeStackTop
+	m.safe.Map(m.ssp-stackMax, stackMax, mem.R|mem.W)
+
+	return nil
+}
+
+func align8(v uint64) uint64 { return (v + 7) &^ 7 }
+
+// initGlobals applies init items and pre-populates the safe pointer store
+// for protected pointer-valued initializers (the loader is trusted, §2).
+func (m *Machine) initGlobals() error {
+	protecting := m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound
+	for gi, g := range m.prog.Globals {
+		base := m.globalAddrs[gi]
+		for _, it := range g.Init {
+			var v uint64
+			var entry sps.Entry
+			hasEntry := false
+			switch it.Kind {
+			case ir.InitConst:
+				v = uint64(it.Val)
+			case ir.InitFuncAddr:
+				v = m.funcAddrs[it.Index]
+				entry = sps.Entry{Value: v, Lower: v, Upper: v, Kind: sps.KindCode}
+				hasEntry = true
+			case ir.InitGlobalAddr:
+				tb := m.globalAddrs[it.Index]
+				v = tb + uint64(it.Val)
+				entry = sps.Entry{Value: v, Lower: tb,
+					Upper: tb + uint64(m.prog.Globals[it.Index].Size), Kind: sps.KindData}
+				hasEntry = true
+			case ir.InitStringAddr:
+				tb := m.strAddrs[it.Index]
+				v = tb + uint64(it.Val)
+				entry = sps.Entry{Value: v, Lower: tb,
+					Upper: tb + uint64(len(m.prog.Strings[it.Index])+1), Kind: sps.KindData}
+				hasEntry = true
+			}
+			if err := m.mem.ForceStore(base+uint64(it.Offset), int(it.Size), v); err != nil {
+				return err
+			}
+			if hasEntry && protecting && it.Size == 8 {
+				m.sps.Set(base+uint64(it.Offset), entry)
+			} else if g.Annotated && protecting && it.Size == 8 {
+				m.sps.Set(base+uint64(it.Offset),
+					sps.Entry{Value: v, Upper: ^uint64(0), Kind: sps.KindData})
+			}
+		}
+	}
+	return nil
+}
+
+// FuncAddr returns the code address of the named function (the legitimate
+// way programs and the attack harness obtain code addresses).
+func (m *Machine) FuncAddr(name string) (uint64, bool) {
+	for i, f := range m.prog.Funcs {
+		if f.Name == name {
+			return m.funcAddrs[i], true
+		}
+	}
+	return 0, false
+}
+
+// GlobalAddr returns the data address of the named global.
+func (m *Machine) GlobalAddr(name string) (uint64, bool) {
+	for i, g := range m.prog.Globals {
+		if g.Name == name {
+			return m.globalAddrs[i], true
+		}
+	}
+	return 0, false
+}
+
+// SetHook registers fn to run whenever the named function is entered
+// (before its frame is set up). Used by attack drivers to act mid-run.
+func (m *Machine) SetHook(name string, fn func(*Machine)) bool {
+	for i, f := range m.prog.Funcs {
+		if f.Name == name {
+			if m.hooks == nil {
+				m.hooks = map[int]func(*Machine){}
+			}
+			m.hooks[i] = fn
+			return true
+		}
+	}
+	return false
+}
+
+// Output returns the program's stdout so far.
+func (m *Machine) Output() string { return m.out.String() }
+
+// Cycles returns the cycle counter.
+func (m *Machine) Cycles() int64 { return m.cycles }
+
+// pcString renders the current location for diagnostics.
+func (m *Machine) pcString() string {
+	if len(m.frames) == 0 {
+		return "<start>"
+	}
+	f := m.frames[len(m.frames)-1]
+	return fmt.Sprintf("%s.%d:%d", f.fn.Name, f.blk, f.ip)
+}
+
+// updateMemPeaks refreshes peak memory statistics.
+func (m *Machine) updateMemPeaks() {
+	if m.heapLive > m.memStats.HeapPeak {
+		m.memStats.HeapPeak = m.heapLive
+	}
+	stackUsed := int64(stackTop - m.slideStack - m.sp)
+	if stackUsed > m.memStats.StackPeak {
+		m.memStats.StackPeak = stackUsed
+	}
+	safeUsed := int64(safeStackTop - m.ssp)
+	if safeUsed > m.memStats.SafeStack {
+		m.memStats.SafeStack = safeUsed
+	}
+	if b := m.sps.FootprintBytes(); b > m.memStats.SPSBytes {
+		m.memStats.SPSBytes = b
+	}
+	if n := int64(m.sps.Len()); n > m.memStats.SPSEntries {
+		m.memStats.SPSEntries = n
+	}
+}

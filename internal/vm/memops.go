@@ -1,0 +1,227 @@
+package vm
+
+import (
+	"repro/internal/ir"
+	"repro/internal/sps"
+)
+
+// This file implements the load/store semantics of §3.2.2 and Appendix A:
+//
+//   - flagged stores place the pointer value and its based-on metadata in
+//     the safe pointer store (keyed by the pointer's regular-region
+//     address); the regular-region copy is also written but "remains
+//     unused" for protected loads (Fig. 2);
+//   - flagged loads read value+metadata from the safe pointer store;
+//     attacker writes to the regular copy therefore have no effect;
+//   - universal-pointer accesses consult the safe store conditionally on
+//     metadata validity;
+//   - dereferences through sensitive pointers are bounds-checked against
+//     the metadata (ProtCPICheck / ProtSBCheck);
+//   - SoftBound applies the same machinery to every pointer access.
+
+// protLoad reports whether the instruction's flags make this access use the
+// safe pointer store under the active configuration.
+func (m *Machine) protActive(fl ir.Prot) (useSPS, universal, check, cps bool) {
+	c := &m.cfg
+	switch {
+	case c.SoftBound && fl&(ir.ProtSB) != 0:
+		return true, fl&ir.ProtUniversal != 0, false, false
+	case c.CPI && fl&(ir.ProtCPIStore|ir.ProtCPILoad) != 0:
+		return true, fl&ir.ProtUniversal != 0, false, false
+	case c.CPS && fl&ir.ProtCPS != 0:
+		return true, fl&ir.ProtUniversal != 0, false, true
+	}
+	return false, false, false, false
+}
+
+// derefCheck applies the bounds/validity check for a dereference through a
+// pointer with the given metadata (Appendix A: l' ∈ [b, e-sizeof(a)]).
+// Direct frame/global operands were proven safe statically and are not
+// checked (the instrumentation pass leaves them unflagged).
+func (m *Machine) derefCheck(kind TrapKind, addr uint64, size int64, meta Meta) bool {
+	if kind == TrapSBViolation {
+		m.cycles += m.cfg.Cost.SBCheck
+	} else {
+		m.cycles += m.cfg.Cost.checkCost()
+	}
+	if meta.Kind != sps.KindData {
+		m.trapf(kind, addr, ViaNone, "dereference with invalid metadata")
+		return false
+	}
+	if addr < meta.Lower || addr+uint64(size) > meta.Upper {
+		m.trapf(kind, addr, ViaNone,
+			"out-of-bounds access %#x+%d not in [%#x,%#x)", addr, size, meta.Lower, meta.Upper)
+		return false
+	}
+	if m.cfg.TemporalSafety && meta.ID != 0 {
+		if a := m.allocs[meta.Lower]; a != nil && (a.freed || a.id != meta.ID) {
+			m.trapf(kind, addr, ViaNone, "temporal violation (use after free)")
+			return false
+		}
+	}
+	return true
+}
+
+// checkTrapKind picks the violation trap for the active mechanism.
+func (m *Machine) checkTrapKind(fl ir.Prot) TrapKind {
+	if m.cfg.SoftBound && fl&(ir.ProtSB|ir.ProtSBCheck) != 0 {
+		return TrapSBViolation
+	}
+	return TrapCPIViolation
+}
+
+func (m *Machine) execLoad(f *frame, in *ir.Instr) {
+	cost := &m.cfg.Cost
+	addr, ptrMeta, onSafe := m.addrSpace(f, in.A)
+
+	// Bounds check on the dereferenced pointer when flagged.
+	if (m.cfg.CPI && in.Flags&ir.ProtCPICheck != 0) ||
+		(m.cfg.SoftBound && in.Flags&ir.ProtSBCheck != 0) {
+		if in.A.Kind == ir.ValReg { // direct operands are statically safe
+			if !m.derefCheck(m.checkTrapKind(in.Flags), addr, int64(in.Size), ptrMeta) {
+				return
+			}
+		}
+	}
+
+	space := m.mem
+	if onSafe {
+		space = m.safe
+	}
+
+	useSPS, universal, _, cps := m.protActive(in.Flags)
+	if useSPS && in.Size == 8 && !onSafe {
+		m.cycles += m.sps.LoadCost()
+		e, ok := m.sps.Get(addr)
+		switch {
+		case ok && e.Valid():
+			if m.cfg.DebugDualStore {
+				raw, err := space.Load(addr, 8)
+				if err == nil && raw != e.Value {
+					m.trapf(m.violationKind(cps), addr, ViaNone,
+						"dual-store mismatch: regular %#x vs safe %#x", raw, e.Value)
+					return
+				}
+				m.cycles += cost.Load
+			}
+			f.regs[in.Dst] = e.Value
+			f.meta[in.Dst] = metaFromEntry(e)
+		case universal:
+			// Universal pointer without a valid safe entry: regular load
+			// (§3.2.2), invalid metadata.
+			v, err := space.Load(addr, int(in.Size))
+			if err != nil {
+				m.memFault(err)
+				return
+			}
+			m.cycles += cost.Load
+			f.regs[in.Dst] = v
+			f.meta[in.Dst] = invalidMeta
+		default:
+			// A sensitive pointer location that no instrumented store ever
+			// wrote: yields an unusable value, so corruption planted by
+			// non-instrumented writes is "silently prevented" (§3.2.2).
+			f.regs[in.Dst] = 0
+			f.meta[in.Dst] = invalidMeta
+		}
+		f.ip++
+		return
+	}
+
+	v, err := space.Load(addr, int(in.Size))
+	if err != nil {
+		m.memFault(err)
+		return
+	}
+	m.cycles += cost.Load
+	f.regs[in.Dst] = v
+	if onSafe {
+		f.meta[in.Dst] = m.safeMeta[addr]
+	} else {
+		f.meta[in.Dst] = invalidMeta
+	}
+	f.ip++
+}
+
+func (m *Machine) violationKind(cps bool) TrapKind {
+	if cps {
+		return TrapCPSViolation
+	}
+	if m.cfg.SoftBound {
+		return TrapSBViolation
+	}
+	return TrapCPIViolation
+}
+
+func (m *Machine) execStore(f *frame, in *ir.Instr) {
+	cost := &m.cfg.Cost
+	addr, ptrMeta, onSafe := m.addrSpace(f, in.A)
+	val, valMeta := m.eval(f, in.B)
+
+	if (m.cfg.CPI && in.Flags&ir.ProtCPICheck != 0) ||
+		(m.cfg.SoftBound && in.Flags&ir.ProtSBCheck != 0) {
+		if in.A.Kind == ir.ValReg {
+			if !m.derefCheck(m.checkTrapKind(in.Flags), addr, int64(in.Size), ptrMeta) {
+				return
+			}
+		}
+	}
+
+	space := m.mem
+	if onSafe {
+		space = m.safe
+	} else if m.cfg.Isolation == IsoSFI {
+		m.cycles += cost.SFIMask
+	}
+
+	useSPS, universal, _, cps := m.protActive(in.Flags)
+	if useSPS && in.Size == 8 && !onSafe {
+		m.cycles += m.sps.StoreCost()
+		switch {
+		case cps:
+			// CPS: only values with code provenance enter the safe store
+			// (§3.3 guarantee (i): code pointers can only be stored by
+			// code pointer stores, and only from legitimate code values).
+			if valMeta.Kind == sps.KindCode {
+				m.sps.Set(addr, entryFromMeta(val, valMeta))
+			} else if universal {
+				m.sps.Delete(addr)
+			} else {
+				// Storing a forged (non-code) value through a code-pointer
+				// store invalidates the slot rather than laundering it.
+				m.sps.Delete(addr)
+			}
+		case valMeta.Kind != sps.KindInvalid:
+			m.sps.Set(addr, entryFromMeta(val, valMeta))
+		case in.Flags&ir.ProtAnnotated != 0:
+			// Programmer-annotated sensitive data (§3.2.1): the value
+			// itself is protected; bounds degenerate to "any" since the
+			// value is not used as a pointer.
+			m.sps.Set(addr, sps.Entry{Value: val, Upper: ^uint64(0), Kind: sps.KindData})
+		case universal:
+			// Universal pointer holding a regular value: regular region
+			// only; stale safe entries must not survive (§3.2.2 invalid
+			// metadata rule).
+			m.sps.Delete(addr)
+		default:
+			// Sensitive pointer store of a value with invalid metadata
+			// (e.g. forged from an integer): record invalid entry so later
+			// loads see an unusable pointer rather than attacker data.
+			m.sps.Delete(addr)
+		}
+	}
+
+	if err := space.Store(addr, int(in.Size), val); err != nil {
+		m.memFault(err)
+		return
+	}
+	if onSafe && in.Size == 8 {
+		if valMeta.Kind != sps.KindInvalid {
+			m.safeMeta[addr] = valMeta
+		} else {
+			delete(m.safeMeta, addr)
+		}
+	}
+	m.cycles += cost.Store
+	f.ip++
+}

@@ -1,0 +1,141 @@
+package vm
+
+import "fmt"
+
+// TrapKind classifies how an execution ended.
+type TrapKind uint8
+
+// Trap kinds. TrapExit is the only normal termination; TrapHijacked means
+// attacker-controlled control flow reached a target the machine would have
+// executed (the attack succeeded); the *Violation kinds mean a deployed
+// defense detected and stopped corruption.
+const (
+	TrapNone TrapKind = iota
+	TrapExit
+	TrapHijacked
+	TrapSegFault
+	TrapNXFault
+	TrapCPIViolation
+	TrapCPSViolation
+	TrapSBViolation
+	TrapCFIViolation
+	TrapStackSmash
+	TrapNullCall
+	TrapMaxSteps
+	TrapStackOverflow
+	TrapOOM
+	TrapAbort
+	TrapDivZero
+	TrapBadJump
+	TrapFortify
+)
+
+var trapNames = [...]string{
+	TrapNone:          "running",
+	TrapExit:          "exit",
+	TrapHijacked:      "control-flow hijacked",
+	TrapSegFault:      "segmentation fault",
+	TrapNXFault:       "NX fault (DEP)",
+	TrapCPIViolation:  "CPI violation",
+	TrapCPSViolation:  "CPS violation",
+	TrapSBViolation:   "SoftBound violation",
+	TrapCFIViolation:  "CFI violation",
+	TrapStackSmash:    "stack smashing detected",
+	TrapNullCall:      "call through null/unprotected pointer",
+	TrapMaxSteps:      "step budget exhausted",
+	TrapStackOverflow: "stack overflow",
+	TrapOOM:           "out of memory",
+	TrapAbort:         "abort",
+	TrapDivZero:       "division by zero",
+	TrapBadJump:       "jump to invalid location",
+}
+
+// String names the trap kind.
+func (k TrapKind) String() string {
+	if int(k) < len(trapNames) {
+		return trapNames[k]
+	}
+	return fmt.Sprintf("trap(%d)", uint8(k))
+}
+
+// HijackVia says which control transfer was subverted.
+type HijackVia uint8
+
+// Hijack vectors.
+const (
+	ViaNone HijackVia = iota
+	ViaReturn
+	ViaICall
+	ViaLongjmp
+)
+
+var viaNames = [...]string{
+	ViaNone: "none", ViaReturn: "return", ViaICall: "indirect call",
+	ViaLongjmp: "longjmp",
+}
+
+// String names the hijack vector.
+func (v HijackVia) String() string { return viaNames[v] }
+
+// Trap describes a terminated execution.
+type Trap struct {
+	Kind   TrapKind
+	Msg    string
+	Target uint64    // hijack/violation target address
+	Via    HijackVia // for TrapHijacked
+	PC     string    // function/block/instr where it happened
+}
+
+func (t *Trap) Error() string {
+	if t.Msg != "" {
+		return fmt.Sprintf("%s: %s (at %s)", t.Kind, t.Msg, t.PC)
+	}
+	return fmt.Sprintf("%s (at %s)", t.Kind, t.PC)
+}
+
+// Result summarizes one program run.
+type Result struct {
+	Trap     TrapKind
+	ExitCode int64
+	Cycles   int64
+	Steps    int64
+	Output   string
+
+	// Hijack details when Trap == TrapHijacked.
+	HijackTarget uint64
+	HijackVia    HijackVia
+
+	// Memory accounting for the §5.2 memory-overhead experiment.
+	Mem MemStats
+
+	// Err carries the full trap for diagnostics.
+	Err *Trap
+}
+
+// Ok reports whether the program exited normally.
+func (r *Result) Ok() bool { return r.Trap == TrapExit }
+
+// MemStats records peak memory consumption by category (bytes).
+type MemStats struct {
+	Globals    int64
+	HeapPeak   int64
+	StackPeak  int64 // regular stacks
+	SafeStack  int64 // safe stacks (peak)
+	SPSBytes   int64 // safe pointer store footprint (peak)
+	SPSEntries int64 // live entries (peak)
+}
+
+// Program bytes is the baseline footprint (globals + heap + stacks).
+func (m *MemStats) ProgramBytes() int64 {
+	return m.Globals + m.HeapPeak + m.StackPeak + m.SafeStack
+}
+
+// OverheadPct returns the protection memory overhead percentage: safe region
+// extra bytes relative to the baseline program footprint.
+func (m *MemStats) OverheadPct() float64 {
+	base := m.ProgramBytes()
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(m.SPSBytes) / float64(base)
+}

@@ -1,0 +1,440 @@
+package workloads
+
+// Phoronix-style system workloads for the §5.3 FreeBSD case study (Fig. 4):
+// server-flavoured programs exercising the same code shapes as the paper's
+// "server" test-suite selection. pybench is deliberately the CPI outlier:
+// a Python-like object interpreter whose every object pointer is sensitive
+// ("emulating C++ inheritance in C", §5.3).
+
+// Phoronix returns the system benchmark suite.
+func Phoronix() []Workload {
+	return []Workload{
+		{Name: "apache", Lang: C, Src: srcApache},
+		{Name: "nginx-static", Lang: C, Src: srcNginx},
+		{Name: "sqlite", Lang: C, Src: srcSqlite},
+		{Name: "pybench", Lang: C, Src: srcPybench},
+		{Name: "openssl", Lang: C, Src: srcOpenssl},
+		{Name: "compress-gzip", Lang: C, Src: srcGzip},
+		{Name: "php", Lang: C, Src: srcPHP},
+		{Name: "postmark", Lang: C, Src: srcPostmark},
+		{Name: "dcraw", Lang: C, Src: srcDcraw},
+		{Name: "encode-mp3", Lang: C, Src: srcMP3},
+	}
+}
+
+// apache — request parsing and handler dispatch through a module table of
+// function pointers (classic httpd hook architecture).
+const srcApache = `
+struct conn { char uri[64]; int method; int status; int bytes; };
+int h_index(struct conn *c) { c->status = 200; c->bytes = 1024; return 1; }
+int h_api(struct conn *c) { c->status = 200; c->bytes = 128 + (c->method * 64); return 2; }
+int h_notfound(struct conn *c) { c->status = 404; c->bytes = 64; return 0; }
+int (*handlers[3])(struct conn *) = { h_index, h_api, h_notfound };
+
+int route(char *uri) {
+	if (strcmp(uri, "/index.html") == 0) return 0;
+	if (strncmp(uri, "/api/", 5) == 0) return 1;
+	return 2;
+}
+int main(void) {
+	struct conn *c = (struct conn *)malloc(sizeof(struct conn));
+	char reqbuf[128];
+	int served = 0;
+	int bytes = 0;
+	int seed = 2;
+	for (int r = 0; r < 2500; r++) {
+		seed = seed * 1103515245 + 12345;
+		int kind = (seed >> 16) & 3;
+		if (kind == 0) sprintf(reqbuf, "GET /index.html HTTP/1.1");
+		if (kind == 1) sprintf(reqbuf, "GET /api/v%d/users HTTP/1.1", r & 7);
+		if (kind == 2) sprintf(reqbuf, "GET /missing%d HTTP/1.1", r & 63);
+		if (kind == 3) sprintf(reqbuf, "POST /api/v1/items HTTP/1.1");
+		// Parse the request line.
+		char method[8];
+		sscanf(reqbuf, "%s %s", method, c->uri);
+		c->method = strcmp(method, "POST") == 0;
+		served += handlers[route(c->uri)](c);
+		bytes += c->bytes;
+	}
+	printf("apache served %d bytes %d\n", served, bytes & 0xffff);
+	return served & 0xff;
+}
+`
+
+// nginx-static — static file serving from an in-memory cache: hash lookup
+// plus big buffer copies (mostly the type-safe fast-path memcpy).
+const srcNginx = `
+char cache[16][2048];
+char outbuf[2048];
+int lens[16];
+
+int hash(char *s) {
+	int h = 5381;
+	while (*s) { h = h * 33 + *s; s++; }
+	return h & 15;
+}
+int main(void) {
+	for (int f = 0; f < 16; f++) {
+		lens[f] = 512 + f * 96;
+		for (int i = 0; i < lens[f]; i++) cache[f][i] = (char)((i * 7 + f) & 255);
+	}
+	char name[32];
+	int total = 0;
+	for (int r = 0; r < 3000; r++) {
+		sprintf(name, "/static/file%d.css", r & 31);
+		int f = hash(name);
+		memcpy(outbuf, cache[f], lens[f]);
+		total += outbuf[r & 511] & 15;
+	}
+	printf("nginx bytes %d\n", total & 0xffff);
+	return total & 0xff;
+}
+`
+
+// sqlite — B-tree-ish ordered key/value store with inserts, point queries
+// and range scans.
+const srcSqlite = `
+struct cell { int key; int val; };
+struct page {
+	struct cell cells[32];
+	int n;
+	struct page *next;
+};
+struct page *first;
+
+void insert(int key, int val) {
+	struct page *p = first;
+	while (p->next && p->n >= 32) p = p->next;
+	if (p->n >= 32) {
+		struct page *np = (struct page *)malloc(sizeof(struct page));
+		np->n = 0;
+		np->next = 0;
+		p->next = np;
+		p = np;
+	}
+	int i = p->n;
+	while (i > 0 && p->cells[i-1].key > key) {
+		p->cells[i].key = p->cells[i-1].key;
+		p->cells[i].val = p->cells[i-1].val;
+		i--;
+	}
+	p->cells[i].key = key;
+	p->cells[i].val = val;
+	p->n++;
+}
+int query(int key) {
+	struct page *p = first;
+	while (p) {
+		for (int i = 0; i < p->n; i++)
+			if (p->cells[i].key == key) return p->cells[i].val;
+		p = p->next;
+	}
+	return -1;
+}
+int main(void) {
+	first = (struct page *)malloc(sizeof(struct page));
+	first->n = 0;
+	first->next = 0;
+	int seed = 13;
+	int acc = 0;
+	for (int i = 0; i < 800; i++) {
+		seed = seed * 1103515245 + 12345;
+		insert((seed >> 16) & 1023, i);
+	}
+	for (int q = 0; q < 2000; q++) {
+		seed = seed * 1103515245 + 12345;
+		acc += query((seed >> 16) & 1023) & 255;
+	}
+	int scan = 0;
+	struct page *p = first;
+	while (p) { scan += p->n; p = p->next; }
+	printf("sqlite acc %d rows %d\n", acc & 0xffff, scan);
+	return acc & 0xff;
+}
+`
+
+// pybench — Python-like object interpreter: every value is a heap object
+// whose first word points to a type descriptor full of function pointers
+// ("emulating C++ inheritance in C"). The CPI outlier of Fig. 4/Table 4.
+const srcPybench = `
+struct pytype {
+	int (*add)(struct pyobj *, struct pyobj *);
+	int (*repr)(struct pyobj *, char *);
+	int (*hash)(struct pyobj *);
+};
+struct pyobj {
+	struct pytype *type;
+	int ival;
+	char sval[16];
+};
+int int_add(struct pyobj *a, struct pyobj *b) { return a->ival + b->ival; }
+int int_repr(struct pyobj *a, char *buf) { sprintf(buf, "%d", a->ival & 4095); return strlen(buf); }
+int int_hash(struct pyobj *a) { return a->ival * 2654435761; }
+int str_add(struct pyobj *a, struct pyobj *b) { return strlen(a->sval) + strlen(b->sval); }
+int str_repr(struct pyobj *a, char *buf) { strcpy(buf, a->sval); return strlen(buf); }
+int str_hash(struct pyobj *a) {
+	int h = 5381;
+	char *s = a->sval;
+	while (*s) { h = h * 33 + *s; s++; }
+	return h;
+}
+struct pytype int_type = { int_add, int_repr, int_hash };
+struct pytype str_type = { str_add, str_repr, str_hash };
+
+struct pyobj *objs[64];
+
+int main(void) {
+	for (int i = 0; i < 64; i++) {
+		objs[i] = (struct pyobj *)malloc(sizeof(struct pyobj));
+		if (i & 1) {
+			objs[i]->type = &str_type;
+			sprintf(objs[i]->sval, "s%d", i);
+		} else {
+			objs[i]->type = &int_type;
+			objs[i]->ival = i * 17;
+		}
+	}
+	char buf[32];
+	int acc = 0;
+	for (int it = 0; it < 1200; it++) {
+		for (int i = 0; i < 63; i++) {
+			struct pyobj *a = objs[i];
+			struct pyobj *b = objs[(i + it) & 63];
+			if (a->type == b->type) acc += a->type->add(a, b);
+			acc += a->type->hash(a) & 7;
+		}
+		acc += objs[it & 63]->type->repr(objs[it & 63], buf);
+	}
+	printf("pybench acc %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// openssl — RC4-style stream cipher plus a rolling checksum: pure byte/int
+// kernels, near-zero protection overhead expected.
+const srcOpenssl = `
+char state[256];
+char keystream[4096];
+char msg[4096];
+
+int main(void) {
+	for (int i = 0; i < 256; i++) state[i] = (char)i;
+	char key[16] = "benchmark-key-1";
+	int j = 0;
+	for (int i = 0; i < 256; i++) {
+		j = (j + state[i] + key[i % 15]) & 255;
+		char t = state[i]; state[i] = state[j]; state[j] = t;
+	}
+	for (int i = 0; i < 4096; i++) msg[i] = (char)((i * 31) & 255);
+	int acc = 0;
+	for (int block = 0; block < 40; block++) {
+		int x = 0;
+		int y = 0;
+		for (int i = 0; i < 4096; i++) {
+			x = (x + 1) & 255;
+			y = (y + state[x]) & 255;
+			char t = state[x]; state[x] = state[y]; state[y] = t;
+			keystream[i] = state[(state[x] + state[y]) & 255];
+			msg[i] = msg[i] ^ keystream[i];
+		}
+		for (int i = 0; i < 4096; i += 8) acc = (acc * 31 + msg[i]) & 0xffffff;
+	}
+	printf("openssl digest %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// compress-gzip — LZ77-flavoured window compression over a text-like buffer.
+const srcGzip = `
+char text[8192];
+char out[16384];
+
+int main(void) {
+	int n = 3000;
+	int seed = 19;
+	for (int i = 0; i < n; i++) {
+		seed = seed * 1103515245 + 12345;
+		text[i] = (char)('a' + ((seed >> 16) & 7));
+	}
+	int o = 0;
+	int total = 0;
+	for (int rep = 0; rep < 2; rep++) {
+		o = 0;
+		int i = 0;
+		while (i < n) {
+			int bestlen = 0;
+			int bestoff = 0;
+			int start = i > 48 ? i - 48 : 0;
+			for (int c = start; c < i; c++) {
+				int l = 0;
+				while (l < 15 && i + l < n && text[c + l] == text[i + l]) l++;
+				if (l > bestlen) { bestlen = l; bestoff = i - c; }
+			}
+			if (bestlen >= 3) {
+				out[o++] = (char)255;
+				out[o++] = (char)bestoff;
+				out[o++] = (char)bestlen;
+				i += bestlen;
+			} else {
+				out[o++] = text[i++];
+			}
+		}
+		total += o;
+	}
+	printf("gzip out %d\n", total & 0xffff);
+	return total & 0xff;
+}
+`
+
+// php — template engine with a string hash table (request-scoped symbol
+// table churn, string-heavy).
+const srcPHP = `
+struct entry { char key[24]; char val[24]; struct entry *next; };
+struct entry *buckets[64];
+
+int hashs(char *s) {
+	int h = 5381;
+	while (*s) { h = h * 33 + *s; s++; }
+	return h & 63;
+}
+void set(char *k, char *v) {
+	int h = hashs(k);
+	struct entry *e = buckets[h];
+	while (e) {
+		if (strcmp(e->key, k) == 0) { strcpy(e->val, v); return; }
+		e = e->next;
+	}
+	e = (struct entry *)malloc(sizeof(struct entry));
+	strcpy(e->key, k);
+	strcpy(e->val, v);
+	e->next = buckets[h];
+	buckets[h] = e;
+}
+char *get(char *k) {
+	struct entry *e = buckets[hashs(k)];
+	while (e) {
+		if (strcmp(e->key, k) == 0) return e->val;
+		e = e->next;
+	}
+	return "";
+}
+int main(void) {
+	char k[24];
+	char v[24];
+	char page[256];
+	int acc = 0;
+	for (int req = 0; req < 500; req++) {
+		for (int i = 0; i < 12; i++) {
+			sprintf(k, "var%d", (req + i) & 31);
+			sprintf(v, "value-%d", req & 255);
+			set(k, v);
+		}
+		page[0] = 0;
+		strcat(page, "<html>");
+		strcat(page, get("var3"));
+		strcat(page, "|");
+		strcat(page, get("var17"));
+		strcat(page, "</html>");
+		acc += strlen(page);
+	}
+	printf("php acc %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// postmark — small-file workload: create/write/read/delete cycles over an
+// in-memory file table (metadata churn, malloc/free heavy).
+const srcPostmark = `
+struct file { char name[24]; char *data; int size; int live; };
+struct file files[128];
+
+int main(void) {
+	int seed = 43;
+	int created = 0;
+	int deleted = 0;
+	int readbytes = 0;
+	for (int op = 0; op < 4000; op++) {
+		seed = seed * 1103515245 + 12345;
+		int slot = (seed >> 16) & 127;
+		int act = (seed >> 26) & 3;
+		struct file *f = &files[slot];
+		if (!f->live && act < 2) {
+			sprintf(f->name, "file-%d.dat", op & 1023);
+			f->size = 64 + ((seed >> 8) & 255);
+			f->data = (char *)malloc(f->size);
+			for (int i = 0; i < f->size; i += 16) f->data[i] = (char)(op & 255);
+			f->live = 1;
+			created++;
+		} else if (f->live && act == 2) {
+			for (int i = 0; i < f->size; i += 8) readbytes += f->data[i] & 1;
+		} else if (f->live && act == 3) {
+			free(f->data);
+			f->live = 0;
+			deleted++;
+		}
+	}
+	printf("postmark created %d deleted %d read %d\n", created, deleted, readbytes & 0xffff);
+	return (created + deleted) & 0xff;
+}
+`
+
+// dcraw — RAW photo develop flavour: Bayer demosaic + white balance over an
+// integer image.
+const srcDcraw = `
+int rawimg[96*96];
+int outimg[96*96];
+
+int main(void) {
+	int seed = 53;
+	for (int i = 0; i < 96*96; i++) {
+		seed = seed * 1103515245 + 12345;
+		rawimg[i] = (seed >> 16) & 4095;
+	}
+	int acc = 0;
+	for (int pass = 0; pass < 6; pass++) {
+		for (int y = 1; y < 95; y++) {
+			for (int x = 1; x < 95; x++) {
+				int i = y * 96 + x;
+				int g = (rawimg[i-1] + rawimg[i+1] + rawimg[i-96] + rawimg[i+96]) >> 2;
+				int c = rawimg[i];
+				int wb = ((x + y) & 1) ? (c * 9) >> 3 : (c * 7) >> 3;
+				outimg[i] = (g + wb) >> 1;
+			}
+		}
+		acc += outimg[pass * 961 % (96*96)];
+	}
+	printf("dcraw acc %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// encode-mp3 — psychoacoustic-ish DSP: windowed integer MDCT-like loops.
+const srcMP3 = `
+int pcm[4096];
+int coeffs[32];
+int subband[128][32];
+
+int main(void) {
+	int seed = 71;
+	for (int i = 0; i < 4096; i++) {
+		seed = seed * 1103515245 + 12345;
+		pcm[i] = ((seed >> 16) & 2047) - 1024;
+	}
+	for (int k = 0; k < 32; k++) coeffs[k] = (k * k * 3 + 7) & 255;
+	int acc = 0;
+	for (int frame = 0; frame < 128; frame++) {
+		int base = (frame * 32) % 4000;
+		for (int sb = 0; sb < 32; sb++) {
+			int s = 0;
+			for (int k = 0; k < 32; k++) {
+				s += pcm[base + k] * coeffs[(k + sb) & 31];
+			}
+			subband[frame][sb] = s >> 8;
+		}
+	}
+	for (int frame = 0; frame < 128; frame++)
+		for (int sb = 0; sb < 32; sb += 4) acc += subband[frame][sb] & 63;
+	printf("mp3 acc %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`

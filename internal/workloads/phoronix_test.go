@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func checkAcross(t *testing.T, name, src string) {
+	t.Helper()
+	prots := []core.Protection{
+		core.Vanilla, core.SafeStack, core.CPS, core.CPI, core.SoftBound, core.CFI,
+	}
+	var wantOut string
+	for _, prot := range prots {
+		prog, err := core.Compile(src, core.Config{Protect: prot, DEP: true})
+		if err != nil {
+			t.Fatalf("%s/%v: compile: %v", name, prot, err)
+		}
+		r, err := prog.Run()
+		if err != nil {
+			t.Fatalf("%s/%v: %v", name, prot, err)
+		}
+		if r.Trap != vm.TrapExit {
+			t.Fatalf("%s/%v: trap %v (%v)\noutput: %s", name, prot, r.Trap, r.Err, r.Output)
+		}
+		if prot == core.Vanilla {
+			wantOut = r.Output
+			if wantOut == "" {
+				t.Fatalf("%s: no output", name)
+			}
+		} else if r.Output != wantOut {
+			t.Errorf("%s/%v: output %q != vanilla %q", name, prot, r.Output, wantOut)
+		}
+	}
+}
+
+func TestPhoronixCorrectAcrossProtections(t *testing.T) {
+	for _, w := range Phoronix() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			checkAcross(t, w.Name, w.Src)
+		})
+	}
+}
+
+func TestWebStackCorrectAcrossProtections(t *testing.T) {
+	for _, p := range WebStack() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			checkAcross(t, p.Name, p.Src)
+		})
+	}
+}
+
+// TestWebStackCostStructure checks the Table 4 shape: under CPI the dynamic
+// page must be hit far harder than the static page (138.8% vs 16.9% in the
+// paper), because the dynamic page spends its time in interpreter objects.
+func TestWebStackCostStructure(t *testing.T) {
+	overhead := func(src string) float64 {
+		var base, cpi int64
+		for _, prot := range []core.Protection{core.Vanilla, core.CPI} {
+			prog, err := core.Compile(src, core.Config{Protect: prot, DEP: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := prog.Run()
+			if err != nil || r.Trap != vm.TrapExit {
+				t.Fatalf("%v: %v %v", prot, err, r)
+			}
+			if prot == core.Vanilla {
+				base = r.Cycles
+			} else {
+				cpi = r.Cycles
+			}
+		}
+		return 100 * (float64(cpi)/float64(base) - 1)
+	}
+	pages := WebStack()
+	static := overhead(pages[0].Src)
+	dynamic := overhead(pages[2].Src)
+	t.Logf("CPI overhead: static %.1f%%, dynamic %.1f%%", static, dynamic)
+	if dynamic <= static {
+		t.Errorf("dynamic page CPI overhead (%.1f%%) must exceed static (%.1f%%)",
+			dynamic, static)
+	}
+	if dynamic < 15 {
+		t.Errorf("dynamic page CPI overhead %.1f%% too low for the Table 4 shape", dynamic)
+	}
+}

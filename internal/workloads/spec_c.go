@@ -1,0 +1,579 @@
+package workloads
+
+// The C-language SPEC CPU2006 stand-ins (Table 2 rows 400–483 minus the
+// C++ ones). Every program is deterministic and prints a checksum.
+
+// SpecC returns the C benchmarks.
+func SpecC() []Workload {
+	return []Workload{
+		{Name: "400.perlbench", Lang: C, Src: srcPerlbench},
+		{Name: "401.bzip2", Lang: C, Src: srcBzip2},
+		{Name: "403.gcc", Lang: C, Src: srcGCC},
+		{Name: "429.mcf", Lang: C, Src: srcMCF},
+		{Name: "433.milc", Lang: C, Src: srcMilc},
+		{Name: "445.gobmk", Lang: C, Src: srcGobmk},
+		{Name: "456.hmmer", Lang: C, Src: srcHmmer},
+		{Name: "458.sjeng", Lang: C, Src: srcSjeng},
+		{Name: "462.libquantum", Lang: C, Src: srcLibquantum},
+		{Name: "464.h264ref", Lang: C, Src: srcH264},
+		{Name: "470.lbm", Lang: C, Src: srcLBM},
+		{Name: "482.sphinx3", Lang: C, Src: srcSphinx},
+	}
+}
+
+// 400.perlbench — interpreter with function-pointer opcode dispatch: "its
+// main execution loop calls these function pointers one after the other"
+// (§3.3). Code-pointer loads on every dispatched opcode.
+const srcPerlbench = `
+struct interp {
+	int stack[32];
+	int sp;
+	int acc;
+	char strbuf[64];
+};
+// As in perl: the program is an op tree whose nodes embed their handler
+// ("ppaddr") function pointers; the runloop calls them one after another.
+struct op {
+	int (*ppaddr)(struct interp *, struct op *);
+	struct op *op_next;
+	int arg;
+};
+int pp_push(struct interp *ip, struct op *o) {
+	if (ip->sp < 30) ip->stack[ip->sp++] = o->arg;
+	return 0;
+}
+int pp_add(struct interp *ip, struct op *o) {
+	if (ip->sp < 2) return pp_push(ip, o);
+	ip->sp--;
+	ip->stack[ip->sp-1] += ip->stack[ip->sp] + o->arg;
+	return 0;
+}
+int pp_mul(struct interp *ip, struct op *o) {
+	if (ip->sp < 2) return pp_push(ip, o);
+	ip->sp--;
+	ip->stack[ip->sp-1] *= ip->stack[ip->sp];
+	return o->arg;
+}
+int pp_dup(struct interp *ip, struct op *o) {
+	if (ip->sp < 1 || ip->sp > 30) return pp_push(ip, o);
+	ip->stack[ip->sp] = ip->stack[ip->sp-1];
+	ip->sp++;
+	return 0;
+}
+int pp_mod(struct interp *ip, struct op *o) {
+	if (ip->sp < 1) return pp_push(ip, o);
+	ip->stack[ip->sp-1] = ip->stack[ip->sp-1] % (o->arg + 7);
+	return 0;
+}
+int pp_str(struct interp *ip, struct op *o) {
+	char local[32];
+	if (ip->sp < 1) return pp_push(ip, o);
+	sprintf(local, "v%d", ip->stack[ip->sp-1] & 1023);
+	strcpy(ip->strbuf, local);
+	return strlen(ip->strbuf);
+}
+int (*ppaddrs[6])(struct interp *, struct op *) = {
+	pp_push, pp_add, pp_mul, pp_dup, pp_mod, pp_str,
+};
+
+int runloop(struct interp *ip, struct op *start, int reps) {
+	int acc = 0;
+	for (int r = 0; r < reps; r++) {
+		ip->sp = 0;
+		struct op *o = start;
+		while (o) {
+			acc += o->ppaddr(ip, o);
+			if (ip->sp < 1) { ip->stack[0] = acc & 15; ip->sp = 1; }
+			if (ip->sp > 24) ip->sp = 24;
+			o = o->op_next;
+		}
+		acc += ip->stack[0];
+	}
+	return acc;
+}
+int main(void) {
+	struct interp *ip = (struct interp *)malloc(sizeof(struct interp));
+	struct op *ops = (struct op *)malloc(64 * sizeof(struct op));
+	int seed = 12345;
+	for (int i = 0; i < 64; i++) {
+		seed = seed * 1103515245 + 12345;
+		int k = ((seed >> 16) & 0x7fff) % 6;
+		ops[i].ppaddr = ppaddrs[k];
+		ops[i].arg = (seed >> 3) & 1023;
+		ops[i].op_next = i + 1 < 64 ? &ops[i + 1] : (struct op *)0;
+	}
+	int sum = runloop(ip, ops, 180);
+	printf("perlbench checksum %d\n", sum & 0xffff);
+	free(ip);
+	free(ops);
+	return sum & 0xff;
+}
+`
+
+// 401.bzip2 — RLE + move-to-front compression round trip: flat byte-array
+// work, nearly no sensitive pointers (Table 2: MOCPI 1.9%).
+const srcBzip2 = `
+char raw[4096];
+char comp[8192];
+char back[4096];
+int mtf[256];
+
+int rle_compress(char *src, int n, char *dst) {
+	int o = 0;
+	int i = 0;
+	while (i < n) {
+		char c = src[i];
+		int run = 1;
+		while (i + run < n && src[i + run] == c && run < 127) run++;
+		dst[o++] = (char)run;
+		dst[o++] = c;
+		i += run;
+	}
+	return o;
+}
+int rle_expand(char *src, int n, char *dst) {
+	int o = 0;
+	for (int i = 0; i < n; i += 2) {
+		int run = src[i];
+		for (int j = 0; j < run; j++) dst[o++] = src[i+1];
+	}
+	return o;
+}
+int histo_peak(char *buf, int n) {
+	int hist[16];
+	for (int i = 0; i < 16; i++) hist[i] = 0;
+	for (int i = 0; i < n; i += 4) hist[buf[i] & 15]++;
+	int best = 0;
+	for (int i = 0; i < 16; i++) if (hist[i] > hist[best]) best = i;
+	return best;
+}
+int mtf_encode(char *buf, int n) {
+	int acc = 0;
+	for (int i = 0; i < 256; i++) mtf[i] = i;
+	for (int i = 0; i < n; i++) {
+		int c = buf[i] & 0xff;
+		int j = 0;
+		while (mtf[j] != c) j++;
+		acc += j;
+		while (j > 0) { mtf[j] = mtf[j-1]; j--; }
+		mtf[0] = c;
+	}
+	return acc;
+}
+int main(void) {
+	int seed = 99;
+	for (int i = 0; i < 4096; i++) {
+		seed = seed * 1103515245 + 12345;
+		raw[i] = (char)((seed >> 20) & 7);
+	}
+	int total = 0;
+	for (int rep = 0; rep < 3; rep++) {
+		int cn = rle_compress(raw, 4096, comp);
+		int bn = rle_expand(comp, cn, back);
+		if (bn != 4096 || memcmp(raw, back, 4096) != 0) { puts("MISMATCH"); return 1; }
+		total += cn + mtf_encode(comp, cn) + histo_peak(raw, 4096);
+	}
+	printf("bzip2 checksum %d\n", total & 0xffff);
+	return total & 0xff;
+}
+`
+
+// 403.gcc — expression trees whose nodes embed function pointers ("it
+// embeds function pointers in some of its data structures", §5.2): constant
+// folding over allocated nodes.
+const srcGCC = `
+struct node {
+	int kind;
+	int value;
+	struct node *lhs;
+	struct node *rhs;
+	int (*fold)(struct node *);
+};
+int fold_leaf(struct node *n) { return n->value; }
+int fold_add(struct node *n) { return n->lhs->fold(n->lhs) + n->rhs->fold(n->rhs); }
+int fold_mul(struct node *n) { return n->lhs->fold(n->lhs) * n->rhs->fold(n->rhs); }
+int fold_neg(struct node *n) { return -n->lhs->fold(n->lhs); }
+
+struct node *pool;
+int pooln;
+
+struct node *mk(int kind, int value, struct node *l, struct node *r) {
+	struct node *n = pool + pooln;
+	pooln++;
+	n->kind = kind;
+	n->value = value;
+	n->lhs = l;
+	n->rhs = r;
+	if (kind == 0) n->fold = fold_leaf;
+	if (kind == 1) n->fold = fold_add;
+	if (kind == 2) n->fold = fold_mul;
+	if (kind == 3) n->fold = fold_neg;
+	return n;
+}
+struct node *build(int depth, int *seed) {
+	*seed = *seed * 1103515245 + 12345;
+	int k = (*seed >> 16) & 3;
+	if (depth == 0 || k == 0) return mk(0, (*seed >> 8) & 63, 0, 0);
+	if (k == 3) return mk(3, 0, build(depth-1, seed), 0);
+	return mk(k, 0, build(depth-1, seed), build(depth-1, seed));
+}
+int main(void) {
+	pool = (struct node *)malloc(100000 * sizeof(struct node));
+	int seed = 7;
+	int acc = 0;
+	for (int rep = 0; rep < 120; rep++) {
+		pooln = 0;
+		struct node *root = build(9, &seed);
+		acc += root->fold(root) & 0xffff;
+		acc += pooln;
+	}
+	printf("gcc checksum %d nodes %d\n", acc & 0xffff, pooln);
+	free(pool);
+	return acc & 0xff;
+}
+`
+
+// 429.mcf — network simplex flavour: Bellman-Ford over a flat arc array,
+// integer-only, pointer-light.
+const srcMCF = `
+int head[512];
+int arcfrom[4096];
+int arcto[4096];
+int arccost[4096];
+int dist[512];
+
+int main(void) {
+	int nodes = 512;
+	int arcs = 4096;
+	int seed = 3;
+	for (int i = 0; i < arcs; i++) {
+		seed = seed * 1103515245 + 12345;
+		arcfrom[i] = ((seed >> 16) & 0x7fffffff) % nodes;
+		seed = seed * 1103515245 + 12345;
+		arcto[i] = ((seed >> 16) & 0x7fffffff) % nodes;
+		arccost[i] = ((seed >> 4) & 255) + 1;
+	}
+	int total = 0;
+	for (int round = 0; round < 4; round++) {
+		for (int i = 0; i < nodes; i++) dist[i] = 1 << 28;
+		dist[round] = 0;
+		for (int it = 0; it < 24; it++) {
+			int changed = 0;
+			for (int a = 0; a < arcs; a++) {
+				int nd = dist[arcfrom[a]] + arccost[a];
+				if (nd < dist[arcto[a]]) { dist[arcto[a]] = nd; changed = 1; }
+			}
+			if (!changed) break;
+		}
+		for (int i = 0; i < nodes; i++)
+			if (dist[i] < (1 << 28)) total += dist[i];
+	}
+	printf("mcf checksum %d\n", total & 0xffff);
+	return total & 0xff;
+}
+`
+
+// 433.milc — lattice QCD flavour: integer 3x3 matrix products over a 4-D
+// lattice slice (floats replaced by fixed-point; no measured property
+// depends on FP).
+const srcMilc = `
+int lat[256][9];
+
+void matmul(int *a, int *b, int *c) {
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 3; j++) {
+			int s = 0;
+			for (int k = 0; k < 3; k++) s += a[i*3+k] * b[k*3+j];
+			c[i*3+j] = s >> 4;
+		}
+	}
+}
+int main(void) {
+	int seed = 11;
+	for (int s = 0; s < 256; s++) {
+		for (int e = 0; e < 9; e++) {
+			seed = seed * 1103515245 + 12345;
+			lat[s][e] = (seed >> 16) & 31;
+		}
+	}
+	int acc = 0;
+	for (int sweep = 0; sweep < 15; sweep++) {
+		int tmp[9];
+		for (int s = 0; s < 255; s++) {
+			matmul(lat[s], lat[s+1], tmp);
+			for (int e = 0; e < 9; e++) lat[s][e] = (lat[s][e] + tmp[e]) & 1023;
+		}
+		acc += lat[17][4];
+	}
+	printf("milc checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 445.gobmk — Go board analysis: recursive flood fill for liberties over a
+// 19x19 board; recursion-heavy, arrays by reference.
+const srcGobmk = `
+int board[361];
+int mark[361];
+
+int liberties(int pos, int color) {
+	if (pos < 0 || pos >= 361) return 0;
+	if (mark[pos]) return 0;
+	mark[pos] = 1;
+	if (board[pos] == 0) return 1;
+	if (board[pos] != color) return 0;
+	int l = 0;
+	int x = pos % 19;
+	if (x > 0) l += liberties(pos - 1, color);
+	if (x < 18) l += liberties(pos + 1, color);
+	l += liberties(pos - 19, color);
+	l += liberties(pos + 19, color);
+	return l;
+}
+int main(void) {
+	int seed = 5;
+	for (int i = 0; i < 361; i++) {
+		seed = seed * 1103515245 + 12345;
+		board[i] = ((seed >> 16) & 0x7fff) % 3;
+	}
+	int acc = 0;
+	for (int rep = 0; rep < 20; rep++) {
+		for (int p = 0; p < 361; p += 7) {
+			if (board[p] == 0) continue;
+			for (int i = 0; i < 361; i++) mark[i] = 0;
+			acc += liberties(p, board[p]);
+		}
+		board[(rep * 31) % 361] = (rep % 3);
+	}
+	printf("gobmk checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 456.hmmer — profile HMM Viterbi: dynamic programming over integer score
+// matrices.
+const srcHmmer = `
+int match[128][64];
+int insert[128][64];
+int del[128][64];
+int emit[64][4];
+
+int max2(int a, int b) { return a > b ? a : b; }
+int colmax(int *col, int n) {
+	int m = col[0];
+	for (int i = 1; i < n; i++) if (col[i] > m) m = col[i];
+	return m;
+}
+int main(void) {
+	int seed = 23;
+	for (int s = 0; s < 64; s++)
+		for (int c = 0; c < 4; c++) {
+			seed = seed * 1103515245 + 12345;
+			emit[s][c] = (seed >> 18) & 15;
+		}
+	int acc = 0;
+	for (int rep = 0; rep < 6; rep++) {
+		for (int i = 1; i < 128; i++) {
+			seed = seed * 1103515245 + 12345;
+			int sym = (seed >> 16) & 3;
+			for (int j = 1; j < 64; j++) {
+				int m = max2(match[i-1][j-1], insert[i-1][j-1]);
+				m = max2(m, del[i-1][j-1]);
+				match[i][j] = m + emit[j][sym];
+				insert[i][j] = max2(match[i-1][j] - 3, insert[i-1][j] - 1);
+				del[i][j] = max2(match[i][j-1] - 3, del[i][j-1] - 1);
+			}
+		}
+		int lastcol[64];
+		for (int j = 0; j < 64; j++) lastcol[j] = match[127][j];
+		acc += (match[127][63] + colmax(lastcol, 64)) & 0xffff;
+	}
+	printf("hmmer checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 458.sjeng — game-tree alpha-beta search with a small evaluation, deep
+// recursion, stack-resident move lists (Table 2: FNUStack 50%).
+const srcSjeng = `
+int pos[64];
+
+int evaluate(int *p) {
+	int s = 0;
+	for (int i = 0; i < 64; i++) s += p[i] * ((i & 7) - 3);
+	return s;
+}
+int search(int *p, int depth, int alpha, int beta, int side) {
+	if (depth == 0) return side * evaluate(p);
+	int moves[8];
+	for (int m = 0; m < 8; m++) moves[m] = (p[m * 8] * 31 + m * 17 + depth) & 63;
+	int best = -1000000;
+	for (int m = 0; m < 8; m++) {
+		int sq = moves[m];
+		int old = p[sq];
+		p[sq] = side;
+		int v = -search(p, depth - 1, -beta, -alpha, -side);
+		p[sq] = old;
+		if (v > best) best = v;
+		if (best > alpha) alpha = best;
+		if (alpha >= beta) break;
+	}
+	return best;
+}
+int main(void) {
+	int seed = 31;
+	for (int i = 0; i < 64; i++) {
+		seed = seed * 1103515245 + 12345;
+		pos[i] = ((seed >> 16) & 0x7fff) % 3 - 1;
+	}
+	int acc = 0;
+	for (int g = 0; g < 6; g++) {
+		acc += search(pos, 4, -1000000, 1000000, 1);
+		pos[g * 9 % 64] = (g % 3) - 1;
+	}
+	printf("sjeng checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 462.libquantum — quantum register simulation: gate application as bit
+// manipulation over a state array.
+const srcLibquantum = `
+int amp[2048];
+
+void cnot(int control, int target) {
+	for (int i = 0; i < 2048; i++) {
+		if (i & (1 << control)) {
+			int j = i ^ (1 << target);
+			if (j > i) { int t = amp[i]; amp[i] = amp[j]; amp[j] = t; }
+		}
+	}
+}
+void phase(int q, int k) {
+	for (int i = 0; i < 2048; i++)
+		if (i & (1 << q)) amp[i] = (amp[i] * k + 13) & 0x7fff;
+}
+int main(void) {
+	for (int i = 0; i < 2048; i++) amp[i] = i * 37 + 11;
+	for (int rep = 0; rep < 10; rep++) {
+		for (int q = 0; q < 10; q++) {
+			cnot(q, (q + 3) % 11);
+			phase((q + rep) % 11, 3 + q);
+		}
+	}
+	int acc = 0;
+	for (int i = 0; i < 2048; i++) acc += amp[i];
+	printf("libquantum checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 464.h264ref — video coding flavour: motion search with block copies
+// (memcpy-heavy on plain data, §3.2.2's type-aware fast path applies).
+const srcH264 = `
+char frame0[64*64];
+char frame1[64*64];
+
+int sad(char *a, char *b, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		int d = a[i] - b[i];
+		s += d < 0 ? -d : d;
+	}
+	return s;
+}
+int main(void) {
+	int seed = 41;
+	for (int i = 0; i < 64*64; i++) {
+		seed = seed * 1103515245 + 12345;
+		frame0[i] = (char)((seed >> 16) & 255);
+		frame1[i] = (char)((seed >> 18) & 255);
+	}
+	int acc = 0;
+	char block[64];
+	for (int rep = 0; rep < 6; rep++) {
+		for (int by = 0; by < 7; by++) {
+			for (int bx = 0; bx < 7; bx++) {
+				int best = 1 << 30;
+				for (int dy = 0; dy < 3; dy++) {
+					for (int dx = 0; dx < 3; dx++) {
+						for (int row = 0; row < 8; row++) {
+							memcpy(block + row * 8,
+								frame1 + (by*8+dy+row)*64 + bx*8 + dx, 8);
+						}
+						int s = sad(block, frame0 + by*8*64 + bx*8, 64);
+						if (s < best) best = s;
+					}
+				}
+				acc += best;
+			}
+		}
+	}
+	printf("h264ref checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 470.lbm — lattice Boltzmann flavour: stencil relaxation over a 2-D grid.
+const srcLBM = `
+int gridA[64*64];
+int gridB[64*64];
+
+int main(void) {
+	for (int i = 0; i < 64*64; i++) gridA[i] = (i * 7919) & 1023;
+	int *src = gridA;
+	int *dst = gridB;
+	for (int step = 0; step < 40; step++) {
+		for (int y = 1; y < 63; y++) {
+			for (int x = 1; x < 63; x++) {
+				int i = y * 64 + x;
+				dst[i] = (src[i]*4 + src[i-1] + src[i+1] + src[i-64] + src[i+64]) >> 3;
+			}
+		}
+		int *t = src; src = dst; dst = t;
+	}
+	int acc = 0;
+	for (int i = 0; i < 64*64; i += 17) acc += src[i];
+	printf("lbm checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 482.sphinx3 — speech decoding flavour: HMM lattice scoring with table
+// lookups and a senone score cache.
+const srcSphinx = `
+int senone[256][32];
+int lattice[128][32];
+int best[128];
+
+int main(void) {
+	int seed = 77;
+	for (int s = 0; s < 256; s++)
+		for (int d = 0; d < 32; d++) {
+			seed = seed * 1103515245 + 12345;
+			senone[s][d] = (seed >> 16) & 255;
+		}
+	int acc = 0;
+	for (int utt = 0; utt < 12; utt++) {
+		int feat[8];
+		for (int t = 1; t < 128; t++) {
+			seed = seed * 1103515245 + 12345;
+			int obs = (seed >> 16) & 255;
+			for (int d = 0; d < 8; d++) feat[d] = senone[obs][d & 31] + t;
+			obs = (obs + feat[t & 7]) & 255;
+			best[t] = -1;
+			int bv = 1 << 30;
+			for (int st = 0; st < 32; st++) {
+				int prev = lattice[t-1][st];
+				int trans = (st * 13 + t) & 63;
+				int sc = prev + senone[obs][st] + trans;
+				lattice[t][st] = sc;
+				if (sc < bv) { bv = sc; best[t] = st; }
+			}
+		}
+		acc += lattice[127][best[127]] & 0xffff;
+	}
+	printf("sphinx3 checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`

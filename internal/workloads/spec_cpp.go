@@ -1,0 +1,472 @@
+package workloads
+
+// The C++-language SPEC CPU2006 stand-ins. Written in mini-C but with the
+// object model that makes them "C++" for CPI purposes: objects carry vtable
+// pointers (pointers to structs of function pointers), and work is done
+// through virtual dispatch. Every pointer to such an object is sensitive
+// under CPI (§5.2: "abundant use of pointers to C++ objects that contain
+// virtual function tables"), which is what drives their higher overheads in
+// Fig. 3 / Table 2.
+
+// SpecCPP returns the C++ benchmarks.
+func SpecCPP() []Workload {
+	return []Workload{
+		{Name: "444.namd", Lang: CPP, Src: srcNamd},
+		{Name: "447.dealII", Lang: CPP, Src: srcDealII},
+		{Name: "450.soplex", Lang: CPP, Src: srcSoplex},
+		{Name: "453.povray", Lang: CPP, Src: srcPovray},
+		{Name: "471.omnetpp", Lang: CPP, Src: srcOmnetpp},
+		{Name: "473.astar", Lang: CPP, Src: srcAstar},
+		{Name: "483.xalancbmk", Lang: CPP, Src: srcXalancbmk},
+	}
+}
+
+// 444.namd — molecular dynamics: almost all time in numeric pair loops,
+// objects only at the periphery (lowest C++ overheads in Fig. 3).
+const srcNamd = `
+struct computevt { int (*kernel)(int *, int *, int); };
+struct compute { struct computevt *vt; int *xs; int *ys; };
+
+int pair_kernel(int *xs, int *ys, int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = i + 1; j < n; j += 8) {
+			int dx = xs[i] - xs[j];
+			int dy = ys[i] - ys[j];
+			int r2 = dx*dx + dy*dy + 1;
+			acc += (dx * 1024) / r2 + (dy * 1024) / r2;
+		}
+	}
+	return acc;
+}
+struct computevt pair_vt = { pair_kernel };
+
+int xs[256];
+int ys[256];
+
+int main(void) {
+	int seed = 17;
+	for (int i = 0; i < 256; i++) {
+		seed = seed * 1103515245 + 12345;
+		xs[i] = (seed >> 16) & 1023;
+		seed = seed * 1103515245 + 12345;
+		ys[i] = (seed >> 16) & 1023;
+	}
+	struct compute *c = (struct compute *)malloc(sizeof(struct compute));
+	c->vt = &pair_vt;
+	c->xs = xs;
+	c->ys = ys;
+	int acc = 0;
+	for (int step = 0; step < 12; step++) {
+		acc += c->vt->kernel(c->xs, c->ys, 256) & 0xffff;
+		xs[step * 3 % 256] += 1;
+	}
+	printf("namd checksum %d\n", acc & 0xffff);
+	free(c);
+	return acc & 0xff;
+}
+`
+
+// 447.dealII — finite elements: cell objects with virtual shape functions,
+// assembly into a sparse matrix (Table 2: MOCPI 13.3%).
+const srcDealII = `
+struct cellvt {
+	int (*shape)(int, int);
+	int (*jacobian)(struct cell *);
+};
+struct cell {
+	struct cellvt *vt;
+	int verts[4];
+	int id;
+};
+int shape_q1(int i, int q) { return ((i + 1) * (q + 2)) & 63; }
+int jac_affine(struct cell *c) {
+	return (c->verts[1] - c->verts[0]) * (c->verts[3] - c->verts[2]) + 1;
+}
+struct cellvt q1_vt = { shape_q1, jac_affine };
+
+int matrix[64][64];
+
+int main(void) {
+	int ncells = 256;
+	struct cell **cells = (struct cell **)malloc(ncells * sizeof(struct cell *));
+	int seed = 29;
+	for (int i = 0; i < ncells; i++) {
+		cells[i] = (struct cell *)malloc(sizeof(struct cell));
+		cells[i]->vt = &q1_vt;
+		cells[i]->id = i;
+		for (int v = 0; v < 4; v++) {
+			seed = seed * 1103515245 + 12345;
+			cells[i]->verts[v] = (seed >> 16) & 63;
+		}
+	}
+	int acc = 0;
+	for (int pass = 0; pass < 8; pass++) {
+		for (int i = 0; i < ncells; i++) {
+			struct cell *c = cells[i];
+			int j = c->vt->jacobian(c);
+			for (int a = 0; a < 4; a++) {
+				for (int q = 0; q < 4; q++) {
+					int s = c->vt->shape(a, q);
+					matrix[c->verts[a]][c->verts[q & 3]] += s * j & 255;
+				}
+			}
+		}
+		acc += matrix[7][9];
+	}
+	printf("dealII checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 450.soplex — LP simplex: sparse columns as objects, pricing through a
+// virtual ratio test; mixes heavy int loops with object traversal.
+const srcSoplex = `
+struct colvt { int (*price)(struct col *, int *); };
+struct col {
+	struct colvt *vt;
+	int idx[16];
+	int val[16];
+	int n;
+};
+int price_dense(struct col *c, int *duals) {
+	int s = 0;
+	for (int i = 0; i < c->n; i++) s += c->val[i] * duals[c->idx[i]];
+	return s;
+}
+struct colvt dense_vt = { price_dense };
+
+int duals[128];
+
+int main(void) {
+	int ncols = 192;
+	struct col **cols = (struct col **)malloc(ncols * sizeof(struct col *));
+	int seed = 53;
+	for (int i = 0; i < ncols; i++) {
+		cols[i] = (struct col *)malloc(sizeof(struct col));
+		cols[i]->vt = &dense_vt;
+		cols[i]->n = 16;
+		for (int e = 0; e < 16; e++) {
+			seed = seed * 1103515245 + 12345;
+			cols[i]->idx[e] = (seed >> 16) & 127;
+			cols[i]->val[e] = ((seed >> 8) & 15) - 7;
+		}
+	}
+	for (int i = 0; i < 128; i++) duals[i] = (i * 29) & 63;
+	int acc = 0;
+	for (int iter = 0; iter < 40; iter++) {
+		int bestv = -1 << 30;
+		int bestc = 0;
+		for (int i = 0; i < ncols; i++) {
+			int p = cols[i]->vt->price(cols[i], duals);
+			if (p > bestv) { bestv = p; bestc = i; }
+		}
+		duals[cols[bestc]->idx[0]] -= 1;
+		acc += bestv & 1023;
+	}
+	printf("soplex checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 453.povray — ray tracing: a scene of shape objects with virtual
+// intersection methods, one virtual call per object per ray.
+const srcPovray = `
+struct shapevt { int (*hit)(struct shape *, int, int, int); };
+struct shape {
+	struct shapevt *vt;
+	int cx; int cy; int r;
+};
+int hit_sphere(struct shape *s, int ox, int oy, int dirq) {
+	int dx = ox - s->cx;
+	int dy = oy - s->cy;
+	int d2 = dx*dx + dy*dy;
+	int rr = s->r * s->r;
+	if (d2 >= rr) return -1;
+	return (rr - d2 + dirq) & 255;
+}
+int hit_box(struct shape *s, int ox, int oy, int dirq) {
+	int dx = ox - s->cx;
+	if (dx < 0) dx = -dx;
+	int dy = oy - s->cy;
+	if (dy < 0) dy = -dy;
+	if (dx > s->r || dy > s->r) return -1;
+	return (dx + dy + dirq) & 255;
+}
+struct shapevt sphere_vt = { hit_sphere };
+struct shapevt box_vt = { hit_box };
+
+int main(void) {
+	int nshapes = 24;
+	struct shape **scene = (struct shape **)malloc(nshapes * sizeof(struct shape *));
+	int seed = 61;
+	for (int i = 0; i < nshapes; i++) {
+		scene[i] = (struct shape *)malloc(sizeof(struct shape));
+		scene[i]->vt = (i % 2) ? &sphere_vt : &box_vt;
+		seed = seed * 1103515245 + 12345;
+		scene[i]->cx = (seed >> 16) & 127;
+		scene[i]->cy = (seed >> 20) & 127;
+		scene[i]->r = 4 + ((seed >> 8) & 15);
+	}
+	int img = 0;
+	for (int y = 0; y < 48; y++) {
+		for (int x = 0; x < 48; x++) {
+			int nearest = -1;
+			for (int i = 0; i < nshapes; i++) {
+				int h = scene[i]->vt->hit(scene[i], x, y, (x ^ y) & 7);
+				if (h > nearest) nearest = h;
+			}
+			img += nearest + 1;
+		}
+	}
+	printf("povray checksum %d\n", img & 0xffff);
+	return img & 0xff;
+}
+`
+
+// 471.omnetpp — discrete event simulation: modules and messages are
+// vtable-carrying heap objects, the event loop is nothing but sensitive-
+// pointer traffic (highest MOCPI in Table 2: 36.6%).
+const srcOmnetpp = `
+struct modvt {
+	int (*handle)(struct module *, int);
+};
+struct module {
+	struct modvt *vt;
+	int id;
+	int state;
+	struct module *next_hop;
+};
+struct event {
+	int time;
+	int payload;
+	struct module *dest;
+	struct event *next;
+};
+
+struct event *freelist;
+struct event *queue;
+
+struct event *alloc_event(void) {
+	if (freelist) {
+		struct event *e = freelist;
+		freelist = e->next;
+		return e;
+	}
+	return (struct event *)malloc(sizeof(struct event));
+}
+void push_event(int time, int payload, struct module *dest) {
+	struct event *e = alloc_event();
+	e->time = time;
+	e->payload = payload;
+	e->dest = dest;
+	struct event **pp = &queue;
+	while (*pp && (*pp)->time <= time) pp = &(*pp)->next;
+	e->next = *pp;
+	*pp = e;
+}
+int handle_router(struct module *m, int payload) {
+	m->state += payload & 15;
+	if (m->next_hop && (payload & 3)) {
+		push_event(m->state & 4095, payload >> 1, m->next_hop);
+	}
+	return m->state & 255;
+}
+int handle_sink(struct module *m, int payload) {
+	m->state += payload;
+	return 1;
+}
+struct modvt router_vt = { handle_router };
+struct modvt sink_vt = { handle_sink };
+
+int main(void) {
+	int nmods = 32;
+	struct module **mods = (struct module **)malloc(nmods * sizeof(struct module *));
+	for (int i = 0; i < nmods; i++) {
+		mods[i] = (struct module *)malloc(sizeof(struct module));
+		mods[i]->vt = (i == nmods - 1) ? &sink_vt : &router_vt;
+		mods[i]->id = i;
+		mods[i]->state = i * 3;
+		mods[i]->next_hop = 0;
+	}
+	for (int i = 0; i + 1 < nmods; i++) mods[i]->next_hop = mods[i + 1];
+	int seed = 67;
+	for (int i = 0; i < 256; i++) {
+		seed = seed * 1103515245 + 12345;
+		push_event((seed >> 20) & 255, (seed >> 8) & 4095, mods[i % 8]);
+	}
+	int processed = 0;
+	int acc = 0;
+	while (queue && processed < 30000) {
+		struct event *e = queue;
+		queue = e->next;
+		acc += e->dest->vt->handle(e->dest, e->payload);
+		e->next = freelist;
+		freelist = e;
+		processed++;
+	}
+	printf("omnetpp checksum %d processed %d\n", acc & 0xffff, processed);
+	return acc & 0xff;
+}
+`
+
+// 473.astar — pathfinding over region grids: node objects and an open list,
+// few virtual calls (low C++ overhead in Fig. 3).
+const srcAstar = `
+int grid[64*64];
+int gscore[64*64];
+int open[4096];
+int openn;
+
+int hdist(int a, int b) {
+	int ax = a % 64;
+	int ay = a / 64;
+	int bx = b % 64;
+	int by = b / 64;
+	int dx = ax - bx; if (dx < 0) dx = -dx;
+	int dy = ay - by; if (dy < 0) dy = -dy;
+	return dx + dy;
+}
+int main(void) {
+	int seed = 83;
+	for (int i = 0; i < 64*64; i++) {
+		seed = seed * 1103515245 + 12345;
+		grid[i] = ((seed >> 16) & 7) == 0 ? -1 : ((seed >> 12) & 3) + 1;
+	}
+	int acc = 0;
+	for (int q = 0; q < 4; q++) {
+		int start = (q * 517) % (64*64);
+		int goal = (q * 1013 + 2048) % (64*64);
+		if (grid[start] < 0) start = (start + 1) % (64*64);
+		if (grid[goal] < 0) goal = (goal + 1) % (64*64);
+		for (int i = 0; i < 64*64; i++) gscore[i] = 1 << 28;
+		gscore[start] = 0;
+		openn = 0;
+		open[openn++] = start;
+		int expanded = 0;
+		while (openn > 0 && expanded < 900) {
+			int bi = 0;
+			for (int i = 1; i < openn; i++) {
+				if (gscore[open[i]] + hdist(open[i], goal) <
+					gscore[open[bi]] + hdist(open[bi], goal)) bi = i;
+			}
+			int cur = open[bi];
+			open[bi] = open[--openn];
+			expanded++;
+			if (cur == goal) break;
+			int x = cur % 64;
+			int dirs[4];
+			dirs[0] = x > 0 ? cur - 1 : -1;
+			dirs[1] = x < 63 ? cur + 1 : -1;
+			dirs[2] = cur - 64 >= 0 ? cur - 64 : -1;
+			dirs[3] = cur + 64 < 64*64 ? cur + 64 : -1;
+			for (int d = 0; d < 4; d++) {
+				int nb = dirs[d];
+				if (nb < 0 || grid[nb] < 0) continue;
+				int ng = gscore[cur] + grid[nb];
+				if (ng < gscore[nb] && openn < 4095) {
+					gscore[nb] = ng;
+					open[openn++] = nb;
+				}
+			}
+		}
+		acc += gscore[goal] < (1 << 28) ? gscore[goal] : 99;
+	}
+	printf("astar checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// 483.xalancbmk — XSLT processing: a DOM tree of polymorphic nodes walked
+// by virtual visitors; nearly every operation chases a vtable pointer
+// (Table 2: MOCPS 17.5%, MOCPI 27.1%).
+const srcXalancbmk = `
+struct nodevt {
+	int (*visit)(struct node *, int);
+	int (*serialize)(struct node *, char *);
+};
+struct node {
+	struct nodevt *vt;
+	int tag;
+	struct node *child;
+	struct node *sibling;
+	int value;
+};
+int visit_elem(struct node *n, int depth) {
+	int s = n->tag;
+	struct node *c = n->child;
+	while (c) {
+		s += c->vt->visit(c, depth + 1);
+		c = c->sibling;
+	}
+	return s & 0xffff;
+}
+int visit_text(struct node *n, int depth) {
+	return (n->value * depth) & 255;
+}
+int ser_elem(struct node *n, char *buf) {
+	sprintf(buf, "<e%d>", n->tag & 255);
+	return strlen(buf);
+}
+int ser_text(struct node *n, char *buf) {
+	sprintf(buf, "%d", n->value & 4095);
+	return strlen(buf);
+}
+struct nodevt elem_vt = { visit_elem, ser_elem };
+struct nodevt text_vt = { visit_text, ser_text };
+
+struct node *mknode(int depth, int *seed) {
+	struct node *n = (struct node *)malloc(sizeof(struct node));
+	*seed = *seed * 1103515245 + 12345;
+	n->tag = (*seed >> 16) & 1023;
+	n->value = (*seed >> 8) & 4095;
+	n->child = 0;
+	n->sibling = 0;
+	if (depth == 0) {
+		n->vt = &text_vt;
+		return n;
+	}
+	n->vt = &elem_vt;
+	int kids = 1 + ((*seed >> 24) & 3);
+	struct node *prev = 0;
+	for (int k = 0; k < kids; k++) {
+		struct node *c = mknode(depth - 1, seed);
+		c->sibling = prev;
+		prev = c;
+	}
+	n->child = prev;
+	return n;
+}
+int main(void) {
+	int seed = 97;
+	struct node *doc = mknode(6, &seed);
+	char buf[32];
+	int acc = 0;
+	for (int pass = 0; pass < 60; pass++) {
+		acc += doc->vt->visit(doc, 0);
+		acc += doc->vt->serialize(doc, buf);
+		acc += doc->child->vt->serialize(doc->child, buf);
+	}
+	printf("xalancbmk checksum %d\n", acc & 0xffff);
+	return acc & 0xff;
+}
+`
+
+// Spec returns all 19 SPEC CPU2006 stand-ins in Table 2 order.
+func Spec() []Workload {
+	all := append([]Workload{}, SpecC()...)
+	all = append(all, SpecCPP()...)
+	order := []string{
+		"400.perlbench", "401.bzip2", "403.gcc", "429.mcf", "433.milc",
+		"444.namd", "445.gobmk", "447.dealII", "450.soplex", "453.povray",
+		"456.hmmer", "458.sjeng", "462.libquantum", "464.h264ref",
+		"470.lbm", "471.omnetpp", "473.astar", "482.sphinx3", "483.xalancbmk",
+	}
+	sorted := make([]Workload, 0, len(order))
+	for _, name := range order {
+		if w, ok := ByName(all, name); ok {
+			sorted = append(sorted, w)
+		}
+	}
+	return sorted
+}

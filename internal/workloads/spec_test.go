@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+func TestSpecSuiteComplete(t *testing.T) {
+	spec := Spec()
+	if len(spec) != 19 {
+		t.Fatalf("SPEC suite has %d entries, want 19 (Table 2)", len(spec))
+	}
+	var c, cpp int
+	for _, w := range spec {
+		if w.Lang == C {
+			c++
+		} else {
+			cpp++
+		}
+	}
+	if c != 12 || cpp != 7 {
+		t.Errorf("language split C=%d C++=%d, want 12/7 as in SPEC CPU2006", c, cpp)
+	}
+}
+
+// TestSpecCorrectAcrossProtections is the compatibility claim of §5.3 ("all
+// benchmarks that compiled and worked on vanilla ... also compiled and
+// worked in the CPI, CPS and SafeStack versions"): identical output and
+// exit code under every protection.
+func TestSpecCorrectAcrossProtections(t *testing.T) {
+	prots := []core.Protection{
+		core.Vanilla, core.SafeStack, core.CPS, core.CPI, core.SoftBound, core.CFI,
+	}
+	for _, w := range Spec() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			var wantOut string
+			var wantCode int64
+			for _, prot := range prots {
+				prog, err := core.Compile(w.Src, core.Config{Protect: prot, DEP: true})
+				if err != nil {
+					t.Fatalf("%v: compile: %v", prot, err)
+				}
+				r, err := prog.Run()
+				if err != nil {
+					t.Fatalf("%v: run: %v", prot, err)
+				}
+				if r.Trap != vm.TrapExit {
+					t.Fatalf("%v: trap %v (%v)\noutput: %s", prot, r.Trap, r.Err, r.Output)
+				}
+				if prot == core.Vanilla {
+					wantOut, wantCode = r.Output, r.ExitCode
+					if wantOut == "" {
+						t.Fatal("workload produced no output")
+					}
+					continue
+				}
+				if r.Output != wantOut || r.ExitCode != wantCode {
+					t.Errorf("%v: output/exit %q/%d differ from vanilla %q/%d",
+						prot, r.Output, r.ExitCode, wantOut, wantCode)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecWorkloadScale keeps the benchmarks inside the measurement window:
+// big enough for stable cycle counts, small enough for the full sweep.
+func TestSpecWorkloadScale(t *testing.T) {
+	for _, w := range Spec() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := core.Compile(w.Src, core.Config{DEP: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := prog.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Steps < 50_000 {
+				t.Errorf("only %d steps: too small for stable overhead measurement", r.Steps)
+			}
+			if r.Steps > 30_000_000 {
+				t.Errorf("%d steps: too slow for the sweep", r.Steps)
+			}
+			t.Logf("%s: %d steps, %d cycles", w.Name, r.Steps, r.Cycles)
+		})
+	}
+}

@@ -1,0 +1,233 @@
+package workloads
+
+// The Table 4 web-serving stack: a three-tier application (Apache-style
+// dispatcher → WSGI bridge → Django-style templating on a Python-like
+// interpreter over a SQLite-style store). Three page types with the paper's
+// cost structure:
+//
+//	static   — the dispatcher serves bytes straight from a file cache;
+//	wsgi     — a trivial interpreted handler ("wsgi test page");
+//	dynamic  — full template rendering with interpreted code and store
+//	           queries; interpreter objects ("C emulating C++") dominate,
+//	           which is why CPI's overhead explodes exactly here (138.8%).
+type WebPage struct {
+	Name string
+	Src  string
+}
+
+// WebStack returns the three Table 4 workloads.
+func WebStack() []WebPage {
+	return []WebPage{
+		{Name: "static-page", Src: webPrelude + webStaticMain},
+		{Name: "wsgi-page", Src: webPrelude + webWsgiMain},
+		{Name: "dynamic-page", Src: webPrelude + webDynamicMain},
+	}
+}
+
+// webPrelude is the shared stack: file cache, key/value store, Python-like
+// object interpreter, template engine, request dispatcher.
+const webPrelude = `
+// ---- file cache tier (httpd) ----
+char filecache[8][1024];
+int filelen[8];
+char sendbuf[2048];
+
+int serve_static(int f) {
+	memcpy(sendbuf, filecache[f & 7], filelen[f & 7]);
+	return filelen[f & 7];
+}
+
+// ---- store tier (sqlite-ish) ----
+struct row { int key; int a; int b; };
+struct row table_rows[256];
+int table_n;
+
+void store_init(void) {
+	int seed = 5;
+	table_n = 256;
+	for (int i = 0; i < 256; i++) {
+		seed = seed * 1103515245 + 12345;
+		table_rows[i].key = i;
+		table_rows[i].a = (seed >> 16) & 1023;
+		table_rows[i].b = (seed >> 8) & 255;
+	}
+}
+int store_query(int key) {
+	int lo = 0;
+	int hi = table_n - 1;
+	while (lo <= hi) {
+		int mid = (lo + hi) / 2;
+		if (table_rows[mid].key == key) return table_rows[mid].a + table_rows[mid].b;
+		if (table_rows[mid].key < key) lo = mid + 1; else hi = mid - 1;
+	}
+	return 0;
+}
+
+// ---- interpreter tier (python-ish: C emulating C++) ----
+struct pytype {
+	int (*add)(struct pyobj *, struct pyobj *);
+	int (*str)(struct pyobj *, char *);
+};
+struct pyobj {
+	struct pytype *type;
+	struct pyobj *gc_prev; // allocation chain, as in CPython's GC header
+	int ival;
+	char sval[16];
+};
+int py_int_add(struct pyobj *a, struct pyobj *b) { return a->ival + b->ival; }
+int py_int_str(struct pyobj *a, char *out) { sprintf(out, "%d", a->ival & 8191); return strlen(out); }
+int py_str_add(struct pyobj *a, struct pyobj *b) { return strlen(a->sval) + strlen(b->sval); }
+int py_str_str(struct pyobj *a, char *out) { strcpy(out, a->sval); return strlen(out); }
+struct pytype py_int = { py_int_add, py_int_str };
+struct pytype py_str = { py_str_add, py_str_str };
+
+struct pyobj *heap_objs[32];
+struct pyobj *gc_head;
+int heap_n;
+
+struct pyobj *py_mkint(int v) {
+	struct pyobj *o = heap_objs[heap_n & 31];
+	heap_n++;
+	o->type = &py_int;
+	o->gc_prev = gc_head;
+	gc_head = o;
+	o->ival = v;
+	return o;
+}
+struct pyobj *py_mkstr(char *s) {
+	struct pyobj *o = heap_objs[heap_n & 31];
+	heap_n++;
+	o->type = &py_str;
+	o->gc_prev = gc_head;
+	gc_head = o;
+	strncpy(o->sval, s, 15);
+	o->sval[15] = 0;
+	return o;
+}
+void py_init(void) {
+	for (int i = 0; i < 32; i++)
+		heap_objs[i] = (struct pyobj *)malloc(sizeof(struct pyobj));
+}
+
+// run a "view function": Python-level arithmetic over store rows. Every
+// value is a boxed object; every operation chases type and method pointers,
+// exactly the C-emulating-C++ pattern §5.3 blames for the pybench/dynamic
+// page blow-up.
+int py_view(int reqid, int rows) {
+	char tmp[32];
+	struct pyobj *acc = py_mkint(store_query(reqid & 255));
+	for (int i = 0; i < rows; i++) {
+		struct pyobj *v = py_mkint((reqid + i * 7) & 1023);
+		struct pyobj *w = py_mkint(v->type->add(v, acc));
+		struct pyobj *u = py_mkint(w->type->add(w, v));
+		acc = py_mkint(acc->type->add(acc, u));
+	}
+	struct pyobj *label = py_mkstr("total");
+	acc->type->str(acc, tmp);
+	return acc->ival + label->type->add(label, label) + strlen(tmp);
+}
+
+// ---- template tier (django-ish) ----
+int render(char *out, int reqid, int value) {
+	out[0] = 0;
+	strcat(out, "<html><body><h1>req ");
+	char num[24];
+	sprintf(num, "%d", reqid & 4095);
+	strcat(out, num);
+	strcat(out, "</h1><p>result=");
+	sprintf(num, "%d", value & 65535);
+	strcat(out, num);
+	strcat(out, "</p></body></html>");
+	return strlen(out);
+}
+
+// ---- dispatcher ----
+struct hook { int (*run)(int); struct hook *next; };
+int hook_log(int reqid) { return reqid & 1; }
+int hook_auth(int reqid) { return (reqid * 31) & 3; }
+int hook_gzip(int reqid) { return (reqid >> 2) & 1; }
+struct hook *hook_chain;
+
+void add_hook(int (*fn)(int)) {
+	struct hook *h = (struct hook *)malloc(sizeof(struct hook));
+	h->run = fn;
+	h->next = hook_chain;
+	hook_chain = h;
+}
+int run_hooks(int reqid) {
+	int r = 0;
+	struct hook *h = hook_chain;
+	while (h) { r += h->run(reqid); h = h->next; }
+	return r;
+}
+struct handlerent { char path[16]; int (*fn)(int); };
+int page_static(int reqid) { return serve_static(reqid); }
+int page_wsgi(int reqid) {
+	char out[256];
+	return render(out, reqid, py_view(reqid, 5));
+}
+int page_dynamic(int reqid) {
+	char out[256];
+	int v = py_view(reqid, 100);
+	v += py_view(reqid + 1, 60);
+	return render(out, reqid, v);
+}
+struct handlerent routes[3];
+
+void stack_init(void) {
+	store_init();
+	py_init();
+	add_hook(hook_log);
+	add_hook(hook_auth);
+	add_hook(hook_gzip);
+	for (int f = 0; f < 8; f++) {
+		filelen[f] = 400 + f * 64;
+		for (int i = 0; i < filelen[f]; i++) filecache[f][i] = (char)((i + f) & 255);
+	}
+	strcpy(routes[0].path, "/static");
+	routes[0].fn = page_static;
+	strcpy(routes[1].path, "/wsgi");
+	routes[1].fn = page_wsgi;
+	strcpy(routes[2].path, "/app");
+	routes[2].fn = page_dynamic;
+}
+int dispatch(char *path, int reqid) {
+	int pre = run_hooks(reqid);
+	for (int i = 0; i < 3; i++) {
+		if (strncmp(path, routes[i].path, strlen(routes[i].path)) == 0) {
+			return routes[i].fn(reqid) + (pre & 1);
+		}
+	}
+	return 0;
+}
+`
+
+const webStaticMain = `
+int main(void) {
+	stack_init();
+	int bytes = 0;
+	for (int r = 0; r < 1500; r++) bytes += dispatch("/static/x.css", r);
+	printf("static served %d\n", bytes & 0xffff);
+	return bytes & 0xff;
+}
+`
+
+const webWsgiMain = `
+int main(void) {
+	stack_init();
+	int bytes = 0;
+	for (int r = 0; r < 500; r++) bytes += dispatch("/wsgi/ping", r);
+	printf("wsgi served %d\n", bytes & 0xffff);
+	return bytes & 0xff;
+}
+`
+
+const webDynamicMain = `
+int main(void) {
+	stack_init();
+	int bytes = 0;
+	for (int r = 0; r < 150; r++) bytes += dispatch("/app/list", r);
+	printf("dynamic served %d\n", bytes & 0xffff);
+	return bytes & 0xff;
+}
+`

@@ -1,0 +1,51 @@
+// Package workloads provides the benchmark programs of the evaluation:
+// mini-C stand-ins for the 19 SPEC CPU2006 C/C++ benchmarks of §5.2 (Fig. 3,
+// Tables 1–3), a Phoronix-style system suite for §5.3 (Fig. 4), and the
+// three-tier web stack of Table 4.
+//
+// Each stand-in is written to have the *instruction-mix profile* of its
+// namesake, because that profile is what determines protection overhead:
+// the fraction of memory operations that touch sensitive pointers (vtable
+// pointers, function-pointer tables, universal pointers) and the fraction of
+// functions needing unsafe stack frames. Flat integer kernels (bzip2, lbm,
+// libquantum) have almost no sensitive operations; interpreter-style
+// dispatch (perlbench) has code-pointer traffic; "C++" object soups
+// (omnetpp, xalancbmk, dealII) are dominated by pointers to vtable-carrying
+// objects, which is precisely the CPI worst case (§5.2).
+package workloads
+
+// Lang groups benchmarks for the Table 1 C / C++ split.
+type Lang uint8
+
+// Languages.
+const (
+	C Lang = iota
+	CPP
+)
+
+func (l Lang) String() string {
+	if l == C {
+		return "C"
+	}
+	return "C++"
+}
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name string
+	Lang Lang
+	Src  string
+	// Check is the expected exit code (programs self-verify and return a
+	// checksum; a mismatch in any configuration is a correctness bug).
+	Check int64
+}
+
+// ByName returns the named workload from a set.
+func ByName(set []Workload, name string) (Workload, bool) {
+	for _, w := range set {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
