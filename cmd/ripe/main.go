@@ -8,6 +8,10 @@
 //	ripe -defense cpi     # one defense with per-target breakdown
 //	ripe -matrix          # Fig. 5-style defense comparison
 //	ripe -seeds 3         # aggregate over several layout seeds
+//	ripe -j 8             # fan attack forms out to 8 workers
+//
+// Attacks are deterministic and run on isolated machines, so the outcome
+// table is identical at every -j value; -j only changes wall-clock time.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/harness"
 	"repro/internal/ripe"
 )
 
@@ -23,6 +28,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "print the Fig. 5-style defense matrix")
 	seeds := flag.Int("seeds", 1, "number of layout seeds to aggregate (ranges, as in §5.1)")
 	verbose := flag.Bool("v", false, "list each attack outcome")
+	jobs := flag.Int("j", harness.DefaultJobs(), "parallel workers (1 = serial; results are identical)")
 	flag.Parse()
 
 	if *defense != "" {
@@ -30,7 +36,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sr, err := ripe.RunSuite(d, 42)
+		sr, err := ripe.RunSuiteJobs(d, 42, *jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -50,7 +56,7 @@ func main() {
 		lo, hi := 1<<30, 0
 		var last *ripe.SuiteResult
 		for s := 0; s < *seeds; s++ {
-			sr, err := ripe.RunSuite(d, int64(42+s*7))
+			sr, err := ripe.RunSuiteJobs(d, int64(42+s*7), *jobs)
 			if err != nil {
 				fatal(err)
 			}

@@ -11,6 +11,10 @@
 //	specbench -isolation      # §3.2.3 isolation ablation
 //	specbench -spsorg         # §4 store organisation ablation
 //	specbench -all            # everything
+//	specbench -j 8            # fan matrix cells out to 8 workers
+//
+// The simulator is deterministic and runs share no state, so the tables are
+// bit-identical at every -j value; -j only changes wall-clock time.
 package main
 
 import (
@@ -28,24 +32,29 @@ func main() {
 	iso := flag.Bool("isolation", false, "print the isolation ablation")
 	spsorg := flag.Bool("spsorg", false, "print the SPS organisation ablation")
 	all := flag.Bool("all", false, "print everything")
+	jobs := flag.Int("j", harness.DefaultJobs(), "parallel workers (1 = serial; results are identical)")
 	flag.Parse()
 
+	// One compile cache across every table: a (workload, config) pair
+	// appearing in several tables is compiled once.
+	opt := harness.Options{Jobs: *jobs, Cache: harness.NewCompileCache()}
+
 	if *t2 || *all {
-		if err := harness.WriteTable2(os.Stdout, workloads.Spec()); err != nil {
+		if err := harness.WriteTable2Opt(os.Stdout, workloads.Spec(), opt); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 
 	if *t3 || *all {
-		if err := harness.WriteTable3(os.Stdout); err != nil {
+		if err := harness.WriteTable3Opt(os.Stdout, opt); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
 
 	if *iso || *all {
-		seg, sfi, err := harness.IsolationOverheads(workloads.Spec()[:6])
+		seg, sfi, err := harness.IsolationOverheadsOpt(workloads.Spec()[:6], opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -57,7 +66,7 @@ func main() {
 	}
 
 	if *spsorg || *all {
-		orgs, err := harness.SPSOrgOverheads(workloads.Spec()[:6])
+		orgs, err := harness.SPSOrgOverheadsOpt(workloads.Spec()[:6], opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -69,7 +78,7 @@ func main() {
 	}
 
 	if !anyFlag(*t2, *t3, *iso, *spsorg) || *all {
-		results, err := harness.RunSuite(workloads.Spec(), harness.SpecConfigs())
+		results, err := harness.RunSuiteOpt(workloads.Spec(), harness.SpecConfigs(), opt)
 		if err != nil {
 			fatal(err)
 		}

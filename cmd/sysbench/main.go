@@ -7,6 +7,10 @@
 //	sysbench            # Fig. 4 + Table 4
 //	sysbench -mem       # memory overheads (§5.2)
 //	sysbench -all       # everything
+//	sysbench -j 8       # fan matrix cells out to 8 workers
+//
+// The simulator is deterministic and runs share no state, so the tables are
+// bit-identical at every -j value; -j only changes wall-clock time.
 package main
 
 import (
@@ -21,10 +25,13 @@ import (
 func main() {
 	mem := flag.Bool("mem", false, "print the §5.2 memory-overhead measurement")
 	all := flag.Bool("all", false, "print everything")
+	jobs := flag.Int("j", harness.DefaultJobs(), "parallel workers (1 = serial; results are identical)")
 	flag.Parse()
 
+	opt := harness.Options{Jobs: *jobs, Cache: harness.NewCompileCache()}
+
 	if *mem || *all {
-		rows, err := harness.MemoryOverheads(workloads.Spec())
+		rows, err := harness.MemoryOverheadsOpt(workloads.Spec(), opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -35,13 +42,13 @@ func main() {
 		}
 	}
 
-	results, err := harness.RunSuite(workloads.Phoronix(), harness.SpecConfigs())
+	results, err := harness.RunSuiteOpt(workloads.Phoronix(), harness.SpecConfigs(), opt)
 	if err != nil {
 		fatal(err)
 	}
 	harness.WriteFig4(os.Stdout, results)
 	fmt.Println()
-	if err := harness.WriteTable4(os.Stdout); err != nil {
+	if err := harness.WriteTable4Opt(os.Stdout, opt); err != nil {
 		fatal(err)
 	}
 }

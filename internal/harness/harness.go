@@ -7,7 +7,6 @@
 package harness
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/analysis"
@@ -51,51 +50,15 @@ func (r *Result) Overhead(cfg string) float64 {
 	return 100 * (float64(r.Cycles[cfg])/float64(base) - 1)
 }
 
-// Run measures one workload under each configuration.
+// Run measures one workload under each configuration, serially.
 func Run(w workloads.Workload, cfgs []NamedConfig) (*Result, error) {
-	res := &Result{
-		Name:   w.Name,
-		Lang:   w.Lang,
-		Cycles: map[string]int64{},
-		Mem:    map[string]vm.MemStats{},
-		Stats:  map[string]analysis.Stats{},
-	}
-	var wantOut string
-	for _, nc := range cfgs {
-		prog, err := core.Compile(w.Src, nc.Cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: compile: %w", w.Name, nc.Name, err)
-		}
-		r, err := prog.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: run: %w", w.Name, nc.Name, err)
-		}
-		if r.Trap != vm.TrapExit {
-			return nil, fmt.Errorf("%s/%s: trap %v (%v)", w.Name, nc.Name, r.Trap, r.Err)
-		}
-		if wantOut == "" {
-			wantOut = r.Output
-		} else if r.Output != wantOut {
-			return nil, fmt.Errorf("%s/%s: output diverged", w.Name, nc.Name)
-		}
-		res.Cycles[nc.Name] = r.Cycles
-		res.Mem[nc.Name] = r.Mem
-		res.Stats[nc.Name] = prog.Stats
-	}
-	return res, nil
+	return RunOpt(w, cfgs, Options{})
 }
 
-// RunSuite measures a whole workload set.
+// RunSuite measures a whole workload set, serially. See RunSuiteOpt for the
+// parallel variant.
 func RunSuite(set []workloads.Workload, cfgs []NamedConfig) ([]*Result, error) {
-	out := make([]*Result, 0, len(set))
-	for _, w := range set {
-		r, err := Run(w, cfgs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunSuiteOpt(set, cfgs, Options{})
 }
 
 // Summary holds the Table 1 statistics of a set of overheads.

@@ -45,20 +45,30 @@ func WriteFig3(w io.Writer, results []*Result) {
 	}
 }
 
-// WriteTable2 renders the Table 2 compilation statistics (FNUStack, MOCPS,
-// MOCPI). These are static properties of the instrumented binaries.
+// WriteTable2 renders the Table 2 compilation statistics serially.
 func WriteTable2(w io.Writer, set []workloads.Workload) error {
+	return WriteTable2Opt(w, set, Options{})
+}
+
+// WriteTable2Opt renders the Table 2 compilation statistics (FNUStack,
+// MOCPS, MOCPI). These are static properties of the instrumented binaries;
+// the two compilations per benchmark fan out to opt.Jobs workers.
+func WriteTable2Opt(w io.Writer, set []workloads.Workload, opt Options) error {
+	cfgs := []core.Config{{Protect: core.CPS}, {Protect: core.CPI}}
+	progs := make([]*core.Program, len(set)*len(cfgs))
+	errs := make([]error, len(progs))
+	ForEach(len(progs), opt.Jobs, func(i int) {
+		progs[i], errs[i] = opt.compile(set[i/len(cfgs)].Src, cfgs[i%len(cfgs)])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	fmt.Fprintln(w, "Table 2: Compilation statistics")
 	fmt.Fprintf(w, "%-16s %10s %8s %8s\n", "benchmark", "FNUStack", "MOCPS", "MOCPI")
-	for _, wl := range set {
-		cpsProg, err := core.Compile(wl.Src, core.Config{Protect: core.CPS})
-		if err != nil {
-			return err
-		}
-		cpiProg, err := core.Compile(wl.Src, core.Config{Protect: core.CPI})
-		if err != nil {
-			return err
-		}
+	for i, wl := range set {
+		cpsProg, cpiProg := progs[i*len(cfgs)], progs[i*len(cfgs)+1]
 		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%%\n", wl.Name,
 			cpiProg.Stats.FNUStackPct(), cpsProg.Stats.MOPct(), cpiProg.Stats.MOPct())
 	}
@@ -84,11 +94,16 @@ func Table3SoftBoundCfg() core.Config {
 	return core.Config{Protect: core.SoftBound, DEP: true}
 }
 
-// WriteTable3 renders the SoftBound comparison.
+// WriteTable3 renders the SoftBound comparison serially.
 func WriteTable3(w io.Writer) error {
+	return WriteTable3Opt(w, Options{})
+}
+
+// WriteTable3Opt renders the SoftBound comparison.
+func WriteTable3Opt(w io.Writer, opt Options) error {
 	cfgs := append(SpecConfigs(),
 		NamedConfig{"softbound", Table3SoftBoundCfg()})
-	results, err := RunSuite(Table3Set(), cfgs)
+	results, err := RunSuiteOpt(Table3Set(), cfgs, opt)
 	if err != nil {
 		return err
 	}
@@ -112,17 +127,25 @@ func WriteFig4(w io.Writer, results []*Result) {
 	}
 }
 
-// WriteTable4 renders the web stack throughput overheads. Throughput loss
-// equals cycle overhead on a saturated single-core server.
+// WriteTable4 renders the web-stack throughput overheads serially.
 func WriteTable4(w io.Writer) error {
+	return WriteTable4Opt(w, Options{})
+}
+
+// WriteTable4Opt renders the web stack throughput overheads. Throughput
+// loss equals cycle overhead on a saturated single-core server.
+func WriteTable4Opt(w io.Writer, opt Options) error {
+	var set []workloads.Workload
+	for _, p := range workloads.WebStack() {
+		set = append(set, workloads.Workload{Name: p.Name, Lang: workloads.C, Src: p.Src})
+	}
+	results, err := RunSuiteOpt(set, SpecConfigs(), opt)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Table 4: Throughput benchmark for web server stack (overhead %)")
 	fmt.Fprintf(w, "%-16s %10s %8s %8s\n", "benchmark", "safestack", "cps", "cpi")
-	for _, p := range workloads.WebStack() {
-		wl := workloads.Workload{Name: p.Name, Lang: workloads.C, Src: p.Src}
-		r, err := Run(wl, SpecConfigs())
-		if err != nil {
-			return err
-		}
+	for _, r := range results {
 		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%%\n", r.Name,
 			r.Overhead("safestack"), r.Overhead("cps"), r.Overhead("cpi"))
 	}
@@ -138,10 +161,15 @@ type MemRow struct {
 	MaxPct    float64
 }
 
-// MemoryOverheads reproduces the §5.2 memory experiment: median memory
+// MemoryOverheads runs the §5.2 memory experiment serially.
+func MemoryOverheads(set []workloads.Workload) ([]MemRow, error) {
+	return MemoryOverheadsOpt(set, Options{})
+}
+
+// MemoryOverheadsOpt reproduces the §5.2 memory experiment: median memory
 // overhead over the SPEC suite for the safe stack, CPS and CPI, with the
 // hash-table and array organisations of the safe pointer store.
-func MemoryOverheads(set []workloads.Workload) ([]MemRow, error) {
+func MemoryOverheadsOpt(set []workloads.Workload, opt Options) ([]MemRow, error) {
 	type variant struct {
 		name, org string
 		cfg       core.Config
@@ -153,27 +181,25 @@ func MemoryOverheads(set []workloads.Workload) ([]MemRow, error) {
 		{"cpi", "hash", core.Config{Protect: core.CPI, DEP: true, SPS: "hash"}},
 		{"cpi", "array", core.Config{Protect: core.CPI, DEP: true, SPS: "array"}},
 	}
+	cfgs := make([]NamedConfig, len(variants))
+	for i, v := range variants {
+		cfgs[i] = NamedConfig{v.name + "/" + v.org, v.cfg}
+	}
+	results, err := RunSuiteOpt(set, cfgs, opt)
+	if err != nil {
+		return nil, err
+	}
 	var rows []MemRow
-	for _, v := range variants {
+	for i, v := range variants {
 		var pcts []float64
-		for _, wl := range set {
-			prog, err := core.Compile(wl.Src, v.cfg)
-			if err != nil {
-				return nil, err
-			}
-			r, err := prog.Run()
-			if err != nil {
-				return nil, err
-			}
-			if r.Trap != vm.TrapExit {
-				return nil, fmt.Errorf("%s/%s: %v", wl.Name, v.name, r.Err)
-			}
-			extra := float64(r.Mem.SPSBytes)
+		for _, r := range results {
+			ms := r.Mem[cfgs[i].Name]
+			extra := float64(ms.SPSBytes)
 			if v.name == "safestack" {
 				// Safe-stack memory overhead is the duplicated stack area.
-				extra = float64(r.Mem.SafeStack)
+				extra = float64(ms.SafeStack)
 			}
-			base := float64(r.Mem.ProgramBytes())
+			base := float64(ms.ProgramBytes())
 			if base > 0 {
 				pcts = append(pcts, 100*extra/base)
 			}
@@ -207,16 +233,21 @@ func WriteMemory(w io.Writer, rows []MemRow) {
 	}
 }
 
-// IsolationOverheads measures the §3.2.3 isolation ablation: CPI under
+// IsolationOverheads runs the §3.2.3 isolation ablation serially.
+func IsolationOverheads(set []workloads.Workload) (segment, sfi float64, err error) {
+	return IsolationOverheadsOpt(set, Options{})
+}
+
+// IsolationOverheadsOpt measures the §3.2.3 isolation ablation: CPI under
 // segment-style isolation vs SFI (which pays a mask on every memory
 // operation; the paper reports the SFI increment below 5%).
-func IsolationOverheads(set []workloads.Workload) (segment, sfi float64, err error) {
+func IsolationOverheadsOpt(set []workloads.Workload, opt Options) (segment, sfi float64, err error) {
 	cfgs := []NamedConfig{
 		{"vanilla", core.Config{DEP: true}},
 		{"segment", core.Config{Protect: core.CPI, DEP: true, Isolation: vm.IsoSegment}},
 		{"sfi", core.Config{Protect: core.CPI, DEP: true, Isolation: vm.IsoSFI}},
 	}
-	results, err := RunSuite(set, cfgs)
+	results, err := RunSuiteOpt(set, cfgs, opt)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -229,15 +260,20 @@ func IsolationOverheads(set []workloads.Workload) (segment, sfi float64, err err
 	return segSum / n, sfiSum / n, nil
 }
 
-// SPSOrgOverheads compares the three safe pointer store organisations
-// under CPI (§4: the simple array was the fastest).
+// SPSOrgOverheads runs the §4 store-organisation ablation serially.
 func SPSOrgOverheads(set []workloads.Workload) (map[string]float64, error) {
+	return SPSOrgOverheadsOpt(set, Options{})
+}
+
+// SPSOrgOverheadsOpt compares the three safe pointer store organisations
+// under CPI (§4: the simple array was the fastest).
+func SPSOrgOverheadsOpt(set []workloads.Workload, opt Options) (map[string]float64, error) {
 	cfgs := []NamedConfig{{"vanilla", core.Config{DEP: true}}}
 	for _, org := range []string{"array", "twolevel", "hash"} {
 		cfgs = append(cfgs, NamedConfig{org,
 			core.Config{Protect: core.CPI, DEP: true, SPS: org}})
 	}
-	results, err := RunSuite(set, cfgs)
+	results, err := RunSuiteOpt(set, cfgs, opt)
 	if err != nil {
 		return nil, err
 	}

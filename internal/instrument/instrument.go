@@ -59,37 +59,37 @@ func CPI(p *ir.Program) analysis.Stats {
 
 // CPIWith runs CPI with programmer annotations.
 func CPIWith(p *ir.Program, opts Opts) analysis.Stats {
-	annotated = map[string]bool{}
+	annotated := annotSet{}
 	for _, n := range opts.SensitiveStructs {
 		annotated[n] = true
 	}
-	instrumentProgram(p, modeCPI)
-	annotated = nil
+	instrumentProgramAnnot(p, modeCPI, annotated)
 	p.Protection = append(p.Protection, "cpi")
 	return analysis.Collect(p)
 }
 
-// annotated holds the sensitive-struct tags during a CPIWith run (the
-// passes are single-threaded by contract).
-var annotated map[string]bool
+// annotSet holds the sensitive-struct tags of one CPIWith run. It is
+// threaded through the pass explicitly so concurrent compilations (the
+// parallel evaluation harness) never share mutable pass state.
+type annotSet map[string]bool
 
-// annotatedType reports whether t is or contains an annotated struct.
-func annotatedType(t *ctypes.Type) bool {
-	if len(annotated) == 0 || t == nil {
+// covers reports whether t is or contains an annotated struct.
+func (a annotSet) covers(t *ctypes.Type) bool {
+	if len(a) == 0 || t == nil {
 		return false
 	}
 	switch t.Kind {
 	case ctypes.KindStruct:
-		if annotated[t.Struct.Name] {
+		if a[t.Struct.Name] {
 			return true
 		}
 		for i := range t.Struct.Fields {
-			if annotatedType(t.Struct.Fields[i].Type) {
+			if a.covers(t.Struct.Fields[i].Type) {
 				return true
 			}
 		}
 	case ctypes.KindArray:
-		return annotatedType(t.Elem)
+		return a.covers(t.Elem)
 	}
 	return false
 }
@@ -131,11 +131,15 @@ const (
 )
 
 func instrumentProgram(p *ir.Program, md mode) {
+	instrumentProgramAnnot(p, md, nil)
+}
+
+func instrumentProgramAnnot(p *ir.Program, md mode, annotated annotSet) {
 	for _, f := range p.Funcs {
 		if f.External {
 			continue
 		}
-		instrumentFunc(p, f, md)
+		instrumentFunc(p, f, md, annotated)
 	}
 	// Mark sensitive globals (informational; the loader seeds the safe
 	// pointer store from initializers either way) and annotated ones (the
@@ -144,13 +148,13 @@ func instrumentProgram(p *ir.Program, md mode) {
 		if ctypes.Sensitive(g.Type) {
 			g.Sensitive = true
 		}
-		if annotatedType(g.Type) {
+		if annotated.covers(g.Type) {
 			g.Annotated = true
 		}
 	}
 }
 
-func instrumentFunc(p *ir.Program, f *ir.Func, md mode) {
+func instrumentFunc(p *ir.Program, f *ir.Func, md mode, annotated annotSet) {
 	fi := analysis.Analyze(f)
 	uses := analysis.Uses(f)
 	for _, obj := range f.Frame {
@@ -163,7 +167,7 @@ func instrumentFunc(p *ir.Program, f *ir.Func, md mode) {
 			in := &b.Ins[i]
 			switch in.Op {
 			case ir.OpLoad, ir.OpStore:
-				flagMemOp(p, fi, uses, in, md)
+				flagMemOp(p, fi, uses, in, md, annotated)
 			case ir.OpCall:
 				if in.Callee < 0 {
 					flagIntrinsic(p, fi, in, md)
@@ -181,7 +185,7 @@ func safeStackDirect(fi *analysis.FuncInfo, v ir.Value) bool {
 }
 
 // flagMemOp decides the instrumentation of one load/store.
-func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr, md mode) {
+func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr, md mode, annotated annotSet) {
 	ty := in.Ty
 	if ty == nil {
 		return
@@ -227,7 +231,7 @@ func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, i
 		// Programmer-annotated data (§3.2.1): keep the value itself in the
 		// safe store, whatever its type.
 		if len(annotated) > 0 && in.Size == 8 {
-			if t := fi.PointeeType(p, in.A, 0); t != nil && annotatedType(t) {
+			if t := fi.PointeeType(p, in.A, 0); t != nil && annotated.covers(t) {
 				in.Flags |= ir.ProtCPIStore | ir.ProtCPILoad | ir.ProtAnnotated
 				if in.A.Kind == ir.ValReg {
 					in.Flags |= ir.ProtCPICheck

@@ -1,0 +1,39 @@
+package ripe
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunAttacksParallelMatchesSerial: attacks compile and run on isolated
+// machines, so fanning a suite out to workers must reproduce the serial
+// outcome table exactly — counts, per-attack outcomes, traps and details.
+func TestRunAttacksParallelMatchesSerial(t *testing.T) {
+	attacks := All()
+	if len(attacks) > 16 {
+		attacks = attacks[:16]
+	}
+	for _, dn := range []string{"modern", "cpi"} {
+		d, err := DefenseByName(dn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := RunAttacks(attacks, d, 42, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := RunAttacks(attacks, d, 42, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: parallel suite differs from serial", dn)
+			for i := range serial.Results {
+				if serial.Results[i] != parallel.Results[i] {
+					t.Errorf("  attack %v: serial %+v, parallel %+v",
+						serial.Results[i].Attack, serial.Results[i], parallel.Results[i])
+				}
+			}
+		}
+	}
+}

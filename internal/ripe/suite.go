@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/harness"
 )
 
 // SuiteResult aggregates a full run of the attack matrix under one defense.
@@ -17,14 +19,33 @@ type SuiteResult struct {
 	Results   []Result
 }
 
-// RunSuite mounts every feasible attack against the defense.
+// RunSuite mounts every feasible attack against the defense, serially.
 func RunSuite(d Defense, seed int64) (*SuiteResult, error) {
-	attacks := All()
+	return RunSuiteJobs(d, seed, 1)
+}
+
+// RunSuiteJobs mounts every feasible attack against the defense, fanning
+// the attacks out to jobs workers.
+func RunSuiteJobs(d Defense, seed int64, jobs int) (*SuiteResult, error) {
+	return RunAttacks(All(), d, seed, jobs)
+}
+
+// RunAttacks mounts the given attack forms against the defense with jobs
+// workers (jobs <= 1 runs serially). Every attack compiles and runs on its
+// own program and machine, so the schedule cannot influence outcomes; the
+// result list keeps the order of the attacks argument and the aggregate
+// counters are accumulated in that order.
+func RunAttacks(attacks []Attack, d Defense, seed int64, jobs int) (*SuiteResult, error) {
+	results := make([]Result, len(attacks))
+	errs := make([]error, len(attacks))
+	harness.ForEach(len(attacks), jobs, func(i int) {
+		results[i], errs[i] = Run(attacks[i], d, seed)
+	})
+
 	sr := &SuiteResult{Defense: d.Name, Total: len(attacks)}
-	for _, a := range attacks {
-		r, err := Run(a, d, seed)
-		if err != nil {
-			return nil, err
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		sr.Results = append(sr.Results, r)
 		switch r.Outcome {

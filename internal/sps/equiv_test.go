@@ -1,0 +1,231 @@
+package sps
+
+// Cross-implementation equivalence suite: the three safe-pointer-store
+// organisations differ only in access cost and memory footprint; their
+// observable state — Get, Len, and the Scan enumeration — must be identical
+// under any operation sequence. A seeded randomized driver exercises
+// Set/Get/Delete/Reset/Scan against a model map and checks every store
+// after every step.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// modelStore is the reference semantics: a flat map from 8-byte slot to
+// entry, where the zero Entry is "absent".
+type modelStore map[uint64]Entry
+
+func (m modelStore) set(addr uint64, e Entry) {
+	if e == (Entry{}) {
+		delete(m, addr>>3)
+		return
+	}
+	m[addr>>3] = e
+}
+
+func (m modelStore) get(addr uint64) (Entry, bool) {
+	e, ok := m[addr>>3]
+	return e, ok
+}
+
+func (m modelStore) del(addr uint64) { delete(m, addr>>3) }
+
+// dump enumerates (slot-address, entry) pairs in ascending address order —
+// the order Scan guarantees.
+func (m modelStore) dump() []scanPair {
+	out := make([]scanPair, 0, len(m))
+	for s, e := range m {
+		out = append(out, scanPair{s << 3, e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+type scanPair struct {
+	addr uint64
+	e    Entry
+}
+
+func scanAll(s Store) []scanPair {
+	var out []scanPair
+	s.Scan(func(addr uint64, e Entry) bool {
+		out = append(out, scanPair{addr, e})
+		return true
+	})
+	return out
+}
+
+// randEntry draws an entry; about 1 in 8 is the zero Entry, exercising the
+// canonical set-zero-clears-slot semantics.
+func randEntry(rng *rand.Rand) Entry {
+	if rng.Intn(8) == 0 {
+		return Entry{}
+	}
+	base := rng.Uint64() % (1 << 30)
+	return Entry{
+		Value: base + 16,
+		Lower: base,
+		Upper: base + 64 + rng.Uint64()%4096,
+		ID:    rng.Uint64() % 1024,
+		Kind:  Kind(1 + rng.Intn(2)), // KindData or KindCode
+	}
+}
+
+// checkAgainstModel compares one store's full observable state to the model.
+func checkAgainstModel(t *testing.T, s Store, model modelStore, step int) {
+	t.Helper()
+	if s.Len() != len(model) {
+		t.Fatalf("step %d: %s: Len = %d, model has %d", step, s.Name(), s.Len(), len(model))
+	}
+	got, want := scanAll(s), model.dump()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: %s: Scan yields %d entries, model %d", step, s.Name(), len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %s: Scan[%d] = %+v, want %+v", step, s.Name(), i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].addr <= got[i-1].addr {
+			t.Fatalf("step %d: %s: Scan order not strictly ascending at %d", step, s.Name(), i)
+		}
+	}
+}
+
+// checkFootprint asserts each organisation's documented footprint model.
+func checkFootprint(t *testing.T, s Store, step int) {
+	t.Helper()
+	fp, live := s.FootprintBytes(), int64(s.Len())
+	switch st := s.(type) {
+	case *Hash:
+		// Entries plus key word and ~1.5x table slack — exact by model.
+		if want := live * (EntryBytes + 8) * 3 / 2; fp != want {
+			t.Fatalf("step %d: hash footprint %d, want %d for %d live", step, fp, want, live)
+		}
+	case *Array:
+		// Whole 16 KiB shadow blocks; at least enough pages to hold the
+		// live entries, and never allocated for a never-set page.
+		if fp%(pageWords*EntryBytes) != 0 {
+			t.Fatalf("step %d: array footprint %d not block-granular", step, fp)
+		}
+		pages := map[uint64]bool{}
+		st.Scan(func(addr uint64, _ Entry) bool { pages[addr>>12] = true; return true })
+		if min := int64(len(pages)) * pageWords * EntryBytes; fp < min {
+			t.Fatalf("step %d: array footprint %d below %d needed for %d live pages",
+				step, fp, min, len(pages))
+		}
+	case *TwoLevel:
+		// Directory pages plus per-entry slots: at least the live entries.
+		if fp < live*EntryBytes {
+			t.Fatalf("step %d: twolevel footprint %d below %d live bytes",
+				step, fp, live*EntryBytes)
+		}
+	}
+	if live == 0 && s.Name() == "hash" && fp != 0 {
+		t.Fatalf("step %d: empty hash footprint %d", step, fp)
+	}
+}
+
+// TestCrossStoreEquivalence drives all three organisations plus the model
+// through one randomized Set/Get/Delete/Reset/Scan sequence per seed.
+func TestCrossStoreEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			stores := allStores()
+			model := modelStore{}
+
+			// Cluster addresses on a handful of pages so overwrites,
+			// deletes of absent slots, and shared-page entries all occur.
+			addr := func() uint64 {
+				page := rng.Uint64() % 16
+				return page<<12 | (rng.Uint64()%pageWords)<<3
+			}
+
+			const steps = 2000
+			for i := 0; i < steps; i++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // Set (sometimes the zero Entry)
+					a, e := addr(), randEntry(rng)
+					model.set(a, e)
+					for _, s := range stores {
+						s.Set(a, e)
+					}
+				case op < 8: // Get
+					a := addr()
+					we, wok := model.get(a)
+					for _, s := range stores {
+						if e, ok := s.Get(a); ok != wok || e != we {
+							t.Fatalf("step %d: %s: Get(%#x) = %+v,%v want %+v,%v",
+								i, s.Name(), a, e, ok, we, wok)
+						}
+					}
+				case op < 9: // Delete (often of an absent slot)
+					a := addr()
+					model.del(a)
+					for _, s := range stores {
+						s.Delete(a)
+					}
+				default:
+					if rng.Intn(50) == 0 { // rare full clear
+						model = modelStore{}
+						for _, s := range stores {
+							s.Reset()
+						}
+					}
+				}
+				if i%100 == 99 || i == steps-1 {
+					for _, s := range stores {
+						checkAgainstModel(t, s, model, i)
+						checkFootprint(t, s, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSetZeroEntryClears pins the canonical zero-entry semantics on every
+// organisation: Set(addr, Entry{}) is Delete(addr), and it neither counts
+// as live nor reserves footprint for untouched addresses.
+func TestSetZeroEntryClears(t *testing.T) {
+	for _, s := range allStores() {
+		e := Entry{Value: 1, Upper: 64, Kind: KindCode}
+		s.Set(0x4000, e)
+		s.Set(0x4000, Entry{})
+		if _, ok := s.Get(0x4000); ok {
+			t.Errorf("%s: zero-entry Set must clear the slot", s.Name())
+		}
+		if s.Len() != 0 {
+			t.Errorf("%s: Len = %d after zero-entry Set, want 0", s.Name(), s.Len())
+		}
+		// Zero-entry Set on a virgin address must not grow the store.
+		before := s.FootprintBytes()
+		s.Set(0xdead_f000, Entry{})
+		if fp := s.FootprintBytes(); fp != before {
+			t.Errorf("%s: zero-entry Set reserved %d footprint bytes", s.Name(), fp-before)
+		}
+		if s.Len() != 0 {
+			t.Errorf("%s: zero-entry Set on empty slot counted as live", s.Name())
+		}
+	}
+}
+
+// TestScanEarlyStop: returning false stops the enumeration.
+func TestScanEarlyStop(t *testing.T) {
+	for _, s := range allStores() {
+		for i := uint64(0); i < 10; i++ {
+			s.Set(i*8, Entry{Value: i + 1, Kind: KindCode})
+		}
+		n := 0
+		s.Scan(func(uint64, Entry) bool { n++; return n < 3 })
+		if n != 3 {
+			t.Errorf("%s: early-stop Scan visited %d entries, want 3", s.Name(), n)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package sps
 
+import "sort"
+
 // pageWords is the number of pointer-sized slots covered by one shadow page
 // of the array organisation (4 KiB of address space, one entry per 8 bytes).
 const pageWords = 512
@@ -31,16 +33,16 @@ func (a *Array) slot(addr uint64, alloc bool) *Entry {
 	return &blk[(addr>>3)&(pageWords-1)]
 }
 
-// Set implements Store.
+// Set implements Store. The zero Entry clears the slot without reserving a
+// shadow block.
 func (a *Array) Set(addr uint64, e Entry) {
+	if e == (Entry{}) {
+		a.Delete(addr)
+		return
+	}
 	s := a.slot(addr, true)
-	was := *s != (Entry{})
-	now := e != (Entry{})
-	switch {
-	case !was && now:
+	if *s == (Entry{}) {
 		a.live++
-	case was && !now:
-		a.live--
 	}
 	*s = e
 }
@@ -84,6 +86,26 @@ func (a *Array) Name() string { return "array" }
 // Reset implements Store.
 func (a *Array) Reset() { a.blocks = map[uint64]*[pageWords]Entry{}; a.live = 0 }
 
+// Scan implements Store.
+func (a *Array) Scan(f func(addr uint64, e Entry) bool) {
+	pns := make([]uint64, 0, len(a.blocks))
+	for pn := range a.blocks {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		blk := a.blocks[pn]
+		for i := range blk {
+			if blk[i] == (Entry{}) {
+				continue
+			}
+			if !f(pn<<12|uint64(i)<<3, blk[i]) {
+				return
+			}
+		}
+	}
+}
+
 // TwoLevel is the two-level lookup table organisation (directory of
 // second-level tables, like the MPX layout the paper plans to adopt, §4).
 type TwoLevel struct {
@@ -96,8 +118,13 @@ func NewTwoLevel() *TwoLevel { return &TwoLevel{dir: map[uint64]map[uint64]Entry
 
 const l2Bits = 15 // second-level covers 32K slots (256 KiB of address space)
 
-// Set implements Store.
+// Set implements Store. The zero Entry clears the slot (the canonical
+// semantics: the array organisation cannot represent it any other way).
 func (t *TwoLevel) Set(addr uint64, e Entry) {
+	if e == (Entry{}) {
+		t.Delete(addr)
+		return
+	}
 	hi, lo := (addr>>3)>>l2Bits, (addr>>3)&((1<<l2Bits)-1)
 	tbl := t.dir[hi]
 	if tbl == nil {
@@ -154,6 +181,28 @@ func (t *TwoLevel) Name() string { return "twolevel" }
 // Reset implements Store.
 func (t *TwoLevel) Reset() { t.dir = map[uint64]map[uint64]Entry{}; t.live = 0 }
 
+// Scan implements Store.
+func (t *TwoLevel) Scan(f func(addr uint64, e Entry) bool) {
+	his := make([]uint64, 0, len(t.dir))
+	for hi := range t.dir {
+		his = append(his, hi)
+	}
+	sort.Slice(his, func(i, j int) bool { return his[i] < his[j] })
+	for _, hi := range his {
+		tbl := t.dir[hi]
+		los := make([]uint64, 0, len(tbl))
+		for lo := range tbl {
+			los = append(los, lo)
+		}
+		sort.Slice(los, func(i, j int) bool { return los[i] < los[j] })
+		for _, lo := range los {
+			if !f((hi<<l2Bits|lo)<<3, tbl[lo]) {
+				return
+			}
+		}
+	}
+}
+
 // Hash is the hash-table organisation: most compact, slowest (probing plus
 // worse locality, §4/§5.2: 13.9% CPI memory overhead vs 105% for the array).
 type Hash struct {
@@ -163,8 +212,15 @@ type Hash struct {
 // NewHash returns an empty hash-organised store.
 func NewHash() *Hash { return &Hash{m: map[uint64]Entry{}} }
 
-// Set implements Store.
-func (h *Hash) Set(addr uint64, e Entry) { h.m[addr>>3] = e }
+// Set implements Store. The zero Entry clears the slot (the canonical
+// semantics; see Store).
+func (h *Hash) Set(addr uint64, e Entry) {
+	if e == (Entry{}) {
+		delete(h.m, addr>>3)
+		return
+	}
+	h.m[addr>>3] = e
+}
 
 // Get implements Store.
 func (h *Hash) Get(addr uint64) (Entry, bool) {
@@ -195,3 +251,17 @@ func (h *Hash) Name() string { return "hash" }
 
 // Reset implements Store.
 func (h *Hash) Reset() { h.m = map[uint64]Entry{} }
+
+// Scan implements Store.
+func (h *Hash) Scan(f func(addr uint64, e Entry) bool) {
+	slots := make([]uint64, 0, len(h.m))
+	for s := range h.m {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		if !f(s<<3, h.m[s]) {
+			return
+		}
+	}
+}

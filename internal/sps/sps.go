@@ -52,10 +52,15 @@ func (e Entry) InBounds(addr uint64, size int64) bool {
 // value + lower + upper + id, four 8-byte words (Fig. 2).
 const EntryBytes = 32
 
-// Store is a safe pointer store organisation.
+// Store is a safe pointer store organisation. All organisations share one
+// observable semantics (the cross-implementation equivalence suite enforces
+// it): addresses are identified by their 8-byte slot, and the zero Entry is
+// the canonical "absent" state — the direct-mapped array physically cannot
+// distinguish a zero entry from an empty slot, so Set(addr, Entry{}) is
+// equivalent to Delete(addr) in every organisation.
 type Store interface {
 	// Set records the protected copy for the sensitive pointer stored at
-	// regular-region address addr.
+	// regular-region address addr. Setting the zero Entry clears the slot.
 	Set(addr uint64, e Entry)
 	// Get returns the protected copy, if any.
 	Get(addr uint64) (Entry, bool)
@@ -73,6 +78,10 @@ type Store interface {
 	Name() string
 	// Reset drops all entries.
 	Reset()
+	// Scan visits every live entry in ascending slot-address order and
+	// stops early if f returns false. The visit order is deterministic and
+	// identical across organisations.
+	Scan(f func(addr uint64, e Entry) bool)
 }
 
 // New returns a store by organisation name: "array", "twolevel", "hash".
