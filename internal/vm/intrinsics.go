@@ -387,8 +387,11 @@ func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
 	}
 	m.cycles += (n/8 + 1) * m.cfg.Cost.IntrByte
 	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
+		// Each covered word pays the probe of the source slot (a safe-store
+		// load) and the Set/Delete of the destination slot (a safe-store
+		// store), on top of the per-word bookkeeping.
 		words := n / 8
-		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.LoadCost())
+		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.LoadCost() + m.sps.StoreCost())
 		for off := int64(0); off+8 <= n; off += 8 {
 			if e, ok := m.sps.Get(src + uint64(off)); ok {
 				m.sps.Set(dst+uint64(off), e)
@@ -414,8 +417,10 @@ func (m *Machine) memset(dst uint64, c byte, n int64, safeVariant bool) bool {
 	}
 	m.cycles += (n/8 + 1) * m.cfg.Cost.IntrByte
 	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
+		// memset performs no source probe, but every covered word's Delete
+		// is a safe-store write and is charged as one.
 		words := n / 8
-		m.cycles += words * m.cfg.Cost.SafeIntrWord
+		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.StoreCost())
 		for off := int64(0); off+8 <= n; off += 8 {
 			m.sps.Delete(dst + uint64(off))
 		}
