@@ -1,0 +1,88 @@
+package workloads
+
+// Micro returns the interpreter-throughput microbenchmarks: call-heavy
+// kernels whose cost is dominated by the VM's frame setup/teardown and
+// dispatch paths rather than by the modelled protection. They exist to
+// measure the simulator itself (steps/sec, ns/step) — the denominator of
+// every wall-clock number the evaluation reports.
+func Micro() []Workload {
+	return []Workload{
+		{Name: "micro.fib", Lang: C, Src: srcFib},
+		{Name: "micro.qsort", Lang: C, Src: srcQsort},
+	}
+}
+
+// micro.fib — naive double recursion: the densest call/return workload
+// expressible in mini-C. Nearly every step is a call, a return, or the
+// branch between them, so steps/sec here is the ceiling on how fast the VM
+// can push and pop frames.
+const srcFib = `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+	int acc = 0;
+	int i;
+	for (i = 18; i < 23; i++) {
+		acc += fib(i);
+	}
+	// fib(18..22) sums to 46366; keep the exit code in byte range.
+	return acc % 251;
+}
+`
+
+// micro.qsort — recursive quicksort over an int array: a call-heavy mix of
+// compares, swaps through pointers, and partition recursion. Unlike fib it
+// also exercises loads/stores between the calls.
+const srcQsort = `
+int arr[512];
+
+void swap(int *a, int *b) {
+	int t = *a;
+	*a = *b;
+	*b = t;
+}
+
+int partition(int *v, int lo, int hi) {
+	int pivot = v[hi];
+	int i = lo - 1;
+	int j;
+	for (j = lo; j < hi; j++) {
+		if (v[j] < pivot) {
+			i++;
+			swap(&v[i], &v[j]);
+		}
+	}
+	swap(&v[i + 1], &v[hi]);
+	return i + 1;
+}
+
+void qsort_rec(int *v, int lo, int hi) {
+	if (lo < hi) {
+		int p = partition(v, lo, hi);
+		qsort_rec(v, lo, p - 1);
+		qsort_rec(v, p + 1, hi);
+	}
+}
+
+int main() {
+	int i;
+	int rounds;
+	int seed = 12345;
+	int checksum = 0;
+	for (rounds = 0; rounds < 6; rounds++) {
+		for (i = 0; i < 512; i++) {
+			seed = seed * 1103515245 + 12345;
+			arr[i] = (seed >> 16) & 1023;
+		}
+		qsort_rec(arr, 0, 511);
+		for (i = 1; i < 512; i++) {
+			if (arr[i - 1] > arr[i]) return 1; // sorted?
+		}
+		checksum += arr[0] + arr[255] + arr[511];
+	}
+	return checksum % 251;
+}
+`
