@@ -14,7 +14,11 @@ const pageWords = 512
 // simple table the fastest of the three).
 type Array struct {
 	blocks map[uint64]*[pageWords]Entry
-	live   int
+	// pns is the cached sorted index of shadow page numbers; nil means
+	// invalidated (a block was reserved since it was built). See
+	// cachedSortedKeys.
+	pns  []uint64
+	live int
 }
 
 // NewArray returns an empty array-organised store.
@@ -29,6 +33,7 @@ func (a *Array) slot(addr uint64, alloc bool) *Entry {
 		}
 		blk = new([pageWords]Entry)
 		a.blocks[pn] = blk
+		a.pns = nil // key set changed
 	}
 	return &blk[(addr>>3)&(pageWords-1)]
 }
@@ -84,16 +89,17 @@ func (a *Array) StoreCost() int64 { return 4 }
 func (a *Array) Name() string { return "array" }
 
 // Reset implements Store.
-func (a *Array) Reset() { a.blocks = map[uint64]*[pageWords]Entry{}; a.live = 0 }
+func (a *Array) Reset() {
+	a.blocks = map[uint64]*[pageWords]Entry{}
+	a.pns = nil
+	a.live = 0
+}
 
-// Scan implements Store.
+// Scan implements Store: iterate the cached sorted page index, rebuilt only
+// after a new block was reserved.
 func (a *Array) Scan(f func(addr uint64, e Entry) bool) {
-	pns := make([]uint64, 0, len(a.blocks))
-	for pn := range a.blocks {
-		pns = append(pns, pn)
-	}
-	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
-	for _, pn := range pns {
+	a.pns = cachedSortedKeys(a.pns, a.blocks)
+	for _, pn := range a.pns {
 		blk := a.blocks[pn]
 		for i := range blk {
 			if blk[i] == (Entry{}) {
@@ -108,13 +114,50 @@ func (a *Array) Scan(f func(addr uint64, e Entry) bool) {
 
 // TwoLevel is the two-level lookup table organisation (directory of
 // second-level tables, like the MPX layout the paper plans to adopt, §4).
+// Each second-level table carries a cached sorted index of its keys,
+// invalidated when its key set changes, so repeated Scans over a stable
+// store do no per-call sorting.
 type TwoLevel struct {
-	dir  map[uint64]map[uint64]Entry
+	dir map[uint64]*l2tbl
+	// his is the cached sorted directory key index; nil means invalidated
+	// (a second-level table was created since it was built).
+	his  []uint64
 	live int
 }
 
+// l2tbl is one second-level table plus its cached sorted key index.
+type l2tbl struct {
+	m map[uint64]Entry
+	// keys is the ascending key cache; nil means invalidated (the key set
+	// changed since it was built).
+	keys []uint64
+}
+
+func (t *l2tbl) sortedKeys() []uint64 {
+	t.keys = cachedSortedKeys(t.keys, t.m)
+	return t.keys
+}
+
+// cachedSortedKeys returns cache when still valid (non-nil) and otherwise
+// rebuilds the ascending key index of m. Callers nil their cache whenever
+// the key set changes (inserting a new key or deleting a live one —
+// overwriting an existing key keeps the cache valid). An in-flight Scan
+// ranging over a previously returned slice keeps its point-in-time view
+// even if the callback invalidates the cache.
+func cachedSortedKeys[V any](cache []uint64, m map[uint64]V) []uint64 {
+	if cache != nil {
+		return cache
+	}
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // NewTwoLevel returns an empty two-level store.
-func NewTwoLevel() *TwoLevel { return &TwoLevel{dir: map[uint64]map[uint64]Entry{}} }
+func NewTwoLevel() *TwoLevel { return &TwoLevel{dir: map[uint64]*l2tbl{}} }
 
 const l2Bits = 15 // second-level covers 32K slots (256 KiB of address space)
 
@@ -128,13 +171,15 @@ func (t *TwoLevel) Set(addr uint64, e Entry) {
 	hi, lo := (addr>>3)>>l2Bits, (addr>>3)&((1<<l2Bits)-1)
 	tbl := t.dir[hi]
 	if tbl == nil {
-		tbl = map[uint64]Entry{}
+		tbl = &l2tbl{m: map[uint64]Entry{}}
 		t.dir[hi] = tbl
+		t.his = nil // directory key set changed
 	}
-	if _, ok := tbl[lo]; !ok {
+	if _, ok := tbl.m[lo]; !ok {
 		t.live++
+		tbl.keys = nil // key set changed
 	}
-	tbl[lo] = e
+	tbl.m[lo] = e
 }
 
 // Get implements Store.
@@ -144,7 +189,7 @@ func (t *TwoLevel) Get(addr uint64) (Entry, bool) {
 	if tbl == nil {
 		return Entry{}, false
 	}
-	e, ok := tbl[lo]
+	e, ok := tbl.m[lo]
 	return e, ok
 }
 
@@ -152,9 +197,10 @@ func (t *TwoLevel) Get(addr uint64) (Entry, bool) {
 func (t *TwoLevel) Delete(addr uint64) {
 	hi, lo := (addr>>3)>>l2Bits, (addr>>3)&((1<<l2Bits)-1)
 	if tbl := t.dir[hi]; tbl != nil {
-		if _, ok := tbl[lo]; ok {
-			delete(tbl, lo)
+		if _, ok := tbl.m[lo]; ok {
+			delete(tbl.m, lo)
 			t.live--
+			tbl.keys = nil // key set changed
 		}
 	}
 }
@@ -179,24 +225,20 @@ func (t *TwoLevel) StoreCost() int64 { return 7 }
 func (t *TwoLevel) Name() string { return "twolevel" }
 
 // Reset implements Store.
-func (t *TwoLevel) Reset() { t.dir = map[uint64]map[uint64]Entry{}; t.live = 0 }
+func (t *TwoLevel) Reset() {
+	t.dir = map[uint64]*l2tbl{}
+	t.his = nil
+	t.live = 0
+}
 
-// Scan implements Store.
+// Scan implements Store: sorted directory walk, each second-level table
+// through its cached key index (rebuilt only after its key set changed).
 func (t *TwoLevel) Scan(f func(addr uint64, e Entry) bool) {
-	his := make([]uint64, 0, len(t.dir))
-	for hi := range t.dir {
-		his = append(his, hi)
-	}
-	sort.Slice(his, func(i, j int) bool { return his[i] < his[j] })
-	for _, hi := range his {
+	t.his = cachedSortedKeys(t.his, t.dir)
+	for _, hi := range t.his {
 		tbl := t.dir[hi]
-		los := make([]uint64, 0, len(tbl))
-		for lo := range tbl {
-			los = append(los, lo)
-		}
-		sort.Slice(los, func(i, j int) bool { return los[i] < los[j] })
-		for _, lo := range los {
-			if !f((hi<<l2Bits|lo)<<3, tbl[lo]) {
+		for _, lo := range tbl.sortedKeys() {
+			if !f((hi<<l2Bits|lo)<<3, tbl.m[lo]) {
 				return
 			}
 		}
@@ -205,8 +247,12 @@ func (t *TwoLevel) Scan(f func(addr uint64, e Entry) bool) {
 
 // Hash is the hash-table organisation: most compact, slowest (probing plus
 // worse locality, §4/§5.2: 13.9% CPI memory overhead vs 105% for the array).
+// A cached sorted key index, invalidated whenever the key set changes,
+// keeps Scan from collecting and sorting the full key set per call.
 type Hash struct {
 	m map[uint64]Entry
+	// keys is the ascending slot cache; nil means invalidated.
+	keys []uint64
 }
 
 // NewHash returns an empty hash-organised store.
@@ -216,10 +262,14 @@ func NewHash() *Hash { return &Hash{m: map[uint64]Entry{}} }
 // semantics; see Store).
 func (h *Hash) Set(addr uint64, e Entry) {
 	if e == (Entry{}) {
-		delete(h.m, addr>>3)
+		h.Delete(addr)
 		return
 	}
-	h.m[addr>>3] = e
+	s := addr >> 3
+	if _, ok := h.m[s]; !ok {
+		h.keys = nil // key set changed
+	}
+	h.m[s] = e
 }
 
 // Get implements Store.
@@ -229,7 +279,13 @@ func (h *Hash) Get(addr uint64) (Entry, bool) {
 }
 
 // Delete implements Store.
-func (h *Hash) Delete(addr uint64) { delete(h.m, addr>>3) }
+func (h *Hash) Delete(addr uint64) {
+	s := addr >> 3
+	if _, ok := h.m[s]; ok {
+		delete(h.m, s)
+		h.keys = nil // key set changed
+	}
+}
 
 // Len implements Store.
 func (h *Hash) Len() int { return len(h.m) }
@@ -250,16 +306,13 @@ func (h *Hash) StoreCost() int64 { return 12 }
 func (h *Hash) Name() string { return "hash" }
 
 // Reset implements Store.
-func (h *Hash) Reset() { h.m = map[uint64]Entry{} }
+func (h *Hash) Reset() { h.m = map[uint64]Entry{}; h.keys = nil }
 
-// Scan implements Store.
+// Scan implements Store: iterate the cached sorted index, rebuilding it
+// only when the key set has changed since the last build.
 func (h *Hash) Scan(f func(addr uint64, e Entry) bool) {
-	slots := make([]uint64, 0, len(h.m))
-	for s := range h.m {
-		slots = append(slots, s)
-	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
-	for _, s := range slots {
+	h.keys = cachedSortedKeys(h.keys, h.m)
+	for _, s := range h.keys {
 		if !f(s<<3, h.m[s]) {
 			return
 		}
