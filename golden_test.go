@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ripe"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Golden determinism tests: the VM is a deterministic cycle-accurate
+// simulator, and every hot-path change (predecode, frame pooling, page
+// caches) must be *behavior-preserving* — same Cycles, same Steps, same
+// traps, bit for bit. These tests pin the exact tables for representative
+// workloads (one SPEC-C, one webstack page, one call-heavy micro) under the
+// baseline/CPS/CPI configurations, and the RIPE attack outcomes, so a
+// refactor can never silently shift the paper's tables.
+//
+// The golden numbers were recorded from the interpreter after the
+// safe-intrinsic store-cost fix; if a deliberate cost-model change shifts
+// them, re-record in the same commit and say so.
+
+type goldenRow struct {
+	cfgName string
+	cfg     core.Config
+	cycles  int64
+	steps   int64
+	exit    int64
+}
+
+// goldenCycles is the single source of golden per-config cycle counts,
+// shared by every golden test in this file: vanilla, cps, cpi in order.
+var goldenCycles = map[string][3]int64{
+	"403.gcc":     {621053, 642345, 754687},
+	"static-page": {706450, 718474, 762246},
+	"micro.fib":   {2935167, 2935167, 2935167},
+}
+
+func goldenConfigs(name string, steps, exit int64) []goldenRow {
+	cycles := goldenCycles[name]
+	return []goldenRow{
+		{"vanilla", core.Config{DEP: true}, cycles[0], steps, exit},
+		{"cps", core.Config{Protect: core.CPS, DEP: true}, cycles[1], steps, exit},
+		{"cpi", core.Config{Protect: core.CPI, DEP: true}, cycles[2], steps, exit},
+	}
+}
+
+func TestGoldenCycleTables(t *testing.T) {
+	spec, ok := workloads.ByName(workloads.Spec(), "403.gcc")
+	if !ok {
+		t.Fatal("403.gcc missing")
+	}
+	web := workloads.WebStack()[0] // static-page
+	fib, ok := workloads.ByName(workloads.Micro(), "micro.fib")
+	if !ok {
+		t.Fatal("micro.fib missing")
+	}
+
+	cases := []struct {
+		name string
+		src  string
+		rows []goldenRow
+	}{
+		{spec.Name, spec.Src, goldenConfigs(spec.Name, 320655, 145)},
+		{web.Name, web.Src, goldenConfigs(web.Name, 308449, 44)},
+		{fib.Name, fib.Src, goldenConfigs(fib.Name, 1228694, 19)},
+	}
+
+	for _, tc := range cases {
+		for _, row := range tc.rows {
+			t.Run(tc.name+"/"+row.cfgName, func(t *testing.T) {
+				// Two independent compilations: each predecodes on its own,
+				// so agreement between them (and with the goldens) means the
+				// lowering cannot shift results between program instances.
+				progA, err := core.Compile(tc.src, row.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				progB, err := core.Compile(tc.src, row.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Two machines of one program additionally share one
+				// predecoded Code, the harness CompileCache configuration.
+				ra1, err := progA.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ra2, err := progA.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, err := progB.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range []*vm.Result{ra1, ra2, rb} {
+					if r.Trap != vm.TrapExit {
+						t.Fatalf("run %d: trap %v (%v)", i, r.Trap, r.Err)
+					}
+					if r.Cycles != row.cycles || r.Steps != row.steps || r.ExitCode != row.exit {
+						t.Errorf("run %d: cycles=%d steps=%d exit=%d, golden cycles=%d steps=%d exit=%d",
+							i, r.Cycles, r.Steps, r.ExitCode, row.cycles, row.steps, row.exit)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenRIPEOutcomes pins attack outcomes (trap kinds included) for a
+// direct stack-smash and an indirect data-segment attack, with and without
+// CPI: the protection tables must be as stable as the cycle tables.
+func TestGoldenRIPEOutcomes(t *testing.T) {
+	attacks := []ripe.Attack{
+		{Technique: ripe.Direct, Location: ripe.Stack, Target: ripe.Ret,
+			Payload: ripe.Ret2Libc, Abused: ripe.ViaMemcpy},
+		{Technique: ripe.Indirect, Location: ripe.Data, Target: ripe.FuncPtrData,
+			Payload: ripe.Ret2Libc, Abused: ripe.ViaMemcpy},
+	}
+	golden := []struct {
+		defense string
+		attack  int
+		outcome ripe.Outcome
+		trap    vm.TrapKind
+	}{
+		{"none", 0, ripe.Success, vm.TrapHijacked},
+		{"none", 1, ripe.Success, vm.TrapExit},
+		{"cpi", 0, ripe.Failed, vm.TrapExit},
+		{"cpi", 1, ripe.Failed, vm.TrapExit},
+	}
+	for _, g := range golden {
+		d, err := ripe.DefenseByName(g.defense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run twice: outcomes must also be run-to-run deterministic.
+		for rep := 0; rep < 2; rep++ {
+			r, err := ripe.Run(attacks[g.attack], d, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Outcome != g.outcome || r.Trap != g.trap {
+				t.Errorf("%s/attack%d rep%d: outcome=%v trap=%v, golden outcome=%v trap=%v",
+					g.defense, g.attack, rep, r.Outcome, r.Trap, g.outcome, g.trap)
+			}
+		}
+	}
+}
+
+// TestGoldenSharedPredecodeParallel runs the golden workloads through the
+// parallel harness with a shared CompileCache (the configuration every
+// bench command uses) and checks the same golden cycles come out: the
+// schedule and the predecode sharing cannot influence any measurement.
+func TestGoldenSharedPredecodeParallel(t *testing.T) {
+	spec, _ := workloads.ByName(workloads.Spec(), "403.gcc")
+	fib, _ := workloads.ByName(workloads.Micro(), "micro.fib")
+	set := []workloads.Workload{spec, fib}
+	cfgs := []harness.NamedConfig{
+		{Name: "vanilla", Cfg: core.Config{DEP: true}},
+		{Name: "cps", Cfg: core.Config{Protect: core.CPS, DEP: true}},
+		{Name: "cpi", Cfg: core.Config{Protect: core.CPI, DEP: true}},
+	}
+	results, err := harness.RunSuiteOpt(set, cfgs, harness.Options{
+		Jobs: 4, Cache: harness.NewCompileCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		want := goldenCycles[r.Name]
+		for i, cfg := range []string{"vanilla", "cps", "cpi"} {
+			if got := r.Cycles[cfg]; got != want[i] {
+				t.Errorf("%s/%s: cycles=%d, golden %d", r.Name, cfg, got, want[i])
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/instrument"
@@ -93,6 +94,20 @@ type Program struct {
 	IR    *ir.Program
 	Cfg   Config
 	Stats analysis.Stats
+
+	// pre lazily holds the predecoded form of IR (vm.Predecode), built once
+	// and shared by every machine of this program — including value copies
+	// of Program (RunWithInput) and the parallel harness fan-out, whose
+	// CompileCache shares the *Program itself.
+	pre *predecodeCell
+}
+
+// predecodeCell is shared by pointer so Program value copies reuse the same
+// predecode result (and so Program stays copyable: the sync.Once lives
+// behind the pointer).
+type predecodeCell struct {
+	once sync.Once
+	code *vm.Code
 }
 
 // Compile parses, checks, lowers, and instruments src per cfg.
@@ -133,7 +148,19 @@ func Compile(src string, cfg Config) (*Program, error) {
 	if err := p.Verify(); err != nil {
 		return nil, fmt.Errorf("post-instrumentation verify: %w", err)
 	}
-	return &Program{IR: p, Cfg: cfg, Stats: stats}, nil
+	return &Program{IR: p, Cfg: cfg, Stats: stats, pre: &predecodeCell{}}, nil
+}
+
+// Predecoded returns the execution-ready form of the program, predecoding
+// on first use. It is safe for concurrent use; all machines of this program
+// share one result.
+func (p *Program) Predecoded() *vm.Code {
+	if p.pre == nil {
+		// Program built by hand rather than Compile: predecode unshared.
+		return vm.Predecode(p.IR)
+	}
+	p.pre.once.Do(func() { p.pre.code = vm.Predecode(p.IR) })
+	return p.pre.code
 }
 
 // vmConfig derives the runtime configuration.
@@ -171,9 +198,10 @@ func (p *Program) vmConfig() vm.Config {
 	return c
 }
 
-// NewMachine builds a fresh machine instance (one per run).
+// NewMachine builds a fresh machine instance (one per run). All machines
+// share the program's predecoded instruction streams.
 func (p *Program) NewMachine() (*vm.Machine, error) {
-	return vm.New(p.IR, p.vmConfig())
+	return vm.NewShared(p.IR, p.Predecoded(), p.vmConfig())
 }
 
 // Run executes main() on a fresh machine.

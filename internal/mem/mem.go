@@ -4,7 +4,10 @@
 // model of §2, non-executable data pages for DEP, and page-level isolation).
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageSize is the size of one page in bytes.
 const PageSize = 4096
@@ -70,16 +73,39 @@ type page struct {
 	data [PageSize]byte
 }
 
+// cacheWays is the size of the page-translation cache (a power of two).
+const cacheWays = 8
+
 // Memory is a sparse paged address space. The zero value is an empty address
 // space ready to use.
 type Memory struct {
 	pages map[uint64]*page
+
+	// cache is a tiny direct-mapped translation cache in front of the page
+	// map — the simulator's TLB. Pages are never unmapped and permission
+	// changes go through the cached *page itself, so entries never go
+	// stale and no invalidation is needed.
+	cache [cacheWays]struct {
+		pn uint64
+		pg *page
+	}
 }
 
 // New returns an empty address space.
 func New() *Memory { return &Memory{pages: map[uint64]*page{}} }
 
-func (m *Memory) page(addr uint64) *page { return m.pages[addr>>pageShift] }
+func (m *Memory) page(addr uint64) *page {
+	pn := addr >> pageShift
+	c := &m.cache[pn&(cacheWays-1)]
+	if c.pg != nil && c.pn == pn {
+		return c.pg
+	}
+	pg := m.pages[pn]
+	if pg != nil {
+		c.pn, c.pg = pn, pg
+	}
+	return pg
+}
 
 // Map maps [addr, addr+size) with the given permissions, rounding to page
 // boundaries. Remapping an existing page updates its permissions and keeps
@@ -149,6 +175,18 @@ func (m *Memory) Load(addr uint64, size int) (uint64, error) {
 		}
 		return uint64(pg.data[addr&offMask]), nil
 	}
+	if size == 8 && addr&offMask <= PageSize-8 {
+		// Whole word on one page: a single translation. The first failing
+		// byte is the first byte, so faults are identical to the byte walk.
+		pg := m.page(addr)
+		if pg == nil {
+			return 0, &Fault{Addr: addr, Kind: FaultUnmapped}
+		}
+		if pg.perm&R == 0 {
+			return 0, &Fault{Addr: addr, Kind: FaultNoRead}
+		}
+		return binary.LittleEndian.Uint64(pg.data[addr&offMask:]), nil
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		pg := m.page(addr + uint64(i))
@@ -176,6 +214,17 @@ func (m *Memory) Store(addr uint64, size int, v uint64) error {
 		pg.data[addr&offMask] = byte(v)
 		return nil
 	}
+	if size == 8 && addr&offMask <= PageSize-8 {
+		pg := m.page(addr)
+		if pg == nil {
+			return &Fault{Addr: addr, Kind: FaultUnmapped}
+		}
+		if pg.perm&W == 0 {
+			return &Fault{Addr: addr, Kind: FaultNoWrite}
+		}
+		binary.LittleEndian.PutUint64(pg.data[addr&offMask:], v)
+		return nil
+	}
 	for i := 0; i < size; i++ {
 		pg := m.page(addr + uint64(i))
 		if pg == nil {
@@ -189,33 +238,48 @@ func (m *Memory) Store(addr uint64, size int, v uint64) error {
 	return nil
 }
 
-// ReadBytes copies n bytes starting at addr into a new slice.
+// ReadBytes copies n bytes starting at addr into a new slice. The copy is
+// page-chunked: one translation and one copy per covered page.
 func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		pg := m.page(addr + uint64(i))
+	for i := 0; i < n; {
+		a := addr + uint64(i)
+		pg := m.page(a)
 		if pg == nil {
-			return nil, &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+			return nil, &Fault{Addr: a, Kind: FaultUnmapped}
 		}
 		if pg.perm&R == 0 {
-			return nil, &Fault{Addr: addr + uint64(i), Kind: FaultNoRead}
+			return nil, &Fault{Addr: a, Kind: FaultNoRead}
 		}
-		out[i] = pg.data[(addr+uint64(i))&offMask]
+		off := a & offMask
+		chunk := int(PageSize - off)
+		if chunk > n-i {
+			chunk = n - i
+		}
+		copy(out[i:i+chunk], pg.data[off:off+uint64(chunk)])
+		i += chunk
 	}
 	return out, nil
 }
 
-// WriteBytes writes b starting at addr.
+// WriteBytes writes b starting at addr, page-chunked like ReadBytes.
 func (m *Memory) WriteBytes(addr uint64, b []byte) error {
-	for i, c := range b {
-		pg := m.page(addr + uint64(i))
+	for i := 0; i < len(b); {
+		a := addr + uint64(i)
+		pg := m.page(a)
 		if pg == nil {
-			return &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+			return &Fault{Addr: a, Kind: FaultUnmapped}
 		}
 		if pg.perm&W == 0 {
-			return &Fault{Addr: addr + uint64(i), Kind: FaultNoWrite}
+			return &Fault{Addr: a, Kind: FaultNoWrite}
 		}
-		pg.data[(addr+uint64(i))&offMask] = c
+		off := a & offMask
+		chunk := int(PageSize - off)
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		copy(pg.data[off:off+uint64(chunk)], b[i:i+chunk])
+		i += chunk
 	}
 	return nil
 }

@@ -61,28 +61,39 @@ func (m *Machine) runHook(fi int) {
 	}
 }
 
-func (m *Machine) execCall(f *frame, in *ir.Instr) {
-	if in.Callee < 0 {
+// evalArgs evaluates a call's argument list into the machine's reusable
+// buffers (valid until the next call; pushFrame copies them out
+// immediately).
+func (m *Machine) evalArgs(f *frame, vs []ir.Value) ([]uint64, []Meta) {
+	if cap(m.argVals) < len(vs) {
+		m.argVals = make([]uint64, len(vs))
+		m.argMetas = make([]Meta, len(vs))
+	}
+	av, am := m.argVals[:len(vs)], m.argMetas[:len(vs)]
+	for i, a := range vs {
+		av[i], am[i] = m.eval(f, a)
+	}
+	return av, am
+}
+
+func (m *Machine) execCall(f *frame, in *PIns) {
+	orig := in.In
+	if orig.Callee < 0 {
 		m.execIntrinsic(f, in)
 		return
 	}
-	m.runHook(in.Callee)
+	m.runHook(orig.Callee)
 	if m.trap != nil {
 		return
 	}
 	m.cycles += m.cfg.Cost.Call
-	args := make([]uint64, len(in.Args))
-	metas := make([]Meta, len(in.Args))
-	for i, a := range in.Args {
-		args[i], metas[i] = m.eval(f, a)
-	}
-	ret := site{fn: f.fidx, blk: f.blk, ip: f.ip + 1}
-	m.pushFrame(in.Callee, args, metas, ret, in.Dst)
+	args, metas := m.evalArgs(f, orig.Args)
+	m.pushFrame(orig.Callee, args, metas, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(in.Dst))
 }
 
-func (m *Machine) execICall(f *frame, in *ir.Instr) {
+func (m *Machine) execICall(f *frame, in *PIns) {
 	m.cycles += m.cfg.Cost.ICall
-	target, meta := m.eval(f, in.A)
+	target, meta := m.evalP(f, &in.A)
 
 	if m.cfg.CFI && in.Flags&ir.ProtCFI != 0 {
 		// Coarse-grained CFI: the merged valid set is "any function entry"
@@ -123,21 +134,16 @@ func (m *Machine) execICall(f *frame, in *ir.Instr) {
 		return
 	}
 
-	args := make([]uint64, len(in.Args))
-	metas := make([]Meta, len(in.Args))
-	for i, a := range in.Args {
-		args[i], metas[i] = m.eval(f, a)
-	}
-	ret := site{fn: f.fidx, blk: f.blk, ip: f.ip + 1}
-	m.pushFrame(fi, args, metas, ret, in.Dst)
+	args, metas := m.evalArgs(f, in.In.Args)
+	m.pushFrame(fi, args, metas, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(in.Dst))
 }
 
-func (m *Machine) execRet(f *frame, in *ir.Instr) {
+func (m *Machine) execRet(f *frame, in *PIns) {
 	m.cycles += m.cfg.Cost.Ret
 	var rv uint64
 	var rm Meta
 	if in.A.Kind != ir.ValNone {
-		rv, rm = m.eval(f, in.A)
+		rv, rm = m.evalP(f, &in.A)
 	}
 
 	// Stack-cookie epilogue: verify the canary before trusting the frame.
@@ -195,7 +201,8 @@ func (m *Machine) clearSafeMeta(lo, hi uint64) {
 	}
 }
 
-// popFrame releases the callee frame and resumes the caller.
+// popFrame releases the callee frame, resumes the caller, and returns the
+// activation record to the pool.
 func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
 	if f.safeSize > 0 {
 		m.clearSafeMeta(f.safeBase, f.safeBase+f.safeSize)
@@ -206,13 +213,14 @@ func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
 	if len(m.frames) == 0 {
 		m.exitCode = int64(rv)
 		m.trap = &Trap{Kind: TrapExit, PC: "<exit>"}
+		m.recycleFrame(f)
 		return
 	}
 	caller := m.frames[len(m.frames)-1]
-	caller.blk = f.retSite.blk
-	caller.ip = f.retSite.ip
+	caller.pc = f.retPC
 	if f.dst >= 0 {
 		caller.regs[f.dst] = rv
 		caller.meta[f.dst] = rm
 	}
+	m.recycleFrame(f)
 }

@@ -3,7 +3,6 @@ package vm
 import (
 	"fmt"
 
-	"repro/internal/ctypes"
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/sps"
@@ -22,7 +21,7 @@ func (m *Machine) Run(entry string) *Result {
 	if fi < 0 {
 		return m.finish(&Trap{Kind: TrapAbort, Msg: "no entry function " + entry})
 	}
-	m.pushFrame(fi, nil, nil, site{fn: -1}, -1)
+	m.pushFrame(fi, nil, nil, 0, -1, -1)
 	for m.trap == nil {
 		m.step()
 	}
@@ -72,20 +71,53 @@ func (m *Machine) memFault(err error) {
 	m.trapf(TrapSegFault, 0, ViaNone, "%v", err)
 }
 
+// newFrame takes an activation record from the pool (or allocates one) and
+// sizes its register file, zeroed, for fn.
+func (m *Machine) newFrame(fi int) *frame {
+	var f *frame
+	if n := len(m.framePool); n > 0 {
+		f = m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+		regs, meta := f.regs, f.meta
+		*f = frame{}
+		f.regs, f.meta = regs, meta
+	} else {
+		f = &frame{}
+	}
+	fn := m.prog.Funcs[fi]
+	f.fn = fn
+	f.code = &m.code.Funcs[fi]
+	f.fidx = fi
+	nr := fn.NumRegs
+	if cap(f.regs) < nr {
+		f.regs = make([]uint64, nr)
+		f.meta = make([]Meta, nr)
+	} else {
+		f.regs = f.regs[:nr]
+		f.meta = f.meta[:nr]
+		clear(f.regs)
+		clear(f.meta)
+	}
+	return f
+}
+
+// recycleFrame returns a popped frame to the pool.
+func (m *Machine) recycleFrame(f *frame) {
+	m.framePool = append(m.framePool, f)
+}
+
 // pushFrame establishes a new activation record and charges frame-setup
-// costs.
-func (m *Machine) pushFrame(fi int, args []uint64, argMeta []Meta, ret site, dst int) {
+// costs. retAddr is the code address of the caller's return site (0 for the
+// entry frame), retPC the caller pc to resume at (-1 for the entry frame).
+func (m *Machine) pushFrame(fi int, args []uint64, argMeta []Meta, retAddr uint64, retPC, dst int) {
 	if len(m.frames) >= m.cfg.MaxCallDepth {
 		m.trapf(TrapStackOverflow, 0, ViaNone, "call depth %d", len(m.frames))
 		return
 	}
-	fn := m.prog.Funcs[fi]
-	f := &frame{
-		fn: fn, fidx: fi,
-		regs:    make([]uint64, fn.NumRegs),
-		meta:    make([]Meta, fn.NumRegs),
-		retSite: ret, dst: dst,
-	}
+	f := m.newFrame(fi)
+	fn := f.fn
+	f.retPC = retPC
+	f.dst = dst
 	for i := range args {
 		if i < len(f.regs) {
 			f.regs[i] = args[i]
@@ -137,7 +169,7 @@ func (m *Machine) pushFrame(fi int, args []uint64, argMeta []Meta, ret site, dst
 
 	// Return address slot: the word an attacker aims for when it lives on
 	// the regular stack.
-	f.retAddr = m.siteAddr(ret)
+	f.retAddr = retAddr
 	if retOnSafe {
 		f.retOnSafe = true
 		f.retSlot = f.safeBase + uint64(fn.SafeSize)
@@ -172,20 +204,6 @@ func (m *Machine) pushFrame(fi int, args []uint64, argMeta []Meta, ret site, dst
 	m.updateMemPeaks()
 }
 
-// siteAddr returns the code address of a return site (0 for the entry
-// frame's pseudo-caller).
-func (m *Machine) siteAddr(s site) uint64 {
-	if s.fn < 0 {
-		return 0
-	}
-	for addr, st := range m.retSites {
-		if st.fn == s.fn && st.blk == s.blk && st.ip == s.ip {
-			return addr
-		}
-	}
-	return 0
-}
-
 // objAddr resolves a frame object's address and which address space it
 // lives in.
 func (m *Machine) objAddr(f *frame, idx int) (uint64, bool) {
@@ -199,7 +217,9 @@ func (m *Machine) objAddr(f *frame, idx int) (uint64, bool) {
 	return f.safeBase + uint64(obj.Offset), false
 }
 
-// eval resolves an operand to (value, metadata).
+// eval resolves an unpredecoded ir.Value operand to (value, metadata); the
+// cold paths (call argument lists, intrinsic varargs) use it. The hot paths
+// use evalP on predecoded operands.
 func (m *Machine) eval(f *frame, v ir.Value) (uint64, Meta) {
 	switch v.Kind {
 	case ir.ValNone:
@@ -233,21 +253,62 @@ func (m *Machine) eval(f *frame, v ir.Value) (uint64, Meta) {
 	panic("vm: bad value kind")
 }
 
-// isSafeFrameAddr reports whether a direct operand names a safe-stack
-// object (whose accesses go to the safe address space).
-func (m *Machine) addrSpace(f *frame, v ir.Value) (addr uint64, meta Meta, safe bool) {
-	if v.Kind == ir.ValFrame {
-		a, onSafe := m.objAddr(f, v.Index)
-		obj := f.fn.Frame[v.Index]
-		return a + uint64(v.Imm), Meta{
-			Kind: sps.KindData, Lower: a, Upper: a + uint64(obj.Size),
-		}, onSafe
+// evalP resolves a predecoded operand to (value, metadata). Object layout
+// was resolved at predecode time; only the machine-dependent bases are
+// looked up here.
+func (m *Machine) evalP(f *frame, v *PVal) (uint64, Meta) {
+	switch v.Kind {
+	case ir.ValNone:
+		return 0, invalidMeta
+	case ir.ValReg:
+		return f.regs[v.Reg], f.meta[v.Reg]
+	case ir.ValConst:
+		return v.Imm, invalidMeta
+	case ir.ValFrame:
+		base := f.safeBase
+		if v.Unsafe {
+			base = f.regBase
+		}
+		addr := base + v.ObjOff
+		return addr + v.Imm, Meta{
+			Kind: sps.KindData, Lower: addr, Upper: addr + v.Size,
+		}
+	case ir.ValGlobal:
+		gb := m.globalAddrs[v.Index]
+		return gb + v.Imm, Meta{
+			Kind: sps.KindData, Lower: gb, Upper: gb + v.Size,
+		}
+	case ir.ValFunc:
+		a := m.funcAddrs[v.Index]
+		return a, Meta{Kind: sps.KindCode, Lower: a, Upper: a}
+	case ir.ValString:
+		sb := m.strAddrs[v.Index]
+		return sb + v.Imm, Meta{
+			Kind: sps.KindData, Lower: sb, Upper: sb + v.Size,
+		}
 	}
-	addr, meta = m.eval(f, v)
+	panic("vm: bad value kind")
+}
+
+// addrSpaceP resolves a predecoded address operand, additionally reporting
+// whether it names a safe-stack object (whose accesses go to the safe
+// address space).
+func (m *Machine) addrSpaceP(f *frame, v *PVal) (addr uint64, meta Meta, safe bool) {
+	if v.Kind == ir.ValFrame {
+		base := f.safeBase
+		if v.Unsafe {
+			base = f.regBase
+		}
+		a := base + v.ObjOff
+		return a + v.Imm, Meta{
+			Kind: sps.KindData, Lower: a, Upper: a + v.Size,
+		}, !v.Unsafe && m.cfg.SafeStack
+	}
+	addr, meta = m.evalP(f, v)
 	return addr, meta, false
 }
 
-// step executes one instruction.
+// step executes one instruction of the predecoded stream.
 func (m *Machine) step() {
 	m.steps++
 	if m.steps > m.stepBudget {
@@ -255,16 +316,16 @@ func (m *Machine) step() {
 		return
 	}
 	f := m.frames[len(m.frames)-1]
-	in := &f.fn.Blocks[f.blk].Ins[f.ip]
+	in := &f.code.Ins[f.pc]
 	cost := &m.cfg.Cost
 
 	switch in.Op {
 	case ir.OpNop:
-		f.ip++
+		f.pc++
 
 	case ir.OpBin:
-		a, _ := m.eval(f, in.A)
-		b, _ := m.eval(f, in.B)
+		a, _ := m.evalP(f, &in.A)
+		b, _ := m.evalP(f, &in.B)
 		v, err := aluEval(in.ALU, a, b)
 		if err != nil {
 			m.trapf(TrapDivZero, 0, ViaNone, "division by zero")
@@ -273,18 +334,18 @@ func (m *Machine) step() {
 		f.regs[in.Dst] = v
 		f.meta[in.Dst] = invalidMeta
 		m.cycles += cost.Bin
-		f.ip++
+		f.pc++
 
 	case ir.OpAddr:
-		v, meta := m.eval(f, in.A)
+		v, meta := m.evalP(f, &in.A)
 		f.regs[in.Dst] = v
 		f.meta[in.Dst] = meta
 		m.cycles += cost.Addr
-		f.ip++
+		f.pc++
 
 	case ir.OpGEP:
-		base, meta := m.eval(f, in.A)
-		idx, _ := m.eval(f, in.B)
+		base, meta := m.evalP(f, &in.A)
+		idx, _ := m.evalP(f, &in.B)
 		f.regs[in.Dst] = base + idx*uint64(in.Scale) + uint64(in.Off)
 		f.meta[in.Dst] = meta // based-on propagation, §3.1 case (iv)
 		m.cycles += cost.GEP
@@ -293,19 +354,19 @@ func (m *Machine) step() {
 			// pointer arithmetic operation (register pressure + moves).
 			m.cycles += cost.SBGEP
 		}
-		f.ip++
+		f.pc++
 
 	case ir.OpCast:
-		v, meta := m.eval(f, in.A)
+		v, meta := m.evalP(f, &in.A)
 		// Metadata propagates through casts (the Levee relaxation for
 		// unsafe casts, §4 and Appendix A); char casts truncate.
-		if in.Ty != nil && in.Ty.Kind == ctypes.KindChar {
+		if in.CastChar {
 			v &= 0xff
 		}
 		f.regs[in.Dst] = v
 		f.meta[in.Dst] = meta
 		m.cycles += cost.Cast
-		f.ip++
+		f.pc++
 
 	case ir.OpLoad:
 		m.execLoad(f, in)
@@ -323,18 +384,16 @@ func (m *Machine) step() {
 		m.execRet(f, in)
 
 	case ir.OpBr:
-		f.blk = in.Blk0
-		f.ip = 0
+		f.pc = int(in.Targ0)
 		m.cycles += cost.Br
 
 	case ir.OpCondBr:
-		v, _ := m.eval(f, in.A)
+		v, _ := m.evalP(f, &in.A)
 		if v != 0 {
-			f.blk = in.Blk0
+			f.pc = int(in.Targ0)
 		} else {
-			f.blk = in.Blk1
+			f.pc = int(in.Targ1)
 		}
-		f.ip = 0
 		m.cycles += cost.CondBr
 
 	default:

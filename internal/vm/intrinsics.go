@@ -15,7 +15,8 @@ import (
 // prove the arguments insensitive it sets ProtSafeIntr and the safe-region-
 // aware variant runs (per-word safe pointer store maintenance, the measured
 // source of memcpy-related CPI overhead).
-func (m *Machine) execIntrinsic(f *frame, in *ir.Instr) {
+func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
+	in := pin.In
 	cost := &m.cfg.Cost
 	m.cycles += cost.IntrBase
 
@@ -32,7 +33,7 @@ func (m *Machine) execIntrinsic(f *frame, in *ir.Instr) {
 			f.meta[in.Dst] = meta
 		}
 	}
-	done := func() { f.ip++ }
+	done := func() { f.pc++ }
 
 	switch in.Intr {
 	case builtins.Malloc, builtins.Calloc:
@@ -249,7 +250,7 @@ func (m *Machine) execIntrinsic(f *frame, in *ir.Instr) {
 		m.trapf(TrapAbort, 0, ViaNone, "abort() called")
 
 	case builtins.Setjmp:
-		m.setjmp(f, in, arg(0))
+		m.setjmp(f, in, m.jmpSiteAddrs[pin.SiteOrd], arg(0))
 
 	case builtins.Longjmp:
 		m.longjmp(arg(0), arg(1))
@@ -390,13 +391,23 @@ func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
 		// Each covered word pays the probe of the source slot (a safe-store
 		// load) and the Set/Delete of the destination slot (a safe-store
 		// store), on top of the per-word bookkeeping.
-		words := n / 8
-		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.LoadCost() + m.sps.StoreCost())
-		for off := int64(0); off+8 <= n; off += 8 {
-			if e, ok := m.sps.Get(src + uint64(off)); ok {
-				m.sps.Set(dst+uint64(off), e)
+		words := int(n / 8)
+		m.cycles += int64(words) * (m.cfg.Cost.SafeIntrWord + m.sps.LoadCost() + m.sps.StoreCost())
+		// Snapshot all source entries before writing any: dst/src may
+		// overlap, and the byte copy above is memmove-safe (ReadBytes
+		// snapshots), so the metadata migration must be too.
+		if cap(m.entScratch) < words {
+			m.entScratch = make([]entSnap, words)
+		}
+		snap := m.entScratch[:words]
+		for i := range snap {
+			snap[i].e, snap[i].ok = m.sps.Get(src + uint64(i)*8)
+		}
+		for i := range snap {
+			if snap[i].ok {
+				m.sps.Set(dst+uint64(i)*8, snap[i].e)
 			} else {
-				m.sps.Delete(dst + uint64(off))
+				m.sps.Delete(dst + uint64(i)*8)
 			}
 		}
 	}

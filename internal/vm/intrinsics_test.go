@@ -3,7 +3,55 @@ package vm
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/sps"
 )
+
+// TestSafeMemcpyOverlapMigratesEntries is the regression test for the
+// overlapping safe-variant memcpy: the byte copy snapshots the source via
+// ReadBytes (memmove semantics), so the per-word safe-pointer-store
+// migration must snapshot too. Before the fix, a forward overlapping copy
+// re-read slots the loop had already overwritten, smearing the first
+// entry across the destination range.
+func TestSafeMemcpyOverlapMigratesEntries(t *testing.T) {
+	p := compile(t, `int main(void) { return 0; }`)
+	m, err := New(p, Config{CPI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := m.malloc(128)
+	if !ok {
+		t.Fatal("malloc failed")
+	}
+	for i := 0; i < 3; i++ {
+		a := base + uint64(i)*8
+		v := uint64(100 + i)
+		m.sps.Set(a, sps.Entry{Value: v, Lower: a, Upper: a + 8, Kind: sps.KindData})
+		if err := m.mem.Store(a, 8, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overlapping forward copy by one word: dst = base+8 overlaps src words
+	// [base+8, base+16] that have not been migrated yet.
+	if !m.memcpy(base+8, base, 24, true) {
+		t.Fatalf("memcpy trapped: %v", m.trap)
+	}
+	for i := 0; i < 3; i++ {
+		a := base + 8 + uint64(i)*8
+		raw, err := m.mem.Load(a, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, ok := m.sps.Get(a)
+		if !ok {
+			t.Fatalf("word %d: safe-store entry missing", i)
+		}
+		if want := uint64(100 + i); e.Value != want || raw != want {
+			t.Errorf("word %d: entry value %d, raw %d, want %d (metadata must match memmove byte semantics)",
+				i, e.Value, raw, want)
+		}
+	}
+}
 
 // Intrinsic edge-case coverage: the libc surface the workloads and attacks
 // depend on.

@@ -140,14 +140,16 @@ type allocation struct {
 	freed bool
 }
 
-// frame is one activation record.
+// frame is one activation record. Frames and their register files are
+// pooled per machine (see Machine.newFrame): call-heavy workloads reuse the
+// same backing arrays instead of allocating per call.
 type frame struct {
 	fn   *ir.Func
+	code *FuncCode // predecoded instruction stream of fn
 	fidx int
 	regs []uint64
 	meta []Meta
-	blk  int
-	ip   int
+	pc   int // index into code.Ins
 
 	regBase  uint64 // base of this frame's objects on the regular stack
 	safeBase uint64 // base of this frame's objects on the safe stack
@@ -158,7 +160,7 @@ type frame struct {
 	retOnSafe  bool   // retSlot is in the safe address space
 	canaryAddr uint64 // 0 when no cookie
 	retAddr    uint64 // true (shadow) return address
-	retSite    site   // caller resume point
+	retPC      int    // caller pc to resume at (-1 for the entry frame)
 	dst        int    // caller register for the return value
 }
 
@@ -186,6 +188,7 @@ func entryFromMeta(v uint64, m Meta) sps.Entry {
 type Machine struct {
 	cfg  Config
 	prog *ir.Program
+	code *Code // predecoded program, shared across machines
 
 	mem  *mem.Memory // regular region (+code, rodata)
 	safe *mem.Memory // safe region (safe stacks)
@@ -197,22 +200,31 @@ type Machine struct {
 	out    bytes.Buffer
 	rng    uint64
 
+	// framePool recycles activation records (and their register files)
+	// released by returns, so call-heavy workloads allocate only up to
+	// their peak call depth.
+	framePool []*frame
+	// argVals/argMetas are the reusable argument-evaluation buffers of
+	// execCall/execICall (consumed immediately by pushFrame).
+	argVals  []uint64
+	argMetas []Meta
+
 	// Layout.
-	slideCode   uint64
-	slideData   uint64
-	slideStack  uint64
-	slideHeap   uint64
-	funcAddrs   []uint64
-	funcByAddr  map[uint64]int
-	globalAddrs []uint64
-	strAddrs    []uint64
-	retSites    map[uint64]site
-	jmpSites    map[uint64]site
-	nextRetSite int
-	nextJmpSite map[siteKey]uint64
-	canary      uint64
-	ptrGuard    uint64 // PTR_MANGLE secret
-	safeBaseSec uint64 // secret safe-region base (info hiding)
+	slideCode    uint64
+	slideData    uint64
+	slideStack   uint64
+	slideHeap    uint64
+	funcAddrs    []uint64
+	funcByAddr   map[uint64]int
+	globalAddrs  []uint64
+	strAddrs     []uint64
+	retSites     map[uint64]struct{} // membership set: valid return-site addresses
+	jmpSites     map[uint64]site
+	retSiteAddrs []uint64 // call-site ordinal → return-site code address
+	jmpSiteAddrs []uint64 // builtin-site ordinal → setjmp-site code address
+	canary       uint64
+	ptrGuard     uint64 // PTR_MANGLE secret
+	safeBaseSec  uint64 // secret safe-region base (info hiding)
 
 	sp  uint64 // regular stack pointer
 	ssp uint64 // safe stack pointer
@@ -234,6 +246,10 @@ type Machine struct {
 	// cost. It is not addressable by the program or the attacker.
 	safeMeta map[uint64]Meta
 
+	// entScratch is the reusable source-entry snapshot buffer of the
+	// safe-variant memcpy (see Machine.memcpy).
+	entScratch []entSnap
+
 	// Peak memory accounting.
 	memStats   MemStats
 	heapLive   int64
@@ -243,10 +259,23 @@ type Machine struct {
 	stepBudget int64
 }
 
-type siteKey struct{ fn, blk, ip int }
+// entSnap is one snapshotted safe-store entry during a safe-variant memcpy.
+type entSnap struct {
+	e  sps.Entry
+	ok bool
+}
 
-// New prepares a machine for the given instrumented program.
+// New prepares a machine for the given instrumented program, predecoding it
+// first. Callers running the same program on many machines should predecode
+// once and use NewShared.
 func New(p *ir.Program, cfg Config) (*Machine, error) {
+	return NewShared(p, Predecode(p), cfg)
+}
+
+// NewShared prepares a machine around an already-predecoded program. The
+// Code must have been produced by Predecode from the same ir.Program; it is
+// read-only and may be shared by any number of concurrent machines.
+func NewShared(p *ir.Program, code *Code, cfg Config) (*Machine, error) {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCosts()
 	}
@@ -257,21 +286,21 @@ func New(p *ir.Program, cfg Config) (*Machine, error) {
 		cfg.MaxCallDepth = 4096
 	}
 	m := &Machine{
-		cfg:         cfg,
-		prog:        p,
-		mem:         mem.New(),
-		safe:        mem.New(),
-		sps:         sps.New(cfg.SPS),
-		funcByAddr:  map[uint64]int{},
-		retSites:    map[uint64]site{},
-		jmpSites:    map[uint64]site{},
-		nextJmpSite: map[siteKey]uint64{},
-		allocs:      map[uint64]*allocation{},
-		freeLst:     map[int64][]uint64{},
-		safeMeta:    map[uint64]Meta{},
-		rng:         uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
-		randState:   uint64(cfg.Seed)*6364136223846793005 + 1,
-		stepBudget:  cfg.MaxSteps,
+		cfg:        cfg,
+		prog:       p,
+		code:       code,
+		mem:        mem.New(),
+		safe:       mem.New(),
+		sps:        sps.New(cfg.SPS),
+		funcByAddr: map[uint64]int{},
+		retSites:   map[uint64]struct{}{},
+		jmpSites:   map[uint64]site{},
+		allocs:     map[uint64]*allocation{},
+		freeLst:    map[int64][]uint64{},
+		safeMeta:   map[uint64]Meta{},
+		rng:        uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
+		randState:  uint64(cfg.Seed)*6364136223846793005 + 1,
+		stepBudget: cfg.MaxSteps,
 	}
 	if err := m.load(); err != nil {
 		return nil, err
@@ -317,22 +346,25 @@ func (m *Machine) load() error {
 		m.funcAddrs[i] = a
 		m.funcByAddr[a] = i
 	}
-	// Return sites: one address per static call site.
+	// Return sites: one address per static call site, registered in the
+	// same program order Predecode assigned site ordinals, so ordinal k's
+	// address is retSiteAddrs[k] (the O(1) reverse of the retSites map).
+	m.retSiteAddrs = make([]uint64, 0, m.code.NumRetSites)
+	m.jmpSiteAddrs = make([]uint64, 0, m.code.NumJmpSites)
 	for fi, f := range m.prog.Funcs {
 		for bi, b := range f.Blocks {
 			for ii := range b.Ins {
 				in := &b.Ins[ii]
 				if in.Op == ir.OpCall && in.Callee >= 0 || in.Op == ir.OpICall {
-					addr := codeBase + m.slideCode + retSiteOff + uint64(m.nextRetSite)*16
-					m.retSites[addr] = site{fn: fi, blk: bi, ip: ii + 1, dst: in.Dst}
-					m.nextRetSite++
+					addr := codeBase + m.slideCode + retSiteOff + uint64(len(m.retSiteAddrs))*16
+					m.retSites[addr] = struct{}{}
+					m.retSiteAddrs = append(m.retSiteAddrs, addr)
 				}
 				if in.Op == ir.OpCall && in.Callee < 0 {
 					// setjmp sites get stable addresses too.
-					key := siteKey{fi, bi, ii}
-					addr := codeBase + m.slideCode + jmpSiteOff + uint64(len(m.nextJmpSite))*16
-					m.nextJmpSite[key] = addr
+					addr := codeBase + m.slideCode + jmpSiteOff + uint64(len(m.jmpSiteAddrs))*16
 					m.jmpSites[addr] = site{fn: fi, blk: bi, ip: ii + 1, dst: in.Dst}
+					m.jmpSiteAddrs = append(m.jmpSiteAddrs, addr)
 				}
 			}
 		}
@@ -477,13 +509,23 @@ func (m *Machine) Output() string { return m.out.String() }
 // Cycles returns the cycle counter.
 func (m *Machine) Cycles() int64 { return m.cycles }
 
-// pcString renders the current location for diagnostics.
+// pcString renders the current location for diagnostics, mapping the flat
+// pc back to the source (block, instruction) position.
 func (m *Machine) pcString() string {
 	if len(m.frames) == 0 {
 		return "<start>"
 	}
 	f := m.frames[len(m.frames)-1]
-	return fmt.Sprintf("%s.%d:%d", f.fn.Name, f.blk, f.ip)
+	if f.pc < 0 || f.pc >= len(f.code.Ins) {
+		return fmt.Sprintf("%s.<pc %d>", f.fn.Name, f.pc)
+	}
+	in := &f.code.Ins[f.pc]
+	return fmt.Sprintf("%s.%d:%d", f.fn.Name, in.Blk, in.IP)
+}
+
+// sitePC converts a resume site to its flat pc in the site's function.
+func (m *Machine) sitePC(s site) int {
+	return int(m.code.Funcs[s.fn].BlockPC[s.blk]) + s.ip
 }
 
 // updateMemPeaks refreshes peak memory statistics.

@@ -70,9 +70,9 @@ func (m *Machine) checkTrapKind(fl ir.Prot) TrapKind {
 	return TrapCPIViolation
 }
 
-func (m *Machine) execLoad(f *frame, in *ir.Instr) {
+func (m *Machine) execLoad(f *frame, in *PIns) {
 	cost := &m.cfg.Cost
-	addr, ptrMeta, onSafe := m.addrSpace(f, in.A)
+	addr, ptrMeta, onSafe := m.addrSpaceP(f, &in.A)
 
 	// Bounds check on the dereferenced pointer when flagged.
 	if (m.cfg.CPI && in.Flags&ir.ProtCPICheck != 0) ||
@@ -124,7 +124,7 @@ func (m *Machine) execLoad(f *frame, in *ir.Instr) {
 			f.regs[in.Dst] = 0
 			f.meta[in.Dst] = invalidMeta
 		}
-		f.ip++
+		f.pc++
 		return
 	}
 
@@ -140,7 +140,7 @@ func (m *Machine) execLoad(f *frame, in *ir.Instr) {
 	} else {
 		f.meta[in.Dst] = invalidMeta
 	}
-	f.ip++
+	f.pc++
 }
 
 func (m *Machine) violationKind(cps bool) TrapKind {
@@ -153,10 +153,10 @@ func (m *Machine) violationKind(cps bool) TrapKind {
 	return TrapCPIViolation
 }
 
-func (m *Machine) execStore(f *frame, in *ir.Instr) {
+func (m *Machine) execStore(f *frame, in *PIns) {
 	cost := &m.cfg.Cost
-	addr, ptrMeta, onSafe := m.addrSpace(f, in.A)
-	val, valMeta := m.eval(f, in.B)
+	addr, ptrMeta, onSafe := m.addrSpaceP(f, &in.A)
+	val, valMeta := m.evalP(f, &in.B)
 
 	if (m.cfg.CPI && in.Flags&ir.ProtCPICheck != 0) ||
 		(m.cfg.SoftBound && in.Flags&ir.ProtSBCheck != 0) {
@@ -223,5 +223,5 @@ func (m *Machine) execStore(f *frame, in *ir.Instr) {
 		}
 	}
 	m.cycles += cost.Store
-	f.ip++
+	f.pc++
 }

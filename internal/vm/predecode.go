@@ -1,0 +1,169 @@
+package vm
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/ir"
+)
+
+// This file implements the predecode layer of the interpreter: a one-time
+// lowering of an ir.Program into a flat, execution-ready form that the
+// per-step dispatch loop consumes directly.
+//
+// Predecoding performs, once per program instead of once per step:
+//
+//   - block flattening: each function's blocks become a single pc-indexed
+//     instruction stream, so "advance" is pc++ and branches assign pc
+//     directly (no Blocks[blk].Ins[ip] double indirection);
+//   - branch resolution: OpBr/OpCondBr targets become absolute pc indices;
+//   - operand resolution: the per-operand fields the eval kind-switch used
+//     to chase through ir.Func/ir.Program at every step (frame object
+//     offset/size/stack placement, global and string sizes, sign-extended
+//     immediates) are resolved into a flat PVal;
+//   - call-site numbering: every static call site (return sites, setjmp
+//     sites) gets its ordinal, so the machine resolves site addresses with
+//     an O(1) slice index instead of scanning the site map per call.
+//
+// A Code value depends only on the ir.Program — never on a Machine's memory
+// layout (ASLR slides, seeds), so one predecoded program is shared by every
+// machine that runs it, including the parallel harness fan-out. Code is
+// immutable after Predecode and safe for concurrent use.
+//
+// Predecoding is pure lowering: one PIns per ir.Instr, identical dispatch
+// semantics, identical cost charging. The golden determinism tests pin the
+// resulting Cycles/Steps tables bit-for-bit.
+
+// Code is the predecoded, execution-ready form of a program.
+type Code struct {
+	Funcs []FuncCode
+
+	// NumRetSites and NumJmpSites are the static call-site counts; the
+	// machine sizes its ordinal→address tables from them.
+	NumRetSites int
+	NumJmpSites int
+}
+
+// FuncCode is one function flattened to a pc-indexed instruction stream.
+type FuncCode struct {
+	Ins []PIns
+	// BlockPC maps a block index to the pc of its first instruction.
+	BlockPC []int32
+}
+
+// PIns is one predecoded instruction. Hot fields are resolved copies of the
+// ir.Instr; In points back to the original for the cold paths that need
+// unresolved detail (call argument lists, intrinsic kinds, format strings).
+type PIns struct {
+	Op       ir.Op
+	Size     uint8   // load/store width
+	ALU      ir.ALU
+	CastChar bool    // OpCast truncates to a byte
+	Dst      int32   // destination register; -1 when none
+	Blk, IP  int32   // original (block, instr) position, for diagnostics
+	Targ0    int32   // resolved branch target (OpBr, OpCondBr taken)
+	Targ1    int32   // resolved branch target (OpCondBr fallthrough)
+	SiteOrd  int32   // return-site ordinal (calls) / jmp-site ordinal (builtins); -1 otherwise
+	Scale    int64   // OpGEP index scale
+	Off      int64   // OpGEP constant offset
+	Flags    ir.Prot
+	A, B     PVal
+	In       *ir.Instr
+}
+
+// PVal is a predecoded operand: the ir.Value kind-switch with every
+// program-constant lookup (frame object layout, global/string sizes) already
+// performed. Machine-dependent bases (frame, global, string addresses) are
+// still resolved at evaluation time — they differ per machine under ASLR.
+type PVal struct {
+	Kind   ir.ValKind
+	Reg    int32
+	Index  int32
+	Imm    uint64 // sign-extended constant / byte offset
+	Size   uint64 // target object byte size (frame/global/string)
+	ObjOff uint64 // frame object offset within its stack frame
+	Unsafe bool   // frame object lives on the unsafe (regular) stack
+}
+
+func predecodeVal(p *ir.Program, fn *ir.Func, v ir.Value) PVal {
+	pv := PVal{
+		Kind:  v.Kind,
+		Reg:   int32(v.Reg),
+		Index: int32(v.Index),
+		Imm:   uint64(v.Imm),
+	}
+	switch v.Kind {
+	case ir.ValFrame:
+		obj := fn.Frame[v.Index]
+		pv.Size = uint64(obj.Size)
+		pv.ObjOff = uint64(obj.Offset)
+		pv.Unsafe = obj.Unsafe
+	case ir.ValGlobal:
+		pv.Size = uint64(p.Globals[v.Index].Size)
+	case ir.ValString:
+		pv.Size = uint64(len(p.Strings[v.Index]) + 1)
+	}
+	return pv
+}
+
+// Predecode lowers a program into its execution-ready form. Site ordinals
+// are assigned in program order (function, block, instruction) — the same
+// order Machine.load registers site addresses in, which is what makes the
+// ordinal→address tables line up.
+func Predecode(p *ir.Program) *Code {
+	c := &Code{Funcs: make([]FuncCode, len(p.Funcs))}
+	var retOrd, jmpOrd int32
+	for fi, fn := range p.Funcs {
+		fc := &c.Funcs[fi]
+		fc.BlockPC = make([]int32, len(fn.Blocks))
+		total := 0
+		for bi, b := range fn.Blocks {
+			fc.BlockPC[bi] = int32(total)
+			total += len(b.Ins)
+		}
+		fc.Ins = make([]PIns, 0, total)
+		for bi := range fn.Blocks {
+			b := fn.Blocks[bi]
+			for ii := range b.Ins {
+				in := &b.Ins[ii]
+				pi := PIns{
+					Op:      in.Op,
+					Size:    in.Size,
+					ALU:     in.ALU,
+					Dst:     int32(in.Dst),
+					Blk:     int32(bi),
+					IP:      int32(ii),
+					SiteOrd: -1,
+					Scale:   in.Scale,
+					Off:     in.Off,
+					Flags:   in.Flags,
+					A:       predecodeVal(p, fn, in.A),
+					B:       predecodeVal(p, fn, in.B),
+					In:      in,
+				}
+				switch in.Op {
+				case ir.OpBr:
+					pi.Targ0 = fc.BlockPC[in.Blk0]
+				case ir.OpCondBr:
+					pi.Targ0 = fc.BlockPC[in.Blk0]
+					pi.Targ1 = fc.BlockPC[in.Blk1]
+				case ir.OpCast:
+					pi.CastChar = in.Ty != nil && in.Ty.Kind == ctypes.KindChar
+				case ir.OpCall:
+					if in.Callee >= 0 {
+						pi.SiteOrd = retOrd
+						retOrd++
+					} else {
+						pi.SiteOrd = jmpOrd
+						jmpOrd++
+					}
+				case ir.OpICall:
+					pi.SiteOrd = retOrd
+					retOrd++
+				}
+				fc.Ins = append(fc.Ins, pi)
+			}
+		}
+	}
+	c.NumRetSites = int(retOrd)
+	c.NumJmpSites = int(jmpOrd)
+	return c
+}

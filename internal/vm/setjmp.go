@@ -16,9 +16,7 @@ import (
 // jmp_buf layout: [0]=resume site address, [1]=frame depth, [2]=regular sp,
 // [3]=safe sp (words 4..7 reserved).
 
-func (m *Machine) setjmp(f *frame, in *ir.Instr, buf uint64) {
-	key := siteKey{f.fidx, f.blk, f.ip}
-	siteAddr := m.nextJmpSite[key]
+func (m *Machine) setjmp(f *frame, in *ir.Instr, siteAddr, buf uint64) {
 	if siteAddr == 0 {
 		m.trapf(TrapAbort, 0, ViaNone, "setjmp site not registered")
 		return
@@ -46,7 +44,7 @@ func (m *Machine) setjmp(f *frame, in *ir.Instr, buf uint64) {
 		f.regs[in.Dst] = 0 // direct setjmp returns 0
 		f.meta[in.Dst] = invalidMeta
 	}
-	f.ip++
+	f.pc++
 }
 
 func (m *Machine) longjmp(buf, val uint64) {
@@ -113,15 +111,20 @@ func (m *Machine) longjmp(buf, val uint64) {
 		return
 	}
 
-	// Unwind.
+	// Unwind, returning the discarded activation records — including the
+	// frame executing this longjmp — to the pool. Nothing dereferences
+	// them after the non-local transfer: execIntrinsic returns straight
+	// through step, and newFrame re-zeros recycled register files.
+	for _, df := range m.frames[depth:] {
+		m.recycleFrame(df)
+	}
 	m.frames = m.frames[:depth]
 	m.sp = spW
 	if sspW > m.ssp {
 		m.clearSafeMeta(m.ssp, sspW)
 	}
 	m.ssp = sspW
-	target.blk = st.blk
-	target.ip = st.ip
+	target.pc = m.sitePC(st)
 	if st.dst >= 0 {
 		if val == 0 {
 			val = 1 // longjmp(buf, 0) resumes setjmp returning 1, per C
