@@ -1,0 +1,114 @@
+// Command vmbench measures raw interpreter throughput (steps/sec, ns/step)
+// on the call-heavy micro workloads and writes the results as JSON — the
+// BENCH trajectory record CI keeps so interpreter-speed regressions are
+// visible per commit.
+//
+// Usage:
+//
+//	go run ./cmd/vmbench [-out BENCH_vm.json] [-reps 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Row is one measured (workload, config) cell.
+type Row struct {
+	Workload    string  `json:"workload"`
+	Config      string  `json:"config"`
+	Steps       int64   `json:"steps"`
+	Cycles      int64   `json:"cycles"`
+	WallSeconds float64 `json:"wall_seconds"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	NsPerStep   float64 `json:"ns_per_step"`
+}
+
+// Report is the BENCH_vm.json document.
+type Report struct {
+	Reps int   `json:"reps"`
+	Rows []Row `json:"rows"`
+}
+
+func measure(name, src, cfgName string, cfg core.Config, reps int) (Row, error) {
+	prog, err := core.Compile(src, cfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s/%s: compile: %w", name, cfgName, err)
+	}
+	var steps, cycles int64
+	var best float64
+	for i := 0; i < reps; i++ {
+		m, err := prog.NewMachine()
+		if err != nil {
+			return Row{}, fmt.Errorf("%s/%s: machine: %w", name, cfgName, err)
+		}
+		start := time.Now()
+		r := m.Run("main")
+		wall := time.Since(start).Seconds()
+		if r.Trap != vm.TrapExit {
+			return Row{}, fmt.Errorf("%s/%s: trap %v (%v)", name, cfgName, r.Trap, r.Err)
+		}
+		steps, cycles = r.Steps, r.Cycles
+		if best == 0 || wall < best {
+			best = wall
+		}
+	}
+	row := Row{
+		Workload: name, Config: cfgName,
+		Steps: steps, Cycles: cycles, WallSeconds: best,
+	}
+	if best > 0 {
+		row.StepsPerSec = float64(steps) / best
+		row.NsPerStep = best * 1e9 / float64(steps)
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_vm.json", "output JSON path (- for stdout)")
+	reps := flag.Int("reps", 3, "repetitions per cell (best wall time wins)")
+	flag.Parse()
+
+	cfgs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"vanilla", core.Config{DEP: true}},
+		{"cpi", core.Config{Protect: core.CPI, DEP: true}},
+	}
+	rep := Report{Reps: *reps}
+	for _, w := range workloads.Micro() {
+		for _, c := range cfgs {
+			row, err := measure(w.Name, w.Src, c.name, c.cfg, *reps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep.Rows = append(rep.Rows, row)
+			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step\n",
+				row.Workload, row.Config, row.StepsPerSec, row.NsPerStep)
+		}
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
