@@ -3,9 +3,14 @@
 // BENCH trajectory record CI keeps so interpreter-speed regressions are
 // visible per commit.
 //
+// When the output file already exists, it is loaded as the baseline first
+// and each row is printed with its delta against the matching baseline row
+// (the ×-speedup per workload/config), so tuning sessions see the
+// trajectory without diffing JSON by hand.
+//
 // Usage:
 //
-//	go run ./cmd/vmbench [-out BENCH_vm.json] [-reps 3]
+//	go run ./cmd/vmbench [-out BENCH_vm.json] [-reps 3] [-cpuprofile cpu.pprof]
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -29,6 +35,11 @@ type Row struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	StepsPerSec float64 `json:"steps_per_sec"`
 	NsPerStep   float64 `json:"ns_per_step"`
+
+	// BaselineStepsPerSec and SpeedupX record the previous run's rate and
+	// the ratio against it, when a baseline file was present.
+	BaselineStepsPerSec float64 `json:"baseline_steps_per_sec,omitempty"`
+	SpeedupX            float64 `json:"speedup_x,omitempty"`
 }
 
 // Report is the BENCH_vm.json document.
@@ -71,10 +82,54 @@ func measure(name, src, cfgName string, cfg core.Config, reps int) (Row, error) 
 	return row, nil
 }
 
+// loadBaseline reads a previous report, keyed by workload/config. A missing
+// or unreadable file is not an error: there is simply no baseline.
+func loadBaseline(path string) map[string]Row {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep Report
+	if json.Unmarshal(b, &rep) != nil {
+		return nil
+	}
+	base := make(map[string]Row, len(rep.Rows))
+	for _, r := range rep.Rows {
+		base[r.Workload+"/"+r.Config] = r
+	}
+	return base
+}
+
+func fail(err error) {
+	// os.Exit skips deferred calls: flush any in-progress CPU profile so a
+	// failed cell still leaves the completed cells' samples usable.
+	pprof.StopCPUProfile()
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
 	out := flag.String("out", "BENCH_vm.json", "output JSON path (- for stdout)")
 	reps := flag.Int("reps", 3, "repetitions per cell (best wall time wins)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs (for dispatch tuning)")
 	flag.Parse()
+
+	var base map[string]Row
+	if *out != "-" {
+		base = loadBaseline(*out)
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfgs := []struct {
 		name string
@@ -88,18 +143,23 @@ func main() {
 		for _, c := range cfgs {
 			row, err := measure(w.Name, w.Src, c.name, c.cfg, *reps)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
+			}
+			delta := ""
+			if br, ok := base[row.Workload+"/"+row.Config]; ok && br.StepsPerSec > 0 {
+				row.BaselineStepsPerSec = br.StepsPerSec
+				row.SpeedupX = row.StepsPerSec / br.StepsPerSec
+				delta = fmt.Sprintf("  %+6.1f%% vs baseline (%.2fx)",
+					100*(row.SpeedupX-1), row.SpeedupX)
 			}
 			rep.Rows = append(rep.Rows, row)
-			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step\n",
-				row.Workload, row.Config, row.StepsPerSec, row.NsPerStep)
+			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step%s\n",
+				row.Workload, row.Config, row.StepsPerSec, row.NsPerStep, delta)
 		}
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	b = append(b, '\n')
 	if *out == "-" {
@@ -107,8 +167,7 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

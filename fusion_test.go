@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Fusion equivalence property tests: superinstruction fusion (the peephole
+// pass of internal/vm/fusion.go) must be invisible to everything except
+// wall-clock time. These tests run every bundled micro and webstack
+// workload under the baseline/CPS/CPI configurations twice — once on the
+// default (fused) predecoding, once with vm.PredecodeWith(NoFuse) — and
+// require identical Output, Cycles, Steps, exit codes and traps. A
+// truncated-budget variant additionally forces the step budget to expire
+// at many different points, so a budget trap landing *between* the
+// constituents of a fused sequence must also be indistinguishable
+// (same trap kind, same step count, same reported PC).
+
+// fusionConfigs are the protection configurations the equivalence must
+// hold under (fusion interacts with flagged loads/stores under CPS/CPI).
+func fusionConfigs() []core.Config {
+	return []core.Config{
+		{DEP: true},
+		{Protect: core.CPS, DEP: true},
+		{Protect: core.CPI, DEP: true},
+	}
+}
+
+// fusionWorkloads is the bundled workload set the property runs over.
+func fusionWorkloads() []workloads.Workload {
+	set := append([]workloads.Workload{}, workloads.Micro()...)
+	for _, p := range workloads.WebStack() {
+		set = append(set, workloads.Workload{Name: p.Name, Src: p.Src})
+	}
+	return set
+}
+
+// runBoth executes one compiled program on the fused and unfused streams
+// with the given step budget (0 = default) and returns both results.
+func runBoth(t *testing.T, prog *core.Program, maxSteps int64) (fused, unfused *vm.Result) {
+	t.Helper()
+	cfg := prog.VMConfig()
+	cfg.MaxSteps = maxSteps
+
+	fusedCode := vm.PredecodeWith(prog.IR, vm.PredecodeOptions{})
+	unfusedCode := vm.PredecodeWith(prog.IR, vm.PredecodeOptions{NoFuse: true})
+	if unfusedCode.FusedPairs != 0 {
+		t.Fatalf("NoFuse predecoding reports %d fused pairs", unfusedCode.FusedPairs)
+	}
+
+	mf, err := vm.NewShared(prog.IR, fusedCode, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := vm.NewShared(prog.IR, unfusedCode, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mf.Run("main"), mu.Run("main")
+}
+
+// compareResults asserts the full observable surface matches.
+func compareResults(t *testing.T, name string, fused, unfused *vm.Result) {
+	t.Helper()
+	if fused.Trap != unfused.Trap {
+		t.Errorf("%s: trap fused=%v unfused=%v", name, fused.Trap, unfused.Trap)
+	}
+	if fused.Cycles != unfused.Cycles {
+		t.Errorf("%s: cycles fused=%d unfused=%d", name, fused.Cycles, unfused.Cycles)
+	}
+	if fused.Steps != unfused.Steps {
+		t.Errorf("%s: steps fused=%d unfused=%d", name, fused.Steps, unfused.Steps)
+	}
+	if fused.ExitCode != unfused.ExitCode {
+		t.Errorf("%s: exit fused=%d unfused=%d", name, fused.ExitCode, unfused.ExitCode)
+	}
+	if fused.Output != unfused.Output {
+		t.Errorf("%s: output differs (fused %d bytes, unfused %d bytes)",
+			name, len(fused.Output), len(unfused.Output))
+	}
+	if (fused.Err == nil) != (unfused.Err == nil) {
+		t.Errorf("%s: error presence differs", name)
+	} else if fused.Err != nil {
+		// Trap attribution: kind and reported PC must match exactly, even
+		// when the trap fires mid-superinstruction.
+		if fused.Err.Kind != unfused.Err.Kind || fused.Err.PC != unfused.Err.PC {
+			t.Errorf("%s: trap detail fused=%v@%s unfused=%v@%s",
+				name, fused.Err.Kind, fused.Err.PC, unfused.Err.Kind, unfused.Err.PC)
+		}
+	}
+}
+
+// TestFusionEquivalence runs every bundled workload to completion under
+// all three protection configurations, fused vs unfused.
+func TestFusionEquivalence(t *testing.T) {
+	for _, w := range fusionWorkloads() {
+		for _, cfg := range fusionConfigs() {
+			prog, err := core.Compile(w.Src, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if code := prog.Predecoded(); code.FusedPairs == 0 {
+				t.Errorf("%s: default predecoding fused nothing — property test would be vacuous", w.Name)
+			}
+			name := w.Name + "/" + cfg.Protect.String()
+			fused, unfused := runBoth(t, prog, 0)
+			compareResults(t, name, fused, unfused)
+			if fused.Trap != vm.TrapExit {
+				t.Errorf("%s: workload did not run to completion (%v)", name, fused.Trap)
+			}
+		}
+	}
+}
+
+// TestFusionEquivalenceTruncated sweeps tiny step budgets so execution is
+// cut off at many different instruction boundaries — including between
+// the constituents of fused sequences. The resulting TrapMaxSteps must be
+// bit-identical (steps, cycles, reported PC) with fusion on and off.
+func TestFusionEquivalenceTruncated(t *testing.T) {
+	w := fusionWorkloads()[0] // micro.fib: call-heavy, densely fused
+	for _, cfg := range fusionConfigs() {
+		prog, err := core.Compile(w.Src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for budget := int64(1); budget <= 200; budget++ {
+			fused, unfused := runBoth(t, prog, budget)
+			if fused.Trap != vm.TrapMaxSteps {
+				t.Fatalf("budget %d: expected TrapMaxSteps, got %v", budget, fused.Trap)
+			}
+			compareResults(t, w.Name, fused, unfused)
+			if t.Failed() {
+				t.Fatalf("first divergence at budget %d under %v", budget, cfg.Protect)
+			}
+		}
+	}
+}

@@ -163,8 +163,11 @@ func (p *Program) Predecoded() *vm.Code {
 	return p.pre.code
 }
 
-// vmConfig derives the runtime configuration.
-func (p *Program) vmConfig() vm.Config {
+// VMConfig derives the runtime machine configuration from the compile
+// configuration. Exported so tests can build machines around alternative
+// predecodings (e.g. vm.PredecodeWith with fusion disabled) of the same
+// compiled program.
+func (p *Program) VMConfig() vm.Config {
 	c := vm.Config{
 		DEP:            p.Cfg.DEP,
 		ASLR:           p.Cfg.ASLR,
@@ -201,7 +204,7 @@ func (p *Program) vmConfig() vm.Config {
 // NewMachine builds a fresh machine instance (one per run). All machines
 // share the program's predecoded instruction streams.
 func (p *Program) NewMachine() (*vm.Machine, error) {
-	return vm.NewShared(p.IR, p.Predecoded(), p.vmConfig())
+	return vm.NewShared(p.IR, p.Predecoded(), p.VMConfig())
 }
 
 // Run executes main() on a fresh machine.

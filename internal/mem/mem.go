@@ -78,7 +78,18 @@ const cacheWays = 8
 
 // Memory is a sparse paged address space. The zero value is an empty address
 // space ready to use.
+//
+// Page data is materialized lazily: Map records permissions only, and the
+// 4 KiB data block is allocated on first touch. A machine maps ~10 MiB of
+// stacks and segments but touches a small fraction of it, so lazy
+// materialization cuts per-machine construction from megabytes of zeroed
+// pages to a handful — which is what keeps the parallel harness fan-out
+// (hundreds of machines) off the garbage collector's back. An untouched
+// page reads as zeroes, exactly as if it had been materialized eagerly.
 type Memory struct {
+	// perms is the authoritative permission map of every mapped page.
+	perms map[uint64]Perm
+	// pages holds the materialized (touched) pages.
 	pages map[uint64]*page
 
 	// cache is a tiny direct-mapped translation cache in front of the page
@@ -92,8 +103,12 @@ type Memory struct {
 }
 
 // New returns an empty address space.
-func New() *Memory { return &Memory{pages: map[uint64]*page{}} }
+func New() *Memory {
+	return &Memory{perms: map[uint64]Perm{}, pages: map[uint64]*page{}}
+}
 
+// page returns the page backing addr, materializing a mapped-but-untouched
+// page on first access; nil means unmapped.
 func (m *Memory) page(addr uint64) *page {
 	pn := addr >> pageShift
 	c := &m.cache[pn&(cacheWays-1)]
@@ -101,9 +116,15 @@ func (m *Memory) page(addr uint64) *page {
 		return c.pg
 	}
 	pg := m.pages[pn]
-	if pg != nil {
-		c.pn, c.pg = pn, pg
+	if pg == nil {
+		perm, ok := m.perms[pn]
+		if !ok {
+			return nil
+		}
+		pg = &page{perm: perm}
+		m.pages[pn] = pg
 	}
+	c.pn, c.pg = pn, pg
 	return pg
 }
 
@@ -111,16 +132,16 @@ func (m *Memory) page(addr uint64) *page {
 // boundaries. Remapping an existing page updates its permissions and keeps
 // its contents.
 func (m *Memory) Map(addr, size uint64, perm Perm) {
-	if m.pages == nil {
+	if m.perms == nil {
+		m.perms = map[uint64]Perm{}
 		m.pages = map[uint64]*page{}
 	}
 	first := addr >> pageShift
 	last := (addr + size - 1) >> pageShift
 	for pn := first; pn <= last; pn++ {
+		m.perms[pn] = perm
 		if pg, ok := m.pages[pn]; ok {
 			pg.perm = perm
-		} else {
-			m.pages[pn] = &page{perm: perm}
 		}
 	}
 }
@@ -131,25 +152,28 @@ func (m *Memory) Protect(addr, size uint64, perm Perm) {
 	first := addr >> pageShift
 	last := (addr + size - 1) >> pageShift
 	for pn := first; pn <= last; pn++ {
-		if pg, ok := m.pages[pn]; ok {
-			pg.perm = perm
+		if _, ok := m.perms[pn]; ok {
+			m.perms[pn] = perm
+			if pg, ok := m.pages[pn]; ok {
+				pg.perm = perm
+			}
 		}
 	}
 }
 
 // Mapped reports whether addr is on a mapped page.
-func (m *Memory) Mapped(addr uint64) bool { return m.page(addr) != nil }
+func (m *Memory) Mapped(addr uint64) bool {
+	_, ok := m.perms[addr>>pageShift]
+	return ok
+}
 
 // PermAt returns the permissions at addr (0 if unmapped).
 func (m *Memory) PermAt(addr uint64) Perm {
-	if pg := m.page(addr); pg != nil {
-		return pg.perm
-	}
-	return 0
+	return m.perms[addr>>pageShift]
 }
 
 // PagesMapped returns the number of mapped pages (memory accounting).
-func (m *Memory) PagesMapped() int { return len(m.pages) }
+func (m *Memory) PagesMapped() int { return len(m.perms) }
 
 // CheckExec verifies addr lies on an executable page.
 func (m *Memory) CheckExec(addr uint64) error {
@@ -161,6 +185,58 @@ func (m *Memory) CheckExec(addr uint64) error {
 		return &Fault{Addr: addr, Kind: FaultNoExec}
 	}
 	return nil
+}
+
+// TryLoadWord reads one readable, in-page 8-byte word at addr through the
+// translation cache. ok=false means the caller must take the general Load
+// path (cache miss, page-straddling word, fault). It contains no calls, so
+// it inlines into the VM's load handlers — the interpreter's hottest
+// memory entry point costs a handful of instructions on the hit path.
+func (m *Memory) TryLoadWord(addr uint64) (v uint64, ok bool) {
+	pn := addr >> pageShift
+	c := &m.cache[pn&(cacheWays-1)]
+	if c.pg == nil || c.pn != pn || c.pg.perm&R == 0 || addr&offMask > PageSize-8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(c.pg.data[addr&offMask:]), true
+}
+
+// TryStoreWord is the store counterpart of TryLoadWord.
+func (m *Memory) TryStoreWord(addr, v uint64) bool {
+	pn := addr >> pageShift
+	c := &m.cache[pn&(cacheWays-1)]
+	if c.pg == nil || c.pn != pn || c.pg.perm&W == 0 || addr&offMask > PageSize-8 {
+		return false
+	}
+	binary.LittleEndian.PutUint64(c.pg.data[addr&offMask:], v)
+	return true
+}
+
+// LoadWord reads one 8-byte little-endian word at addr: the TryLoadWord
+// fast path with the general fallback.
+func (m *Memory) LoadWord(addr uint64) (uint64, error) {
+	if addr&offMask <= PageSize-8 {
+		pn := addr >> pageShift
+		c := &m.cache[pn&(cacheWays-1)]
+		if pg := c.pg; pg != nil && c.pn == pn && pg.perm&R != 0 {
+			return binary.LittleEndian.Uint64(pg.data[addr&offMask:]), nil
+		}
+	}
+	return m.Load(addr, 8)
+}
+
+// StoreWord writes one 8-byte little-endian word at addr; the inlinable
+// counterpart of LoadWord.
+func (m *Memory) StoreWord(addr, v uint64) error {
+	if addr&offMask <= PageSize-8 {
+		pn := addr >> pageShift
+		c := &m.cache[pn&(cacheWays-1)]
+		if pg := c.pg; pg != nil && c.pn == pn && pg.perm&W != 0 {
+			binary.LittleEndian.PutUint64(pg.data[addr&offMask:], v)
+			return nil
+		}
+	}
+	return m.Store(addr, 8, v)
 }
 
 // Load reads size bytes (1 or 8, little-endian) at addr.

@@ -33,6 +33,45 @@ func (m modelStore) get(addr uint64) (Entry, bool) {
 
 func (m modelStore) del(addr uint64) { delete(m, addr>>3) }
 
+// copyRange is the reference CopyRange: snapshot every source word, then
+// write the destinations.
+func (m modelStore) copyRange(dst, src uint64, words int) {
+	if words <= 0 {
+		return
+	}
+	snap := make([]struct {
+		e  Entry
+		ok bool
+	}, words)
+	for i := range snap {
+		snap[i].e, snap[i].ok = m.get(src + uint64(i)*8)
+	}
+	for i := range snap {
+		if snap[i].ok {
+			m.set(dst+uint64(i)*8, snap[i].e)
+		} else {
+			m.del(dst + uint64(i)*8)
+		}
+	}
+}
+
+func (m modelStore) deleteRange(base uint64, words int) {
+	for i := 0; i < words; i++ {
+		m.del(base + uint64(i)*8)
+	}
+}
+
+// dumpRange enumerates the model's entries with slot address in [lo, hi).
+func (m modelStore) dumpRange(lo, hi uint64) []scanPair {
+	var out []scanPair
+	for _, p := range m.dump() {
+		if p.addr >= lo && p.addr < hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // dump enumerates (slot-address, entry) pairs in ascending address order —
 // the order Scan guarantees.
 func (m modelStore) dump() []scanPair {
@@ -96,6 +135,26 @@ func checkAgainstModel(t *testing.T, s Store, model modelStore, step int) {
 	}
 }
 
+// checkScanRange compares a bounded scan against the model over one window.
+func checkScanRange(t *testing.T, s Store, model modelStore, lo, hi uint64, step int) {
+	t.Helper()
+	var got []scanPair
+	s.ScanRange(lo, hi, func(addr uint64, e Entry) bool {
+		got = append(got, scanPair{addr, e})
+		return true
+	})
+	want := model.dumpRange(lo, hi)
+	if len(got) != len(want) {
+		t.Fatalf("step %d: %s: ScanRange(%#x,%#x) yields %d entries, model %d",
+			step, s.Name(), lo, hi, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %s: ScanRange[%d] = %+v, want %+v", step, s.Name(), i, got[i], want[i])
+		}
+	}
+}
+
 // checkFootprint asserts each organisation's documented footprint model.
 func checkFootprint(t *testing.T, s Store, step int) {
 	t.Helper()
@@ -149,7 +208,7 @@ func TestCrossStoreEquivalence(t *testing.T) {
 
 			const steps = 2000
 			for i := 0; i < steps; i++ {
-				switch op := rng.Intn(10); {
+				switch op := rng.Intn(14); {
 				case op < 5: // Set (sometimes the zero Entry)
 					a, e := addr(), randEntry(rng)
 					model.set(a, e)
@@ -170,6 +229,26 @@ func TestCrossStoreEquivalence(t *testing.T) {
 					model.del(a)
 					for _, s := range stores {
 						s.Delete(a)
+					}
+				case op < 11: // CopyRange (overlapping ranges included)
+					dst, src := addr(), addr()
+					words := rng.Intn(3 * pageWords / 2) // spans page boundaries
+					model.copyRange(dst, src, words)
+					for _, s := range stores {
+						s.CopyRange(dst, src, words)
+					}
+				case op < 12: // DeleteRange
+					base := addr()
+					words := rng.Intn(pageWords)
+					model.deleteRange(base, words)
+					for _, s := range stores {
+						s.DeleteRange(base, words)
+					}
+				case op < 13: // ScanRange over a random, possibly unaligned window
+					lo := addr() + uint64(rng.Intn(8))
+					hi := lo + uint64(rng.Intn(2*pageWords*8))
+					for _, s := range stores {
+						checkScanRange(t, s, model, lo, hi, i)
 					}
 				default:
 					if rng.Intn(50) == 0 { // rare full clear
@@ -226,6 +305,44 @@ func TestScanEarlyStop(t *testing.T) {
 		s.Scan(func(uint64, Entry) bool { n++; return n < 3 })
 		if n != 3 {
 			t.Errorf("%s: early-stop Scan visited %d entries, want 3", s.Name(), n)
+		}
+	}
+}
+
+// TestScanRangeEarlyStopAndBounds: ScanRange stops on false and respects
+// the half-open window, including across shadow-page boundaries.
+func TestScanRangeEarlyStopAndBounds(t *testing.T) {
+	for _, s := range allStores() {
+		// Entries straddling a page boundary (page 0 and page 1).
+		for i := uint64(0); i < 2*pageWords; i += 2 {
+			s.Set(i*8, Entry{Value: i + 1, Kind: KindData, Upper: 64})
+		}
+		var addrs []uint64
+		lo, hi := uint64(pageWords-8)*8, uint64(pageWords+8)*8
+		s.ScanRange(lo, hi, func(a uint64, _ Entry) bool {
+			addrs = append(addrs, a)
+			return true
+		})
+		if len(addrs) != 8 {
+			t.Errorf("%s: ScanRange across pages visited %d entries, want 8", s.Name(), len(addrs))
+		}
+		for _, a := range addrs {
+			if a < lo || a >= hi {
+				t.Errorf("%s: ScanRange visited %#x outside [%#x,%#x)", s.Name(), a, lo, hi)
+			}
+		}
+		n := 0
+		s.ScanRange(0, 2*pageWords*8, func(uint64, Entry) bool { n++; return n < 3 })
+		if n != 3 {
+			t.Errorf("%s: early-stop ScanRange visited %d entries, want 3", s.Name(), n)
+		}
+		// Unaligned lo excludes the slot it truncates into: the entry at 0
+		// must not be visited by a window starting at byte 4 (entries sit
+		// at every other word: 0, 16, 32, ...).
+		got := []uint64(nil)
+		s.ScanRange(4, 64, func(a uint64, _ Entry) bool { got = append(got, a); return true })
+		if len(got) != 3 || got[0] != 16 {
+			t.Errorf("%s: ScanRange(4,64) visited %v, want [16 32 48]", s.Name(), got)
 		}
 	}
 }

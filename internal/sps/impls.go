@@ -112,6 +112,108 @@ func (a *Array) Scan(f func(addr uint64, e Entry) bool) {
 	}
 }
 
+// ScanRange implements Store: binary-search the cached page index for the
+// covered shadow pages, then visit only their in-range slots.
+func (a *Array) ScanRange(lo, hi uint64, f func(addr uint64, e Entry) bool) {
+	if lo >= hi {
+		return
+	}
+	a.pns = cachedSortedKeys(a.pns, a.blocks)
+	pns := a.pns
+	for i := searchU64(pns, lo>>12); i < len(pns) && pns[i] <= (hi-1)>>12; i++ {
+		pn := pns[i]
+		blk := a.blocks[pn]
+		for j := range blk {
+			if blk[j] == (Entry{}) {
+				continue
+			}
+			addr := pn<<12 | uint64(j)<<3
+			if addr < lo {
+				continue
+			}
+			if addr >= hi {
+				return
+			}
+			if !f(addr, blk[j]) {
+				return
+			}
+		}
+	}
+}
+
+// CopyRange implements Store with direct slot access: the word loop walks
+// source and destination blocks with per-page pointer caching instead of
+// going through the generic map lookups, in the overlap-safe direction
+// (see copyRangeGeneric for the direction argument).
+func (a *Array) CopyRange(dst, src uint64, words int) {
+	if words <= 0 || dst>>3 == src>>3 {
+		return
+	}
+	i, step := 0, 1
+	if dst>>3 > src>>3 {
+		i, step = words-1, -1
+	}
+	var (
+		sPN, dPN = ^uint64(0), ^uint64(0)
+		sBlk     *[pageWords]Entry
+		dBlk     *[pageWords]Entry
+	)
+	for k := 0; k < words; k, i = k+1, i+step {
+		so := src + uint64(i)*8
+		do := dst + uint64(i)*8
+		if pn := so >> 12; pn != sPN {
+			sPN, sBlk = pn, a.blocks[pn]
+		}
+		var e Entry
+		if sBlk != nil {
+			e = sBlk[(so>>3)&(pageWords-1)]
+		}
+		if pn := do >> 12; pn != dPN {
+			dPN, dBlk = pn, a.blocks[pn]
+		}
+		if e == (Entry{}) {
+			if dBlk != nil {
+				if s := &dBlk[(do>>3)&(pageWords-1)]; *s != (Entry{}) {
+					*s = Entry{}
+					a.live--
+				}
+			}
+			continue
+		}
+		if dBlk == nil {
+			dBlk = new([pageWords]Entry)
+			a.blocks[dPN] = dBlk
+			a.pns = nil // key set changed
+		}
+		s := &dBlk[(do>>3)&(pageWords-1)]
+		if *s == (Entry{}) {
+			a.live++
+		}
+		*s = e
+	}
+}
+
+// DeleteRange implements Store, skipping whole unreserved shadow pages.
+func (a *Array) DeleteRange(base uint64, words int) {
+	var (
+		pn  = ^uint64(0)
+		blk *[pageWords]Entry
+	)
+	for i := 0; i < words; i++ {
+		addr := base + uint64(i)*8
+		if p := addr >> 12; p != pn {
+			pn, blk = p, a.blocks[p]
+		}
+		if blk == nil {
+			continue
+		}
+		if s := &blk[(addr>>3)&(pageWords-1)]; *s != (Entry{}) {
+			*s = Entry{}
+			a.live--
+		}
+	}
+}
+
 // TwoLevel is the two-level lookup table organisation (directory of
 // second-level tables, like the MPX layout the paper plans to adopt, §4).
 // Each second-level table carries a cached sorted index of its keys,
@@ -136,6 +238,54 @@ type l2tbl struct {
 func (t *l2tbl) sortedKeys() []uint64 {
 	t.keys = cachedSortedKeys(t.keys, t.m)
 	return t.keys
+}
+
+// copyRangeGeneric implements CopyRange on top of a store's own
+// Get/Set/Delete. Overlap safety comes from direction-aware iteration: the
+// word slots are slot(dst)+i and slot(src)+i, so iterating downward when
+// slot(dst) > slot(src) (and upward otherwise) reads every source slot
+// before any copy can overwrite it — equivalent to a full snapshot.
+func copyRangeGeneric(s Store, dst, src uint64, words int) {
+	if words <= 0 || dst>>3 == src>>3 {
+		return
+	}
+	i, step := 0, 1
+	if dst>>3 > src>>3 {
+		i, step = words-1, -1
+	}
+	for k := 0; k < words; k, i = k+1, i+step {
+		off := uint64(i) * 8
+		if e, ok := s.Get(src + off); ok {
+			s.Set(dst+off, e)
+		} else {
+			s.Delete(dst + off)
+		}
+	}
+}
+
+// deleteRangeGeneric implements DeleteRange via per-word Delete.
+func deleteRangeGeneric(s Store, base uint64, words int) {
+	for i := 0; i < words; i++ {
+		s.Delete(base + uint64(i)*8)
+	}
+}
+
+// searchU64 returns the first index in sorted with sorted[i] >= v.
+func searchU64(sorted []uint64, v uint64) int {
+	return sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+}
+
+// scanSlotRange converts a half-open byte window [lo, hi) to the inclusive
+// range of word slots whose 8-aligned addresses fall inside it: an
+// unaligned lo rounds up (the slot at lo&^7 starts below the window). The
+// increment cannot overflow because lo < hi implies lo is not the maximal
+// address.
+func scanSlotRange(lo, hi uint64) (sLo, sHi uint64) {
+	sLo = lo >> 3
+	if lo&7 != 0 {
+		sLo++
+	}
+	return sLo, (hi - 1) >> 3
 }
 
 // cachedSortedKeys returns cache when still valid (non-nil) and otherwise
@@ -245,6 +395,45 @@ func (t *TwoLevel) Scan(f func(addr uint64, e Entry) bool) {
 	}
 }
 
+// ScanRange implements Store: binary-search the directory index for the
+// covered second-level tables, then each table's cached key index for its
+// in-range slots.
+func (t *TwoLevel) ScanRange(lo, hi uint64, f func(addr uint64, e Entry) bool) {
+	if lo >= hi {
+		return
+	}
+	t.his = cachedSortedKeys(t.his, t.dir)
+	sLo, sHi := scanSlotRange(lo, hi) // inclusive slot range
+	for i := searchU64(t.his, sLo>>l2Bits); i < len(t.his) && t.his[i] <= sHi>>l2Bits; i++ {
+		hiKey := t.his[i]
+		tbl := t.dir[hiKey]
+		keys := tbl.sortedKeys()
+		j := 0
+		if hiKey == sLo>>l2Bits {
+			j = searchU64(keys, sLo&((1<<l2Bits)-1))
+		}
+		for ; j < len(keys); j++ {
+			s := hiKey<<l2Bits | keys[j]
+			if s > sHi {
+				return
+			}
+			if !f(s<<3, tbl.m[keys[j]]) {
+				return
+			}
+		}
+	}
+}
+
+// CopyRange implements Store (generic overlap-safe word copy).
+func (t *TwoLevel) CopyRange(dst, src uint64, words int) {
+	copyRangeGeneric(t, dst, src, words)
+}
+
+// DeleteRange implements Store.
+func (t *TwoLevel) DeleteRange(base uint64, words int) {
+	deleteRangeGeneric(t, base, words)
+}
+
 // Hash is the hash-table organisation: most compact, slowest (probing plus
 // worse locality, §4/§5.2: 13.9% CPI memory overhead vs 105% for the array).
 // A cached sorted key index, invalidated whenever the key set changes,
@@ -317,4 +506,30 @@ func (h *Hash) Scan(f func(addr uint64, e Entry) bool) {
 			return
 		}
 	}
+}
+
+// ScanRange implements Store: binary-search the cached key index for the
+// first in-range slot and stop at the first beyond it.
+func (h *Hash) ScanRange(lo, hi uint64, f func(addr uint64, e Entry) bool) {
+	if lo >= hi {
+		return
+	}
+	h.keys = cachedSortedKeys(h.keys, h.m)
+	sLo, sHi := scanSlotRange(lo, hi)
+	for i := searchU64(h.keys, sLo); i < len(h.keys) && h.keys[i] <= sHi; i++ {
+		s := h.keys[i]
+		if !f(s<<3, h.m[s]) {
+			return
+		}
+	}
+}
+
+// CopyRange implements Store (generic overlap-safe word copy).
+func (h *Hash) CopyRange(dst, src uint64, words int) {
+	copyRangeGeneric(h, dst, src, words)
+}
+
+// DeleteRange implements Store.
+func (h *Hash) DeleteRange(base uint64, words int) {
+	deleteRangeGeneric(h, base, words)
 }

@@ -82,6 +82,23 @@ type Store interface {
 	// stops early if f returns false. The visit order is deterministic and
 	// identical across organisations.
 	Scan(f func(addr uint64, e Entry) bool)
+	// ScanRange is Scan bounded to slot addresses in [lo, hi): it visits
+	// only live entries whose slot address a satisfies lo <= a < hi, in
+	// the same deterministic ascending order, without walking the rest of
+	// the store. free()/munmap-style bulk invalidation and temporal-safety
+	// sweeps use it to stop paying full-store scans.
+	ScanRange(lo, hi uint64, f func(addr uint64, e Entry) bool)
+	// CopyRange copies the entries of the words base src+8i to the words
+	// base dst+8i for i in [0, words): for each word, the destination slot
+	// becomes a copy of the source slot (absent source clears the
+	// destination). It is overlap-safe — equivalent to snapshotting all
+	// source slots first — and is the bulk entry point of the safe-variant
+	// memcpy (§3.2.2), replacing words per-word Get+Set/Delete round trips
+	// through the generic interface.
+	CopyRange(dst, src uint64, words int)
+	// DeleteRange removes the entries of the words base+8i for i in
+	// [0, words) (the safe-variant memset bulk path).
+	DeleteRange(base uint64, words int)
 }
 
 // New returns a store by organisation name: "array", "twolevel", "hash".

@@ -54,32 +54,25 @@ func (m *Machine) hijackTransfer(target uint64, via HijackVia) {
 	}
 }
 
-// runHook fires a registered driver hook for function fi, if any.
+// runHook fires a registered driver hook for function fi, if any. The nil
+// check keeps the common no-hooks case free of a map access per call.
 func (m *Machine) runHook(fi int) {
+	if m.hooks == nil {
+		return
+	}
 	if h := m.hooks[fi]; h != nil {
 		h(m)
 	}
 }
 
-// evalArgs evaluates a call's argument list into the machine's reusable
-// buffers (valid until the next call; pushFrame copies them out
-// immediately).
-func (m *Machine) evalArgs(f *frame, vs []ir.Value) ([]uint64, []Meta) {
-	if cap(m.argVals) < len(vs) {
-		m.argVals = make([]uint64, len(vs))
-		m.argMetas = make([]Meta, len(vs))
-	}
-	av, am := m.argVals[:len(vs)], m.argMetas[:len(vs)]
-	for i, a := range vs {
-		av[i], am[i] = m.eval(f, a)
-	}
-	return av, am
-}
-
-func (m *Machine) execCall(f *frame, in *PIns) {
+// execCallWith dispatches a direct call or intrinsic. dst is the caller
+// register for the result and flags the call's protection flags: in.Dst and
+// in.Flags normally, the mirror fields when the call is the trailing
+// constituent of a fused sequence (whose head owns Dst/Flags).
+func (m *Machine) execCallWith(f *frame, in *PIns, dst int32, flags ir.Prot) {
 	orig := in.In
 	if orig.Callee < 0 {
-		m.execIntrinsic(f, in)
+		m.execIntrinsic(f, in, dst, flags)
 		return
 	}
 	m.runHook(orig.Callee)
@@ -87,8 +80,7 @@ func (m *Machine) execCall(f *frame, in *PIns) {
 		return
 	}
 	m.cycles += m.cfg.Cost.Call
-	args, metas := m.evalArgs(f, orig.Args)
-	m.pushFrame(orig.Callee, args, metas, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(in.Dst))
+	m.pushFrame(orig.Callee, f, in.Args, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
 }
 
 func (m *Machine) execICall(f *frame, in *PIns) {
@@ -134,25 +126,33 @@ func (m *Machine) execICall(f *frame, in *PIns) {
 		return
 	}
 
-	args, metas := m.evalArgs(f, in.In.Args)
-	m.pushFrame(fi, args, metas, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(in.Dst))
+	m.pushFrame(fi, f, in.Args, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(in.Dst))
 }
 
 func (m *Machine) execRet(f *frame, in *PIns) {
-	m.cycles += m.cfg.Cost.Ret
 	var rv uint64
 	var rm Meta
 	if in.A.Kind != ir.ValNone {
-		rv, rm = m.evalP(f, &in.A)
+		rv, rm = m.evalVal(f, &in.A)
 	}
+	m.retFinish(f, rv, rm)
+}
+
+// retFinish performs the return sequence for an already-evaluated return
+// value: cookie epilogue, return-address load and validation, frame pop.
+func (m *Machine) retFinish(f *frame, rv uint64, rm Meta) {
+	m.cycles += m.cfg.Cost.Ret
 
 	// Stack-cookie epilogue: verify the canary before trusting the frame.
 	if f.canaryAddr != 0 {
 		m.cycles += m.cfg.Cost.CookieCheck
-		c, err := m.mem.Load(f.canaryAddr, 8)
-		if err != nil {
-			m.memFault(err)
-			return
+		c, hit := m.mem.TryLoadWord(f.canaryAddr)
+		if !hit {
+			var err error
+			if c, err = m.mem.Load(f.canaryAddr, 8); err != nil {
+				m.memFault(err)
+				return
+			}
 		}
 		if c != m.canary {
 			m.trapf(TrapStackSmash, f.canaryAddr, ViaReturn,
@@ -167,10 +167,13 @@ func (m *Machine) execRet(f *frame, in *PIns) {
 	if f.retOnSafe {
 		space = m.safe
 	}
-	retWord, err := space.Load(f.retSlot, 8)
-	if err != nil {
-		m.memFault(err)
-		return
+	retWord, hit := space.TryLoadWord(f.retSlot)
+	if !hit {
+		var err error
+		if retWord, err = space.Load(f.retSlot, 8); err != nil {
+			m.memFault(err)
+			return
+		}
 	}
 	m.cycles += m.cfg.Cost.Load
 
@@ -196,8 +199,27 @@ func (m *Machine) execRet(f *frame, in *PIns) {
 // clearSafeMeta drops shadow metadata for a released safe-stack range so a
 // later frame reusing the addresses does not inherit stale bounds.
 func (m *Machine) clearSafeMeta(lo, hi uint64) {
-	for a := lo &^ 7; a < hi; a += 8 {
-		delete(m.safeMeta, a)
+	aLo := lo &^ 7
+	if aLo < hi {
+		// Word slots are indexed downward from safeStackTop, so the
+		// highest address maps to the lowest slot.
+		top := uint64(safeStackTop) - 8
+		maxA := (hi - 1) &^ 7 // last aligned word address < hi
+		first := (top - maxA) >> 3
+		last := (top - aLo) >> 3 // slot of the first aligned word
+		if n := uint64(len(m.safeMetaW)); first < n {
+			if last >= n {
+				last = n - 1
+			}
+			clear(m.safeMetaW[first : last+1])
+		}
+	}
+	if len(m.safeMetaU) > 0 { // avoid a map iteration per return
+		for a := range m.safeMetaU {
+			if a >= lo && a < hi {
+				delete(m.safeMetaU, a)
+			}
+		}
 	}
 }
 
@@ -211,12 +233,14 @@ func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
 	m.ssp += f.safeSize
 	m.frames = m.frames[:len(m.frames)-1]
 	if len(m.frames) == 0 {
+		m.cur = nil
 		m.exitCode = int64(rv)
 		m.trap = &Trap{Kind: TrapExit, PC: "<exit>"}
 		m.recycleFrame(f)
 		return
 	}
 	caller := m.frames[len(m.frames)-1]
+	m.cur = caller
 	caller.pc = f.retPC
 	if f.dst >= 0 {
 		caller.regs[f.dst] = rv

@@ -22,14 +22,34 @@ func (m *Machine) Run(entry string) *Result {
 		return m.finish(&Trap{Kind: TrapAbort, Msg: "no entry function " + entry})
 	}
 	m.pushFrame(fi, nil, nil, 0, -1, -1)
+
+	// The dispatch loop: one step of bookkeeping, then one indirect call
+	// through the handler resolved at predecode time (dispatch.go). Fused
+	// superinstructions count their second constituent themselves
+	// (fusedTick), so m.steps is always the constituent step count. The
+	// budget is hoisted to a local — it never changes during a run.
+	budget := m.stepBudget
 	for m.trap == nil {
-		m.step()
+		m.steps++
+		if m.steps > budget {
+			m.trapf(TrapMaxSteps, 0, ViaNone, "after %d steps", m.steps)
+			break
+		}
+		f := m.cur
+		in := &f.ins[f.pc]
+		in.run(m, f, in)
 	}
 	return m.finish(m.trap)
 }
 
 func (m *Machine) finish(t *Trap) *Result {
 	m.updateMemPeaks()
+	if used := int64(stackTop - m.slideStack - m.minSp); used > m.memStats.StackPeak {
+		m.memStats.StackPeak = used
+	}
+	if used := int64(safeStackTop - m.minSsp); used > m.memStats.SafeStack {
+		m.memStats.SafeStack = used
+	}
 	r := &Result{
 		Trap:     t.Kind,
 		ExitCode: m.exitCode,
@@ -78,15 +98,21 @@ func (m *Machine) newFrame(fi int) *frame {
 	if n := len(m.framePool); n > 0 {
 		f = m.framePool[n-1]
 		m.framePool = m.framePool[:n-1]
-		regs, meta := f.regs, f.meta
-		*f = frame{}
-		f.regs, f.meta = regs, meta
+		// Reset the recycled record field by field rather than zeroing the
+		// whole struct: pushFrame overwrites the rest (retPC, dst, retAddr,
+		// bases and sizes when present), and this path runs on every call.
+		f.pc = 0
+		f.regBase, f.safeBase = 0, 0
+		f.regSize, f.safeSize = 0, 0
+		f.retSlot, f.canaryAddr = 0, 0
+		f.retOnSafe = false
 	} else {
 		f = &frame{}
 	}
 	fn := m.prog.Funcs[fi]
 	f.fn = fn
 	f.code = &m.code.Funcs[fi]
+	f.ins = f.code.Ins
 	f.fidx = fi
 	nr := fn.NumRegs
 	if cap(f.regs) < nr {
@@ -95,8 +121,13 @@ func (m *Machine) newFrame(fi int) *frame {
 	} else {
 		f.regs = f.regs[:nr]
 		f.meta = f.meta[:nr]
-		clear(f.regs)
-		clear(f.meta)
+		if f.code.NeedsRegClear {
+			// Some register read is not provably write-preceded; re-zero
+			// the pooled file. Proven-clean functions (the common case)
+			// skip this: every read sees a written register anyway.
+			clear(f.regs)
+			clear(f.meta)
+		}
 	}
 	return f
 }
@@ -107,101 +138,107 @@ func (m *Machine) recycleFrame(f *frame) {
 }
 
 // pushFrame establishes a new activation record and charges frame-setup
-// costs. retAddr is the code address of the caller's return site (0 for the
-// entry frame), retPC the caller pc to resume at (-1 for the entry frame).
-func (m *Machine) pushFrame(fi int, args []uint64, argMeta []Meta, retAddr uint64, retPC, dst int) {
+// costs. The argument list is evaluated against the caller's frame directly
+// into the callee's registers (nil caller/args for the entry frame).
+// retAddr is the code address of the caller's return site (0 for the entry
+// frame), retPC the caller pc to resume at (-1 for the entry frame). The
+// frame layout itself was computed once per function at load (frameInfo).
+func (m *Machine) pushFrame(fi int, caller *frame, args []PVal, retAddr uint64, retPC, dst int) {
 	if len(m.frames) >= m.cfg.MaxCallDepth {
 		m.trapf(TrapStackOverflow, 0, ViaNone, "call depth %d", len(m.frames))
 		return
 	}
 	f := m.newFrame(fi)
 	fn := f.fn
+	info := &m.finfo[fi]
 	f.retPC = retPC
 	f.dst = dst
-	for i := range args {
-		if i < len(f.regs) {
-			f.regs[i] = args[i]
-			f.meta[i] = argMeta[i]
+	if len(args) > 0 {
+		m.cycles += int64(len(args)) * m.cfg.Cost.Arg
+		for i := range args {
+			if i < len(f.regs) {
+				// Register and constant arguments (nearly all of them)
+				// resolve inline; everything else through evalP.
+				switch a := &args[i]; a.Kind {
+				case ir.ValReg:
+					f.regs[i], f.meta[i] = caller.regs[a.Reg], caller.meta[a.Reg]
+				case ir.ValConst:
+					f.regs[i], f.meta[i] = a.Imm, invalidMeta
+				default:
+					f.regs[i], f.meta[i] = m.evalP(caller, a)
+				}
+			}
 		}
-		m.cycles += m.cfg.Cost.Arg
+	}
+	// Zero-fill any arity gap so parameter registers are always
+	// materialized (the def-before-use analysis counts them as written).
+	for i := len(args); i < len(fn.Params) && i < len(f.regs); i++ {
+		f.regs[i] = 0
+		f.meta[i] = Meta{}
 	}
 
-	// Stack frame layout; see DESIGN.md §4 and machine.go comments.
-	objsOnSafeStack := m.cfg.SafeStack
-	var regularObjBytes uint64
-	if objsOnSafeStack {
-		regularObjBytes = uint64(fn.UnsafeSize)
-	} else {
-		regularObjBytes = uint64(fn.SafeSize + fn.UnsafeSize)
-	}
-	regularTotal := regularObjBytes
-	retOnSafe := objsOnSafeStack
-	cookie := m.cfg.StackCookies && !retOnSafe
-	if cookie {
-		regularTotal += 8
-	}
-	if !retOnSafe {
-		regularTotal += 8
-	}
-	var safeTotal uint64
-	if objsOnSafeStack {
-		safeTotal = uint64(fn.SafeSize) + 8 // + return address slot
-	}
-
+	regularTotal := info.regularTotal
 	if regularTotal > 0 {
-		if m.sp < uint64(stackTop)-m.slideStack-stackMax+regularTotal {
+		if m.sp < m.stackFloor+regularTotal {
 			m.trapf(TrapStackOverflow, m.sp, ViaNone, "regular stack exhausted")
 			return
 		}
 		m.sp -= regularTotal
 		f.regBase = m.sp
 	}
-	if safeTotal > 0 {
-		if m.ssp < uint64(safeStackTop)-stackMax+safeTotal {
+	if info.safeTotal > 0 {
+		if m.ssp < uint64(safeStackTop)-stackMax+info.safeTotal {
 			m.trapf(TrapStackOverflow, m.ssp, ViaNone, "safe stack exhausted")
 			return
 		}
-		m.ssp -= safeTotal
+		m.ssp -= info.safeTotal
 		f.safeBase = m.ssp
 	}
 	f.regSize = regularTotal
-	f.safeSize = safeTotal
+	f.safeSize = info.safeTotal
 
 	// Return address slot: the word an attacker aims for when it lives on
 	// the regular stack.
 	f.retAddr = retAddr
-	if retOnSafe {
+	if info.retOnSafe {
 		f.retOnSafe = true
 		f.retSlot = f.safeBase + uint64(fn.SafeSize)
-		if err := m.safe.Store(f.retSlot, 8, f.retAddr); err != nil {
-			m.memFault(err)
-			return
-		}
-	} else {
-		f.retSlot = f.regBase + regularObjBytes
-		if cookie {
-			f.canaryAddr = f.regBase + regularObjBytes
-			f.retSlot = f.canaryAddr + 8
-			if err := m.mem.Store(f.canaryAddr, 8, m.canary); err != nil {
+		if !m.safe.TryStoreWord(f.retSlot, f.retAddr) {
+			if err := m.safe.Store(f.retSlot, 8, f.retAddr); err != nil {
 				m.memFault(err)
 				return
 			}
+		}
+	} else {
+		f.retSlot = f.regBase + info.objBytes
+		if info.cookie {
+			f.canaryAddr = f.regBase + info.objBytes
+			f.retSlot = f.canaryAddr + 8
+			if !m.mem.TryStoreWord(f.canaryAddr, m.canary) {
+				if err := m.mem.Store(f.canaryAddr, 8, m.canary); err != nil {
+					m.memFault(err)
+					return
+				}
+			}
 			m.cycles += m.cfg.Cost.CookieSet
 		}
-		if err := m.mem.Store(f.retSlot, 8, f.retAddr); err != nil {
-			m.memFault(err)
-			return
+		if !m.mem.TryStoreWord(f.retSlot, f.retAddr) {
+			if err := m.mem.Store(f.retSlot, 8, f.retAddr); err != nil {
+				m.memFault(err)
+				return
+			}
 		}
 	}
 
-	if !objsOnSafeStack {
+	if !m.cfg.SafeStack {
 		f.safeBase = f.regBase // "safe-space" objects live on the regular stack
 	}
 	if fn.NeedsUnsafeFrame {
 		m.cycles += m.cfg.Cost.UnsafeFrame
 	}
 	m.frames = append(m.frames, f)
-	m.updateMemPeaks()
+	m.cur = f
+	m.notePushPeaks(m.sp, m.ssp)
 }
 
 // objAddr resolves a frame object's address and which address space it
@@ -215,42 +252,6 @@ func (m *Machine) objAddr(f *frame, idx int) (uint64, bool) {
 		return f.safeBase + uint64(obj.Offset), true
 	}
 	return f.safeBase + uint64(obj.Offset), false
-}
-
-// eval resolves an unpredecoded ir.Value operand to (value, metadata); the
-// cold paths (call argument lists, intrinsic varargs) use it. The hot paths
-// use evalP on predecoded operands.
-func (m *Machine) eval(f *frame, v ir.Value) (uint64, Meta) {
-	switch v.Kind {
-	case ir.ValNone:
-		return 0, invalidMeta
-	case ir.ValReg:
-		return f.regs[v.Reg], f.meta[v.Reg]
-	case ir.ValConst:
-		return uint64(v.Imm), invalidMeta
-	case ir.ValFrame:
-		addr, _ := m.objAddr(f, v.Index)
-		obj := f.fn.Frame[v.Index]
-		return addr + uint64(v.Imm), Meta{
-			Kind: sps.KindData, Lower: addr, Upper: addr + uint64(obj.Size),
-		}
-	case ir.ValGlobal:
-		base := m.globalAddrs[v.Index]
-		return base + uint64(v.Imm), Meta{
-			Kind: sps.KindData, Lower: base,
-			Upper: base + uint64(m.prog.Globals[v.Index].Size),
-		}
-	case ir.ValFunc:
-		a := m.funcAddrs[v.Index]
-		return a, Meta{Kind: sps.KindCode, Lower: a, Upper: a}
-	case ir.ValString:
-		base := m.strAddrs[v.Index]
-		return base + uint64(v.Imm), Meta{
-			Kind: sps.KindData, Lower: base,
-			Upper: base + uint64(len(m.prog.Strings[v.Index])+1),
-		}
-	}
-	panic("vm: bad value kind")
 }
 
 // evalP resolves a predecoded operand to (value, metadata). Object layout
@@ -269,14 +270,14 @@ func (m *Machine) evalP(f *frame, v *PVal) (uint64, Meta) {
 		if v.Unsafe {
 			base = f.regBase
 		}
-		addr := base + v.ObjOff
+		addr := base + uint64(v.ObjOff)
 		return addr + v.Imm, Meta{
-			Kind: sps.KindData, Lower: addr, Upper: addr + v.Size,
+			Kind: sps.KindData, Lower: addr, Upper: addr + uint64(v.Size),
 		}
 	case ir.ValGlobal:
 		gb := m.globalAddrs[v.Index]
 		return gb + v.Imm, Meta{
-			Kind: sps.KindData, Lower: gb, Upper: gb + v.Size,
+			Kind: sps.KindData, Lower: gb, Upper: gb + uint64(v.Size),
 		}
 	case ir.ValFunc:
 		a := m.funcAddrs[v.Index]
@@ -284,7 +285,7 @@ func (m *Machine) evalP(f *frame, v *PVal) (uint64, Meta) {
 	case ir.ValString:
 		sb := m.strAddrs[v.Index]
 		return sb + v.Imm, Meta{
-			Kind: sps.KindData, Lower: sb, Upper: sb + v.Size,
+			Kind: sps.KindData, Lower: sb, Upper: sb + uint64(v.Size),
 		}
 	}
 	panic("vm: bad value kind")
@@ -299,106 +300,13 @@ func (m *Machine) addrSpaceP(f *frame, v *PVal) (addr uint64, meta Meta, safe bo
 		if v.Unsafe {
 			base = f.regBase
 		}
-		a := base + v.ObjOff
+		a := base + uint64(v.ObjOff)
 		return a + v.Imm, Meta{
-			Kind: sps.KindData, Lower: a, Upper: a + v.Size,
+			Kind: sps.KindData, Lower: a, Upper: a + uint64(v.Size),
 		}, !v.Unsafe && m.cfg.SafeStack
 	}
 	addr, meta = m.evalP(f, v)
 	return addr, meta, false
-}
-
-// step executes one instruction of the predecoded stream.
-func (m *Machine) step() {
-	m.steps++
-	if m.steps > m.stepBudget {
-		m.trapf(TrapMaxSteps, 0, ViaNone, "after %d steps", m.steps)
-		return
-	}
-	f := m.frames[len(m.frames)-1]
-	in := &f.code.Ins[f.pc]
-	cost := &m.cfg.Cost
-
-	switch in.Op {
-	case ir.OpNop:
-		f.pc++
-
-	case ir.OpBin:
-		a, _ := m.evalP(f, &in.A)
-		b, _ := m.evalP(f, &in.B)
-		v, err := aluEval(in.ALU, a, b)
-		if err != nil {
-			m.trapf(TrapDivZero, 0, ViaNone, "division by zero")
-			return
-		}
-		f.regs[in.Dst] = v
-		f.meta[in.Dst] = invalidMeta
-		m.cycles += cost.Bin
-		f.pc++
-
-	case ir.OpAddr:
-		v, meta := m.evalP(f, &in.A)
-		f.regs[in.Dst] = v
-		f.meta[in.Dst] = meta
-		m.cycles += cost.Addr
-		f.pc++
-
-	case ir.OpGEP:
-		base, meta := m.evalP(f, &in.A)
-		idx, _ := m.evalP(f, &in.B)
-		f.regs[in.Dst] = base + idx*uint64(in.Scale) + uint64(in.Off)
-		f.meta[in.Dst] = meta // based-on propagation, §3.1 case (iv)
-		m.cycles += cost.GEP
-		if m.cfg.SoftBound {
-			// Full memory safety propagates bounds metadata on every
-			// pointer arithmetic operation (register pressure + moves).
-			m.cycles += cost.SBGEP
-		}
-		f.pc++
-
-	case ir.OpCast:
-		v, meta := m.evalP(f, &in.A)
-		// Metadata propagates through casts (the Levee relaxation for
-		// unsafe casts, §4 and Appendix A); char casts truncate.
-		if in.CastChar {
-			v &= 0xff
-		}
-		f.regs[in.Dst] = v
-		f.meta[in.Dst] = meta
-		m.cycles += cost.Cast
-		f.pc++
-
-	case ir.OpLoad:
-		m.execLoad(f, in)
-
-	case ir.OpStore:
-		m.execStore(f, in)
-
-	case ir.OpCall:
-		m.execCall(f, in)
-
-	case ir.OpICall:
-		m.execICall(f, in)
-
-	case ir.OpRet:
-		m.execRet(f, in)
-
-	case ir.OpBr:
-		f.pc = int(in.Targ0)
-		m.cycles += cost.Br
-
-	case ir.OpCondBr:
-		v, _ := m.evalP(f, &in.A)
-		if v != 0 {
-			f.pc = int(in.Targ0)
-		} else {
-			f.pc = int(in.Targ1)
-		}
-		m.cycles += cost.CondBr
-
-	default:
-		m.trapf(TrapAbort, 0, ViaNone, "bad opcode %d", in.Op)
-	}
 }
 
 func aluEval(op ir.ALU, ua, ub uint64) (uint64, error) {

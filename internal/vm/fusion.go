@@ -1,0 +1,906 @@
+package vm
+
+import "repro/internal/ir"
+
+// This file implements superinstruction fusion: a peephole pass over each
+// function's predecoded stream that rewrites common adjacent sequences into
+// a single fused handler, eliminating dispatch-loop round trips on the
+// hottest patterns. The mini-C compiler spills every local to its frame
+// slot, so the dynamic stream is dominated by short load/store/bin runs —
+// the pass therefore fuses:
+//
+//	compare + condbr           (loop exits, if statements)
+//	GEP + load, GEP + store    (array/field accesses; the computed address
+//	                            is handed over directly)
+//	load + GEP + load/store    (spilled-index array accesses: a[i] with i
+//	                            in a frame slot)
+//	load/bin + compare + condbr (three-constituent: test a loaded or
+//	                            computed value and branch)
+//	load + bin + call          (the recursive-call argument shape)
+//	bin + call                 (argument computation feeding a call)
+//	{bin,load,store} × {bin,load,store,condbr,br,ret}
+//	                           (the generic pair matrix)
+//
+// Fusion must be invisible to everything except wall-clock time. The rules
+// that guarantee it:
+//
+//   - Exact constituent semantics: a fused handler performs the first
+//     constituent completely (register/metadata writes, cost charging),
+//     then counts and budget-checks the next step (fusedTick), then
+//     performs the next constituent. Cycles and Steps are bit-identical
+//     to the unfused execution, including when the step budget expires
+//     between constituents.
+//   - Trap attribution: f.pc is advanced between the constituents, so a
+//     trap raised by a later constituent (page fault, bounds violation,
+//     budget) reports that instruction's position, exactly as unfused.
+//   - The trailing slots stay intact: only the sequence's first slot is
+//     rewritten, and fall-through from the fused head skips the rest.
+//     Control transfers that enter the stream mid-sequence — branch
+//     targets (always block starts), setjmp resume sites, call return
+//     sites — execute the original instruction found there. A slot can be
+//     both the (intact) trailer of one sequence and the (rewritten) head
+//     of the next; entering it directly runs its own fused sequence,
+//     which is again exact constituent semantics.
+//
+// The pass only ever fuses within one block, and copies everything it
+// needs from the trailing slots at predecode time into the mirror fields
+// the head's own opcode does not use (C, D, ALU2, Size2, Flags2, Dst2,
+// Targ0/Targ1; see PIns).
+
+// fuse rewrites eligible sequences in one function's stream and reports how
+// many heads were rewritten.
+func fuse(fc *FuncCode) int {
+	n := 0
+	ins := fc.Ins
+	for i := 0; i+1 < len(ins); i++ {
+		a, b := &ins[i], &ins[i+1]
+		if a.Blk != b.Blk {
+			continue // never fuse across a block boundary
+		}
+
+		// Four constituents: load, load, cmp, condbr — the array-scan loop
+		// header shape (while (a[i] < a[j]) ...).
+		if i+3 < len(ins) {
+			b2, b3 := &ins[i+2], &ins[i+3]
+			if b3.Blk == a.Blk &&
+				a.Op == ir.OpLoad && b.Op == ir.OpLoad &&
+				b2.Op == ir.OpBin && isCmp(b2.ALU) &&
+				b2.A.Kind == ir.ValReg && b2.A.Reg == a.Dst &&
+				b2.B.Kind == ir.ValReg && b2.B.Reg == b.Dst &&
+				b3.Op == ir.OpCondBr && b3.A.Kind == ir.ValReg && b3.A.Reg == b2.Dst {
+				a.C, a.Size2, a.Flags2, a.Dst2 = b.A, b.Size, b.Flags, b.Dst
+				a.ALU2, a.Dst3 = b2.ALU, b2.Dst
+				a.Targ0, a.Targ1 = b3.Targ0, b3.Targ1
+				a.run = hFLoadLoadCmpBr
+				n++
+				continue
+			}
+		}
+
+		// Three-constituent sequences: {load,bin} + compare + condbr, and
+		// load + bin + call (load an argument, adjust it, call).
+		if i+2 < len(ins) {
+			if c := &ins[i+2]; c.Blk == a.Blk &&
+				b.Op == ir.OpBin && isCmp(b.ALU) &&
+				c.Op == ir.OpCondBr && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
+				if a.Op == ir.OpLoad || a.Op == ir.OpBin {
+					a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
+					a.Targ0, a.Targ1 = c.Targ0, c.Targ1
+					if a.Op == ir.OpLoad {
+						a.run = hFLoadCmpBr
+					} else {
+						a.run = hFBinCmpBr
+					}
+					n++
+					continue
+				}
+			}
+			// load + GEP + load/store: the spilled-index array access
+			// (a[i] with i in a frame slot) — load the index, compute the
+			// element address from it, access the element. The GEP's
+			// Scale/Off ride in the head's own (unused-by-load) fields,
+			// its base in C and result register in Dst2; the trailing
+			// access uses Size2/Flags2 with its result in Dst3 (load) or
+			// its value operand in D (store).
+			if c := &ins[i+2]; c.Blk == a.Blk &&
+				a.Op == ir.OpLoad && b.Op == ir.OpGEP &&
+				b.B.Kind == ir.ValReg && b.B.Reg == a.Dst {
+				if c.Op == ir.OpLoad && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
+					a.C, a.Scale, a.Off, a.Dst2 = b.A, b.Scale, b.Off, b.Dst
+					a.Size2, a.Flags2, a.Dst3 = c.Size, c.Flags, c.Dst
+					a.run = hFLoadGEPLoad
+					n++
+					continue
+				}
+				if c.Op == ir.OpStore && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
+					a.C, a.Scale, a.Off, a.Dst2 = b.A, b.Scale, b.Off, b.Dst
+					a.Size2, a.Flags2, a.D = c.Size, c.Flags, c.B
+					a.run = hFLoadGEPStore
+					n++
+					continue
+				}
+			}
+			if c := &ins[i+2]; c.Blk == a.Blk &&
+				a.Op == ir.OpLoad && b.Op == ir.OpBin && c.Op == ir.OpCall {
+				a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
+				// The call's cold fields: the head's Flags belongs to the
+				// load, so the call's flags ride in Flags2.
+				a.Flags2, a.SiteOrd, a.Args, a.In = c.Flags, c.SiteOrd, c.Args, c.In
+				a.Dst3 = c.Dst
+				a.run = hFLoadBinCall
+				n++
+				continue
+			}
+		}
+
+		switch {
+		// Specialized compare + condbr on the compare's result: the branch
+		// reuses the freshly computed value without a register re-read.
+		case a.Op == ir.OpBin && isCmp(a.ALU) &&
+			b.Op == ir.OpCondBr && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
+			a.Targ0, a.Targ1 = b.Targ0, b.Targ1
+			switch {
+			case a.A.Kind == ir.ValReg && a.B.Kind == ir.ValReg:
+				a.run = hFusedCmpBrRR
+			case a.A.Kind == ir.ValReg && a.B.Kind == ir.ValConst:
+				a.run = hFusedCmpBrRC
+			default:
+				a.run = hFusedCmpBrGen
+			}
+			n++
+
+		// Specialized GEP + load / GEP + store through the GEP's result:
+		// the computed address and metadata are handed over directly.
+		case a.Op == ir.OpGEP &&
+			b.Op == ir.OpLoad && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
+			a.Size2, a.Flags2, a.Dst2 = b.Size, b.Flags, b.Dst
+			a.run = hFusedGEPLoad
+			n++
+
+		case a.Op == ir.OpGEP &&
+			b.Op == ir.OpStore && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
+			a.Size2, a.Flags2, a.C = b.Size, b.Flags, b.B
+			a.run = hFusedGEPStore
+			n++
+
+		// Bin + call: the call's cold fields live in slots the bin does not
+		// use (Flags, SiteOrd, Args, In), so argument computation and the
+		// call dispatch become one superinstruction.
+		case a.Op == ir.OpBin && b.Op == ir.OpCall:
+			a.Flags, a.SiteOrd, a.Args, a.In = b.Flags, b.SiteOrd, b.Args, b.In
+			a.Dst2 = b.Dst
+			a.run = hFBinCall
+			n++
+
+		// The generic pair matrix.
+		case fusablePair(a, b):
+			n++
+		}
+	}
+	return n
+}
+
+// fusablePair rewrites a as the head of a generic {bin,load,store} ×
+// {bin,load,store,condbr,br,ret} pair when both opcodes participate,
+// copying b's operands into the head's mirror fields.
+func fusablePair(a, b *PIns) bool {
+	var fi, si int
+	switch a.Op {
+	case ir.OpBin:
+		fi = 0
+	case ir.OpLoad:
+		fi = 1
+	case ir.OpStore:
+		fi = 2
+	default:
+		return false
+	}
+	switch b.Op {
+	case ir.OpBin:
+		si = 0
+		a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
+	case ir.OpLoad:
+		si = 1
+		a.C, a.Size2, a.Flags2, a.Dst2 = b.A, b.Size, b.Flags, b.Dst
+	case ir.OpStore:
+		si = 2
+		a.C, a.D, a.Size2, a.Flags2 = b.A, b.B, b.Size, b.Flags
+	case ir.OpCondBr:
+		si = 3
+		a.C, a.Targ0, a.Targ1 = b.A, b.Targ0, b.Targ1
+	case ir.OpBr:
+		si = 4
+		a.Targ0 = b.Targ0
+	case ir.OpRet:
+		si = 5
+		a.C = b.A
+	default:
+		return false
+	}
+	a.run = pairHandlers[fi][si]
+	return true
+}
+
+// pairHandlers is the generic first × second handler matrix.
+var pairHandlers = [3][6]handler{
+	{hFBinBin, hFBinLoad, hFBinStore, hFBinCondBr, hFBinBr, hFBinRet},
+	{hFLoadBin, hFLoadLoad, hFLoadStore, hFLoadCondBr, hFLoadBr, hFLoadRet},
+	{hFStoreBin, hFStoreLoad, hFStoreStore, hFStoreCondBr, hFStoreBr, hFStoreRet},
+}
+
+// isCmp reports whether the operator is one of the comparison ALU ops
+// (results are 0/1 and can never fault).
+func isCmp(op ir.ALU) bool {
+	switch op {
+	case ir.ALt, ir.AGt, ir.ALe, ir.AGe, ir.AEq, ir.ANe:
+		return true
+	}
+	return false
+}
+
+// cmpEval evaluates a comparison operator (callers guarantee isCmp).
+func cmpEval(op ir.ALU, ua, ub uint64) uint64 {
+	a, b := int64(ua), int64(ub)
+	var c bool
+	switch op {
+	case ir.ALt:
+		c = a < b
+	case ir.AGt:
+		c = a > b
+	case ir.ALe:
+		c = a <= b
+	case ir.AGe:
+		c = a >= b
+	case ir.AEq:
+		c = ua == ub
+	default: // ir.ANe
+		c = ua != ub
+	}
+	if c {
+		return 1
+	}
+	return 0
+}
+
+// fusedTick counts and budget-checks the next constituent step of a fused
+// sequence — the exact bookkeeping the dispatch loop performs before an
+// unfused instruction. Callers advance f.pc past the prior constituent
+// before calling it, so a budget trap reports the next instruction's
+// position. The budget miss is outlined (budgetTrap) so fusedTick itself
+// inlines into every fused handler.
+func (m *Machine) fusedTick() bool {
+	m.steps++
+	return m.steps <= m.stepBudget || m.budgetTrap()
+}
+
+// budgetTrap is fusedTick's cold path, split out so fusedTick inlines.
+func (m *Machine) budgetTrap() bool {
+	m.trapf(TrapMaxSteps, 0, ViaNone, "after %d steps", m.steps)
+	return false
+}
+
+// ---- first-constituent executors ----
+//
+// Each performs one constituent from the head's own fields (A, B, ALU,
+// Size, Flags, Dst), advances f.pc past it, then counts the next step;
+// false means stop (trap or budget).
+
+// plainWordOperand resolves a reg/frame address operand of an unflagged
+// word access without materializing bounds metadata; ok=false means the
+// operand shape needs the general resolveAddr path. Small enough to inline
+// into the constituent executors.
+func (m *Machine) plainWordOperand(f *frame, v *PVal) (addr uint64, onSafe, ok bool) {
+	switch v.Kind {
+	case ir.ValReg:
+		return f.regs[v.Reg], false, true
+	case ir.ValFrame:
+		base := f.safeBase
+		if v.Unsafe {
+			base = f.regBase
+		} else if m.cfg.SafeStack {
+			onSafe = true
+		}
+		return base + uint64(v.ObjOff) + v.Imm, onSafe, true
+	}
+	return 0, false, false
+}
+
+// binEval is aluEval with the two overwhelmingly common (and never-
+// faulting) operators peeled off before the call.
+func (m *Machine) binEval(op ir.ALU, a, b uint64) (uint64, bool) {
+	switch op {
+	case ir.AAdd:
+		return a + b, true
+	case ir.ASub:
+		return a - b, true
+	}
+	v, err := aluEval(op, a, b)
+	if err != nil {
+		m.trapf(TrapDivZero, 0, ViaNone, "division by zero")
+		return 0, false
+	}
+	return v, true
+}
+
+func (m *Machine) x1Bin(f *frame, in *PIns) bool {
+	a := m.evalU(f, &in.A)
+	b := m.evalU(f, &in.B)
+	v, ok := m.binEval(in.ALU, a, b)
+	if !ok {
+		return false
+	}
+	f.regs[in.Dst] = v
+	f.meta[in.Dst] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	return m.fusedTick()
+}
+
+func (m *Machine) x1Load(f *frame, in *PIns) bool {
+	if in.Flags&protMask == 0 && in.Size == 8 {
+		if addr, onSafe, ok := m.plainWordOperand(f, &in.A); ok {
+			if !onSafe {
+				if v, hit := m.mem.TryLoadWord(addr); hit {
+					m.cycles += m.cfg.Cost.Load
+					f.regs[in.Dst] = v
+					f.meta[in.Dst] = invalidMeta
+					f.pc++
+					return m.fusedTick()
+				}
+			} else if v, hit := m.safe.TryLoadWord(addr); hit {
+				m.cycles += m.cfg.Cost.Load
+				f.regs[in.Dst] = v
+				f.meta[in.Dst] = m.safeMetaAt(addr)
+				f.pc++
+				return m.fusedTick()
+			}
+			m.loadPlainInto(f, addr, onSafe, in.Dst, 8)
+			if m.trap != nil {
+				return false
+			}
+			return m.fusedTick()
+		}
+	}
+	addr, meta, onSafe, regAddr := m.resolveAddr(f, &in.A)
+	m.loadInto(f, addr, meta, onSafe, regAddr, in.Dst, in.Size, in.Flags)
+	if m.trap != nil {
+		return false
+	}
+	return m.fusedTick()
+}
+
+func (m *Machine) x1Store(f *frame, in *PIns) bool {
+	if in.Flags&protMask == 0 && in.Size == 8 {
+		if addr, onSafe, ok := m.plainWordOperand(f, &in.A); ok {
+			val, valMeta := m.evalVal(f, &in.B)
+			if !onSafe {
+				if m.cfg.Isolation == IsoSFI {
+					m.cycles += m.cfg.Cost.SFIMask
+				}
+				if m.mem.TryStoreWord(addr, val) {
+					m.cycles += m.cfg.Cost.Store
+					f.pc++
+					return m.fusedTick()
+				}
+			} else if m.safe.TryStoreWord(addr, val) {
+				m.setSafeMeta(addr, valMeta)
+				m.cycles += m.cfg.Cost.Store
+				f.pc++
+				return m.fusedTick()
+			}
+			m.storePlainSlow(f, addr, onSafe, val, valMeta, 8)
+			if m.trap != nil {
+				return false
+			}
+			return m.fusedTick()
+		}
+	}
+	addr, meta, onSafe, regAddr := m.resolveAddr(f, &in.A)
+	val, valMeta := m.evalVal(f, &in.B)
+	m.storeFrom(f, addr, meta, onSafe, regAddr, val, valMeta, in.Size, in.Flags)
+	if m.trap != nil {
+		return false
+	}
+	return m.fusedTick()
+}
+
+// ---- second-constituent executors ----
+//
+// Each performs one constituent from the head's mirror fields (C, D, ALU2,
+// Size2, Flags2, Dst2, Targ0/Targ1), exactly as the standalone handler
+// would from the original slot.
+
+func (m *Machine) x2Bin(f *frame, in *PIns) {
+	a := m.evalU(f, &in.C)
+	b := m.evalU(f, &in.D)
+	v, ok := m.binEval(in.ALU2, a, b)
+	if !ok {
+		return
+	}
+	f.regs[in.Dst2] = v
+	f.meta[in.Dst2] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+}
+
+func (m *Machine) x2Load(f *frame, in *PIns) {
+	if in.Flags2&protMask == 0 && in.Size2 == 8 {
+		if addr, onSafe, ok := m.plainWordOperand(f, &in.C); ok {
+			if !onSafe {
+				if v, hit := m.mem.TryLoadWord(addr); hit {
+					m.cycles += m.cfg.Cost.Load
+					f.regs[in.Dst2] = v
+					f.meta[in.Dst2] = invalidMeta
+					f.pc++
+					return
+				}
+			} else if v, hit := m.safe.TryLoadWord(addr); hit {
+				m.cycles += m.cfg.Cost.Load
+				f.regs[in.Dst2] = v
+				f.meta[in.Dst2] = m.safeMetaAt(addr)
+				f.pc++
+				return
+			}
+			m.loadPlainInto(f, addr, onSafe, in.Dst2, 8)
+			return
+		}
+	}
+	addr, meta, onSafe, regAddr := m.resolveAddr(f, &in.C)
+	m.loadInto(f, addr, meta, onSafe, regAddr, in.Dst2, in.Size2, in.Flags2)
+}
+
+func (m *Machine) x2Store(f *frame, in *PIns) {
+	if in.Flags2&protMask == 0 && in.Size2 == 8 {
+		if addr, onSafe, ok := m.plainWordOperand(f, &in.C); ok {
+			val, valMeta := m.evalVal(f, &in.D)
+			if !onSafe {
+				if m.cfg.Isolation == IsoSFI {
+					m.cycles += m.cfg.Cost.SFIMask
+				}
+				if m.mem.TryStoreWord(addr, val) {
+					m.cycles += m.cfg.Cost.Store
+					f.pc++
+					return
+				}
+			} else if m.safe.TryStoreWord(addr, val) {
+				m.setSafeMeta(addr, valMeta)
+				m.cycles += m.cfg.Cost.Store
+				f.pc++
+				return
+			}
+			m.storePlainSlow(f, addr, onSafe, val, valMeta, 8)
+			return
+		}
+	}
+	addr, meta, onSafe, regAddr := m.resolveAddr(f, &in.C)
+	val, valMeta := m.evalVal(f, &in.D)
+	m.storeFrom(f, addr, meta, onSafe, regAddr, val, valMeta, in.Size2, in.Flags2)
+}
+
+func (m *Machine) x2CondBr(f *frame, in *PIns) {
+	v := m.evalU(f, &in.C)
+	if v != 0 {
+		f.pc = int(in.Targ0)
+	} else {
+		f.pc = int(in.Targ1)
+	}
+	m.cycles += m.cfg.Cost.CondBr
+}
+
+func (m *Machine) x2Br(f *frame, in *PIns) {
+	f.pc = int(in.Targ0)
+	m.cycles += m.cfg.Cost.Br
+}
+
+func (m *Machine) x2Ret(f *frame, in *PIns) {
+	var rv uint64
+	var rm Meta
+	if in.C.Kind != ir.ValNone {
+		rv, rm = m.evalVal(f, &in.C)
+	}
+	m.retFinish(f, rv, rm)
+}
+
+// x2CmpBr executes compare-into-Dst2 then the branch on the fresh result —
+// the tail of the three-constituent superinstructions. It performs two
+// constituents, with the step bookkeeping between them. The comparison
+// operands are resolved with hand-inlined register fast paths: the first
+// is nearly always the preceding constituent's result register and the
+// second a register or constant loop bound.
+func (m *Machine) x2CmpBr(f *frame, in *PIns) {
+	var a, b uint64
+	if in.C.Kind == ir.ValReg {
+		a = f.regs[in.C.Reg]
+	} else {
+		a = m.evalUSlow(f, &in.C)
+	}
+	if in.D.Kind == ir.ValConst {
+		b = in.D.Imm
+	} else {
+		b = m.evalU(f, &in.D)
+	}
+	v := cmpEval(in.ALU2, a, b)
+	f.regs[in.Dst2] = v
+	f.meta[in.Dst2] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	if !m.fusedTick() {
+		return
+	}
+	if v != 0 {
+		f.pc = int(in.Targ0)
+	} else {
+		f.pc = int(in.Targ1)
+	}
+	m.cycles += m.cfg.Cost.CondBr
+}
+
+// ---- specialized superinstructions ----
+
+// finishCmpBr commits the compare result, then counts and executes the
+// branch on it.
+func finishCmpBr(m *Machine, f *frame, in *PIns, v uint64) {
+	f.regs[in.Dst] = v
+	f.meta[in.Dst] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	if !m.fusedTick() {
+		return
+	}
+	if v != 0 {
+		f.pc = int(in.Targ0)
+	} else {
+		f.pc = int(in.Targ1)
+	}
+	m.cycles += m.cfg.Cost.CondBr
+}
+
+func hFusedCmpBrRR(m *Machine, f *frame, in *PIns) {
+	finishCmpBr(m, f, in, cmpEval(in.ALU, f.regs[in.A.Reg], f.regs[in.B.Reg]))
+}
+
+func hFusedCmpBrRC(m *Machine, f *frame, in *PIns) {
+	finishCmpBr(m, f, in, cmpEval(in.ALU, f.regs[in.A.Reg], in.B.Imm))
+}
+
+func hFusedCmpBrGen(m *Machine, f *frame, in *PIns) {
+	a, _ := m.evalP(f, &in.A)
+	b, _ := m.evalP(f, &in.B)
+	finishCmpBr(m, f, in, cmpEval(in.ALU, a, b))
+}
+
+func hFusedGEPLoad(m *Machine, f *frame, in *PIns) {
+	var base uint64
+	var meta Meta
+	if in.A.Kind == ir.ValReg {
+		base, meta = f.regs[in.A.Reg], f.meta[in.A.Reg]
+	} else {
+		base, meta = m.evalValSlow(f, &in.A)
+	}
+	var idx uint64
+	if in.B.Kind == ir.ValReg {
+		idx = f.regs[in.B.Reg]
+	} else {
+		idx = m.evalUSlow(f, &in.B)
+	}
+	addr := base + idx*uint64(in.Scale) + uint64(in.Off)
+	finishGEP(m, f, in, addr, meta)
+	if !m.fusedTick() {
+		return
+	}
+	// Load part: its address operand is the just-computed register, so it
+	// is a regular-space register access with the GEP's based-on metadata.
+	if in.Flags2&protMask == 0 && in.Size2 == 8 {
+		if v, hit := m.mem.TryLoadWord(addr); hit {
+			m.cycles += m.cfg.Cost.Load
+			f.regs[in.Dst2] = v
+			f.meta[in.Dst2] = invalidMeta
+			f.pc++
+			return
+		}
+	}
+	m.loadInto(f, addr, meta, false, true, in.Dst2, in.Size2, in.Flags2)
+}
+
+func hFusedGEPStore(m *Machine, f *frame, in *PIns) {
+	var base uint64
+	var meta Meta
+	if in.A.Kind == ir.ValReg {
+		base, meta = f.regs[in.A.Reg], f.meta[in.A.Reg]
+	} else {
+		base, meta = m.evalValSlow(f, &in.A)
+	}
+	var idx uint64
+	if in.B.Kind == ir.ValReg {
+		idx = f.regs[in.B.Reg]
+	} else {
+		idx = m.evalUSlow(f, &in.B)
+	}
+	addr := base + idx*uint64(in.Scale) + uint64(in.Off)
+	finishGEP(m, f, in, addr, meta)
+	if !m.fusedTick() {
+		return
+	}
+	val, valMeta := m.evalVal(f, &in.C)
+	if in.Flags2&protMask == 0 && in.Size2 == 8 {
+		if m.cfg.Isolation == IsoSFI {
+			m.cycles += m.cfg.Cost.SFIMask
+		}
+		if m.mem.TryStoreWord(addr, val) {
+			m.cycles += m.cfg.Cost.Store
+			f.pc++
+			return
+		}
+		m.storePlainSlow(f, addr, false, val, valMeta, 8)
+		return
+	}
+	m.storeFrom(f, addr, meta, false, true, val, valMeta, in.Size2, in.Flags2)
+}
+
+// x2GEPCommit performs the GEP middle constituent of the load+GEP+access
+// superinstructions: base from C, index from the head's freshly loaded
+// register, result into Dst2. Returns the computed address, its based-on
+// metadata, and whether execution may continue.
+func (m *Machine) x2GEPCommit(f *frame, in *PIns) (uint64, Meta, bool) {
+	var base uint64
+	var meta Meta
+	if in.C.Kind == ir.ValReg {
+		base, meta = f.regs[in.C.Reg], f.meta[in.C.Reg]
+	} else {
+		base, meta = m.evalValSlow(f, &in.C)
+	}
+	addr := base + f.regs[in.Dst]*uint64(in.Scale) + uint64(in.Off)
+	f.regs[in.Dst2] = addr
+	f.meta[in.Dst2] = meta
+	m.cycles += m.cfg.Cost.GEP
+	if m.cfg.SoftBound {
+		m.cycles += m.cfg.Cost.SBGEP
+	}
+	f.pc++
+	return addr, meta, m.fusedTick()
+}
+
+// hFLoadGEPLoad: load a spilled index, compute the element address from
+// it, load the element — the a[i] read with i in a frame slot.
+func hFLoadGEPLoad(m *Machine, f *frame, in *PIns) {
+	if !m.x1Load(f, in) {
+		return
+	}
+	addr, meta, ok := m.x2GEPCommit(f, in)
+	if !ok {
+		return
+	}
+	if in.Flags2&protMask == 0 && in.Size2 == 8 {
+		if v, hit := m.mem.TryLoadWord(addr); hit {
+			m.cycles += m.cfg.Cost.Load
+			f.regs[in.Dst3] = v
+			f.meta[in.Dst3] = invalidMeta
+			f.pc++
+			return
+		}
+	}
+	m.loadInto(f, addr, meta, false, true, in.Dst3, in.Size2, in.Flags2)
+}
+
+// hFLoadGEPStore: the a[i] write counterpart; the stored value operand
+// rides in D.
+func hFLoadGEPStore(m *Machine, f *frame, in *PIns) {
+	if !m.x1Load(f, in) {
+		return
+	}
+	addr, meta, ok := m.x2GEPCommit(f, in)
+	if !ok {
+		return
+	}
+	val, valMeta := m.evalVal(f, &in.D)
+	if in.Flags2&protMask == 0 && in.Size2 == 8 {
+		if m.cfg.Isolation == IsoSFI {
+			m.cycles += m.cfg.Cost.SFIMask
+		}
+		if m.mem.TryStoreWord(addr, val) {
+			m.cycles += m.cfg.Cost.Store
+			f.pc++
+			return
+		}
+		m.storePlainSlow(f, addr, false, val, valMeta, 8)
+		return
+	}
+	m.storeFrom(f, addr, meta, false, true, val, valMeta, in.Size2, in.Flags2)
+}
+
+func hFBinCall(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.execCallWith(f, in, in.Dst2, in.Flags)
+	}
+}
+
+// hFLoadBinCall: load an argument, adjust it, call — the recursive-call
+// shape (fib(n-1)). The call's result register rides in Dst3 and its flags
+// in Flags2 (the head's own Size/Flags belong to the load).
+func hFLoadBinCall(m *Machine, f *frame, in *PIns) {
+	if !m.x1Load(f, in) {
+		return
+	}
+	var a, b uint64
+	if in.C.Kind == ir.ValReg {
+		a = f.regs[in.C.Reg]
+	} else {
+		a = m.evalUSlow(f, &in.C)
+	}
+	if in.D.Kind == ir.ValConst {
+		b = in.D.Imm
+	} else {
+		b = m.evalU(f, &in.D)
+	}
+	var v uint64
+	switch in.ALU2 {
+	case ir.AAdd:
+		v = a + b
+	case ir.ASub:
+		v = a - b
+	default:
+		var ok bool
+		if v, ok = m.binEval(in.ALU2, a, b); !ok {
+			return
+		}
+	}
+	f.regs[in.Dst2] = v
+	f.meta[in.Dst2] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	if !m.fusedTick() {
+		return
+	}
+	m.execCallWith(f, in, in.Dst3, in.Flags2)
+}
+
+// hFLoadLoadCmpBr: load two values, compare them, branch — the array-scan
+// loop header. The compare's destination rides in Dst3.
+func hFLoadLoadCmpBr(m *Machine, f *frame, in *PIns) {
+	if !m.x1Load(f, in) {
+		return
+	}
+	m.x2Load(f, in)
+	if m.trap != nil {
+		return
+	}
+	if !m.fusedTick() {
+		return
+	}
+	v := cmpEval(in.ALU2, f.regs[in.Dst], f.regs[in.Dst2])
+	f.regs[in.Dst3] = v
+	f.meta[in.Dst3] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	if !m.fusedTick() {
+		return
+	}
+	if v != 0 {
+		f.pc = int(in.Targ0)
+	} else {
+		f.pc = int(in.Targ1)
+	}
+	m.cycles += m.cfg.Cost.CondBr
+}
+
+func hFLoadCmpBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2CmpBr(f, in)
+	}
+}
+
+func hFBinCmpBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2CmpBr(f, in)
+	}
+}
+
+// ---- the generic pair matrix ----
+
+func hFBinBin(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2Bin(f, in)
+	}
+}
+
+func hFBinLoad(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2Load(f, in)
+	}
+}
+
+func hFBinStore(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2Store(f, in)
+	}
+}
+
+func hFBinCondBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2CondBr(f, in)
+	}
+}
+
+func hFBinBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2Br(f, in)
+	}
+}
+
+func hFBinRet(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2Ret(f, in)
+	}
+}
+
+func hFLoadBin(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2Bin(f, in)
+	}
+}
+
+func hFLoadLoad(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2Load(f, in)
+	}
+}
+
+func hFLoadStore(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2Store(f, in)
+	}
+}
+
+func hFLoadCondBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2CondBr(f, in)
+	}
+}
+
+func hFLoadBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2Br(f, in)
+	}
+}
+
+func hFLoadRet(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2Ret(f, in)
+	}
+}
+
+func hFStoreBin(m *Machine, f *frame, in *PIns) {
+	if m.x1Store(f, in) {
+		m.x2Bin(f, in)
+	}
+}
+
+func hFStoreLoad(m *Machine, f *frame, in *PIns) {
+	if m.x1Store(f, in) {
+		m.x2Load(f, in)
+	}
+}
+
+func hFStoreStore(m *Machine, f *frame, in *PIns) {
+	if m.x1Store(f, in) {
+		m.x2Store(f, in)
+	}
+}
+
+func hFStoreCondBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Store(f, in) {
+		m.x2CondBr(f, in)
+	}
+}
+
+func hFStoreBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Store(f, in) {
+		m.x2Br(f, in)
+	}
+}
+
+func hFStoreRet(m *Machine, f *frame, in *PIns) {
+	if m.x1Store(f, in) {
+		m.x2Ret(f, in)
+	}
+}

@@ -15,22 +15,22 @@ import (
 // prove the arguments insensitive it sets ProtSafeIntr and the safe-region-
 // aware variant runs (per-word safe pointer store maintenance, the measured
 // source of memcpy-related CPI overhead).
-func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
+func (m *Machine) execIntrinsic(f *frame, pin *PIns, dst int32, flags ir.Prot) {
 	in := pin.In
 	cost := &m.cfg.Cost
 	m.cycles += cost.IntrBase
 
 	arg := func(i int) uint64 {
-		if i >= len(in.Args) {
+		if i >= len(pin.Args) {
 			return 0
 		}
-		v, _ := m.eval(f, in.Args[i])
+		v, _ := m.evalP(f, &pin.Args[i])
 		return v
 	}
 	setDst := func(v uint64, meta Meta) {
-		if in.Dst >= 0 {
-			f.regs[in.Dst] = v
-			f.meta[in.Dst] = meta
+		if dst >= 0 {
+			f.regs[dst] = v
+			f.meta[dst] = meta
 		}
 	}
 	done := func() { f.pc++ }
@@ -64,26 +64,26 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 
 	case builtins.Memcpy, builtins.Memmove:
 		dst, src, n := arg(0), arg(1), int64(arg(2))
-		if lim := m.fortifyLimit(f, in, 0); lim >= 0 && n > lim {
+		if lim := m.fortifyLimit(f, pin, 0); lim >= 0 && n > lim {
 			m.fortifyFail("memcpy")
 			return
 		}
-		if !m.memcpy(dst, src, n, in.Flags&ir.ProtSafeIntr != 0) {
+		if !m.memcpy(dst, src, n, flags&ir.ProtSafeIntr != 0) {
 			return
 		}
-		setDst(dst, m.argMeta(f, in, 0))
+		setDst(dst, m.argMeta(f, pin, 0))
 		done()
 
 	case builtins.Memset:
 		dst, c, n := arg(0), byte(arg(1)), int64(arg(2))
-		if lim := m.fortifyLimit(f, in, 0); lim >= 0 && n > lim {
+		if lim := m.fortifyLimit(f, pin, 0); lim >= 0 && n > lim {
 			m.fortifyFail("memset")
 			return
 		}
-		if !m.memset(dst, c, n, in.Flags&ir.ProtSafeIntr != 0) {
+		if !m.memset(dst, c, n, flags&ir.ProtSafeIntr != 0) {
 			return
 		}
-		setDst(dst, m.argMeta(f, in, 0))
+		setDst(dst, m.argMeta(f, pin, 0))
 		done()
 
 	case builtins.Memcmp:
@@ -97,17 +97,17 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 		done()
 
 	case builtins.Strcpy:
-		if !m.strcpyChk(arg(0), arg(1), -1, m.fortifyLimit(f, in, 0), "strcpy") {
+		if !m.strcpyChk(arg(0), arg(1), -1, m.fortifyLimit(f, pin, 0), "strcpy") {
 			return
 		}
-		setDst(arg(0), m.argMeta(f, in, 0))
+		setDst(arg(0), m.argMeta(f, pin, 0))
 		done()
 
 	case builtins.Strncpy:
-		if !m.strcpyChk(arg(0), arg(1), int64(arg(2)), m.fortifyLimit(f, in, 0), "strncpy") {
+		if !m.strcpyChk(arg(0), arg(1), int64(arg(2)), m.fortifyLimit(f, pin, 0), "strncpy") {
 			return
 		}
-		setDst(arg(0), m.argMeta(f, in, 0))
+		setDst(arg(0), m.argMeta(f, pin, 0))
 		done()
 
 	case builtins.Strcat, builtins.Strncat:
@@ -120,14 +120,14 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 		if in.Intr == builtins.Strncat {
 			max = int64(arg(2))
 		}
-		lim := m.fortifyLimit(f, in, 0)
+		lim := m.fortifyLimit(f, pin, 0)
 		if lim >= 0 {
 			lim -= dlen
 		}
 		if !m.strcpyChk(dst+uint64(dlen), arg(1), max, lim, "strcat") {
 			return
 		}
-		setDst(dst, m.argMeta(f, in, 0))
+		setDst(dst, m.argMeta(f, pin, 0))
 		done()
 
 	case builtins.Strcmp, builtins.Strncmp:
@@ -152,7 +152,7 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 		done()
 
 	case builtins.Printf:
-		s, ok := m.format(f, in, 0)
+		s, ok := m.format(f, pin, 0)
 		if !ok {
 			return
 		}
@@ -183,7 +183,7 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 			fmtIdx = 2
 			max = int64(arg(1))
 		}
-		s, ok := m.format(f, in, fmtIdx)
+		s, ok := m.format(f, pin, fmtIdx)
 		if !ok {
 			return
 		}
@@ -194,7 +194,7 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 				s = s[:max-1]
 			}
 		}
-		if lim := m.fortifyLimit(f, in, 0); lim >= 0 && int64(len(s))+1 > lim {
+		if lim := m.fortifyLimit(f, pin, 0); lim >= 0 && int64(len(s))+1 > lim {
 			m.fortifyFail("sprintf")
 			return
 		}
@@ -208,7 +208,7 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 		done()
 
 	case builtins.Sscanf:
-		n, ok := m.sscanf(f, in)
+		n, ok := m.sscanf(f, pin)
 		if !ok {
 			return
 		}
@@ -250,7 +250,7 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 		m.trapf(TrapAbort, 0, ViaNone, "abort() called")
 
 	case builtins.Setjmp:
-		m.setjmp(f, in, m.jmpSiteAddrs[pin.SiteOrd], arg(0))
+		m.setjmp(f, dst, flags, m.jmpSiteAddrs[pin.SiteOrd], arg(0))
 
 	case builtins.Longjmp:
 		m.longjmp(arg(0), arg(1))
@@ -289,11 +289,11 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns) {
 // fortifyLimit returns the FORTIFY bound for a destination argument: the
 // remaining bytes of the destination object when known (glibc
 // __builtin_object_size semantics), or -1 when unknown.
-func (m *Machine) fortifyLimit(f *frame, in *ir.Instr, i int) int64 {
-	if !m.cfg.Fortify || i >= len(in.Args) {
+func (m *Machine) fortifyLimit(f *frame, pin *PIns, i int) int64 {
+	if !m.cfg.Fortify || i >= len(pin.Args) {
 		return -1
 	}
-	addr, meta := m.eval(f, in.Args[i])
+	addr, meta := m.evalP(f, &pin.Args[i])
 	if meta.Kind != sps.KindData || addr < meta.Lower || addr >= meta.Upper {
 		return -1
 	}
@@ -306,11 +306,11 @@ func (m *Machine) fortifyFail(name string) {
 }
 
 // argMeta returns the metadata of the i-th argument.
-func (m *Machine) argMeta(f *frame, in *ir.Instr, i int) Meta {
-	if i >= len(in.Args) {
+func (m *Machine) argMeta(f *frame, pin *PIns, i int) Meta {
+	if i >= len(pin.Args) {
 		return invalidMeta
 	}
-	_, meta := m.eval(f, in.Args[i])
+	_, meta := m.evalP(f, &pin.Args[i])
 	return meta
 }
 
@@ -393,23 +393,11 @@ func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
 		// store), on top of the per-word bookkeeping.
 		words := int(n / 8)
 		m.cycles += int64(words) * (m.cfg.Cost.SafeIntrWord + m.sps.LoadCost() + m.sps.StoreCost())
-		// Snapshot all source entries before writing any: dst/src may
-		// overlap, and the byte copy above is memmove-safe (ReadBytes
-		// snapshots), so the metadata migration must be too.
-		if cap(m.entScratch) < words {
-			m.entScratch = make([]entSnap, words)
-		}
-		snap := m.entScratch[:words]
-		for i := range snap {
-			snap[i].e, snap[i].ok = m.sps.Get(src + uint64(i)*8)
-		}
-		for i := range snap {
-			if snap[i].ok {
-				m.sps.Set(dst+uint64(i)*8, snap[i].e)
-			} else {
-				m.sps.Delete(dst + uint64(i)*8)
-			}
-		}
+		m.spsDirty = true
+		// The store-level bulk move is overlap-safe (snapshot-equivalent),
+		// matching the memmove-safe byte copy above, and large protected
+		// copies stop going word-by-word through the generic Get/Set.
+		m.sps.CopyRange(dst, src, words)
 	}
 	return true
 }
@@ -432,9 +420,8 @@ func (m *Machine) memset(dst uint64, c byte, n int64, safeVariant bool) bool {
 		// is a safe-store write and is charged as one.
 		words := n / 8
 		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.StoreCost())
-		for off := int64(0); off+8 <= n; off += 8 {
-			m.sps.Delete(dst + uint64(off))
-		}
+		m.spsDirty = true
+		m.sps.DeleteRange(dst, int(words))
 	}
 	return true
 }
@@ -561,8 +548,8 @@ func (m *Machine) cstr(addr uint64) (string, bool) {
 }
 
 // format implements the printf family for %d %s %c %x %p %%.
-func (m *Machine) format(f *frame, in *ir.Instr, fmtIdx int) (string, bool) {
-	fv, _ := m.eval(f, in.Args[fmtIdx])
+func (m *Machine) format(f *frame, pin *PIns, fmtIdx int) (string, bool) {
+	fv, _ := m.evalP(f, &pin.Args[fmtIdx])
 	fs, ok := m.cstr(fv)
 	if !ok {
 		return "", false
@@ -570,8 +557,8 @@ func (m *Machine) format(f *frame, in *ir.Instr, fmtIdx int) (string, bool) {
 	var out []byte
 	argi := fmtIdx + 1
 	nextArg := func() uint64 {
-		if argi < len(in.Args) {
-			v, _ := m.eval(f, in.Args[argi])
+		if argi < len(pin.Args) {
+			v, _ := m.evalP(f, &pin.Args[argi])
 			argi++
 			return v
 		}
@@ -618,13 +605,13 @@ func (m *Machine) format(f *frame, in *ir.Instr, fmtIdx int) (string, bool) {
 }
 
 // sscanf supports %d and %s (unbounded %s: another overflow vector).
-func (m *Machine) sscanf(f *frame, in *ir.Instr) (int, bool) {
-	sv, _ := m.eval(f, in.Args[0])
+func (m *Machine) sscanf(f *frame, pin *PIns) (int, bool) {
+	sv, _ := m.evalP(f, &pin.Args[0])
 	src, ok := m.cstr(sv)
 	if !ok {
 		return 0, false
 	}
-	fv, _ := m.eval(f, in.Args[1])
+	fv, _ := m.evalP(f, &pin.Args[1])
 	fs, ok := m.cstr(fv)
 	if !ok {
 		return 0, false
@@ -641,10 +628,10 @@ func (m *Machine) sscanf(f *frame, in *ir.Instr) (int, bool) {
 		if fs[i] != '%' {
 			continue
 		}
-		if argi >= len(in.Args) {
+		if argi >= len(pin.Args) {
 			break
 		}
-		dst, _ := m.eval(f, in.Args[argi])
+		dst, _ := m.evalP(f, &pin.Args[argi])
 		argi++
 		switch fs[i+1] {
 		case 'd':

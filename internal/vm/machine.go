@@ -124,6 +124,17 @@ const (
 	safeStackTop = 0x5afe_0000_0000 // in the safe address space
 )
 
+// frameInfo is the per-function frame layout under the machine's
+// configuration, computed once at load so pushFrame does no per-call layout
+// arithmetic.
+type frameInfo struct {
+	objBytes     uint64 // object bytes on the regular stack
+	regularTotal uint64 // regular-stack bytes incl. cookie/return slots
+	safeTotal    uint64 // safe-stack bytes (0 without SafeStack)
+	cookie       bool   // a canary word precedes the return slot
+	retOnSafe    bool   // the return address lives on the safe stack
+}
+
 // site is a resume point in the program.
 type site struct {
 	fn  int
@@ -145,11 +156,12 @@ type allocation struct {
 // same backing arrays instead of allocating per call.
 type frame struct {
 	fn   *ir.Func
-	code *FuncCode // predecoded instruction stream of fn
+	code *FuncCode // predecoded function record of fn
+	ins  []PIns    // code.Ins, cached flat for the dispatch loop
 	fidx int
 	regs []uint64
 	meta []Meta
-	pc   int // index into code.Ins
+	pc   int // index into ins
 
 	regBase  uint64 // base of this frame's objects on the regular stack
 	safeBase uint64 // base of this frame's objects on the safe stack
@@ -173,8 +185,56 @@ type Meta struct {
 	ID    uint64
 }
 
-// invalidMeta is the metadata of non-pointer or unknown values.
+// invalidMeta is the metadata of non-pointer or unknown values (the zero
+// Meta: KindInvalid is 0).
 var invalidMeta = Meta{Kind: sps.KindInvalid}
+
+// safeMetaAt returns the shadow metadata for the safe-space word at addr
+// (the zero Meta when absent).
+func (m *Machine) safeMetaAt(addr uint64) Meta {
+	if addr&7 == 0 {
+		if slot := (uint64(safeStackTop) - 8 - addr) >> 3; slot < uint64(len(m.safeMetaW)) {
+			return m.safeMetaW[slot]
+		}
+		return Meta{}
+	}
+	return m.safeMetaU[addr]
+}
+
+// setSafeMeta records shadow metadata for the safe-space word at addr;
+// invalid metadata clears the slot (its bounds are never consulted, so it
+// normalizes to the zero Meta).
+func (m *Machine) setSafeMeta(addr uint64, meta Meta) {
+	if meta.Kind == sps.KindInvalid {
+		meta = Meta{}
+	}
+	if addr&7 == 0 {
+		slot := (uint64(safeStackTop) - 8 - addr) >> 3
+		if slot >= uint64(len(m.safeMetaW)) {
+			if meta == (Meta{}) {
+				return // absent stays absent
+			}
+			n := int(slot) + 1
+			if n <= cap(m.safeMetaW) {
+				m.safeMetaW = m.safeMetaW[:n]
+			} else {
+				grown := make([]Meta, n, n*2)
+				copy(grown, m.safeMetaW)
+				m.safeMetaW = grown
+			}
+		}
+		m.safeMetaW[slot] = meta
+		return
+	}
+	if meta == (Meta{}) {
+		delete(m.safeMetaU, addr)
+		return
+	}
+	if m.safeMetaU == nil {
+		m.safeMetaU = map[uint64]Meta{}
+	}
+	m.safeMetaU[addr] = meta
+}
 
 func metaFromEntry(e sps.Entry) Meta {
 	return Meta{Kind: e.Kind, Lower: e.Lower, Upper: e.Upper, ID: e.ID}
@@ -195,6 +255,9 @@ type Machine struct {
 	sps  sps.Store
 
 	frames []*frame
+	// cur caches frames[len(frames)-1]: the dispatch loop reads the top
+	// frame every step, so push/pop/longjmp maintain it instead.
+	cur    *frame
 	cycles int64
 	steps  int64
 	out    bytes.Buffer
@@ -204,11 +267,6 @@ type Machine struct {
 	// released by returns, so call-heavy workloads allocate only up to
 	// their peak call depth.
 	framePool []*frame
-	// argVals/argMetas are the reusable argument-evaluation buffers of
-	// execCall/execICall (consumed immediately by pushFrame).
-	argVals  []uint64
-	argMetas []Meta
-
 	// Layout.
 	slideCode    uint64
 	slideData    uint64
@@ -218,6 +276,8 @@ type Machine struct {
 	funcByAddr   map[uint64]int
 	globalAddrs  []uint64
 	strAddrs     []uint64
+	finfo        []frameInfo         // per-function frame layout under this config
+	stackFloor   uint64              // lowest valid regular stack address
 	retSites     map[uint64]struct{} // membership set: valid return-site addresses
 	jmpSites     map[uint64]site
 	retSiteAddrs []uint64 // call-site ordinal → return-site code address
@@ -239,30 +299,33 @@ type Machine struct {
 	// moment (e.g. between setup and dispatch).
 	hooks map[int]func(*Machine)
 
-	// safeMeta shadows based-on metadata for words in the safe address
-	// space. The safe stack holds spilled registers and proven-safe locals
-	// (§3.2.4); their metadata is compiler-managed state that needs no
-	// runtime representation, so the shadow map models it at zero cycle
-	// cost. It is not addressable by the program or the attacker.
-	safeMeta map[uint64]Meta
+	// safeMetaW shadows based-on metadata for aligned words of the safe
+	// address space, indexed by word offset below safeStackTop (the stack
+	// grows down, so the slice grows with peak safe-stack depth). The safe
+	// stack holds spilled registers and proven-safe locals (§3.2.4); their
+	// metadata is compiler-managed state that needs no runtime
+	// representation, so the shadow models it at zero cycle cost. It is
+	// not addressable by the program or the attacker. The zero Meta is
+	// "absent" (invalidMeta is the zero value). Unaligned safe-space word
+	// accesses — which mini-C programs do not generate — fall back to
+	// safeMetaU.
+	safeMetaW []Meta
+	safeMetaU map[uint64]Meta
 
-	// entScratch is the reusable source-entry snapshot buffer of the
-	// safe-variant memcpy (see Machine.memcpy).
-	entScratch []entSnap
-
-	// Peak memory accounting.
+	// Peak memory accounting. spsDirty marks that the safe pointer store
+	// was mutated since the last peak sample, so updateMemPeaks only pays
+	// the two Store interface calls when the answer can have changed.
+	// Stack peaks are tracked as low-water marks of the two stack
+	// pointers (one compare each) and folded into memStats at finish.
+	spsDirty   bool
+	minSp      uint64
+	minSsp     uint64
 	memStats   MemStats
 	heapLive   int64
 	exitCode   int64
 	trap       *Trap
 	randState  uint64
 	stepBudget int64
-}
-
-// entSnap is one snapshotted safe-store entry during a safe-variant memcpy.
-type entSnap struct {
-	e  sps.Entry
-	ok bool
 }
 
 // New prepares a machine for the given instrumented program, predecoding it
@@ -297,8 +360,8 @@ func NewShared(p *ir.Program, code *Code, cfg Config) (*Machine, error) {
 		jmpSites:   map[uint64]site{},
 		allocs:     map[uint64]*allocation{},
 		freeLst:    map[int64][]uint64{},
-		safeMeta:   map[uint64]Meta{},
 		rng:        uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
+		spsDirty:   true,
 		randState:  uint64(cfg.Seed)*6364136223846793005 + 1,
 		stepBudget: cfg.MaxSteps,
 	}
@@ -412,11 +475,35 @@ func (m *Machine) load() error {
 
 	// Regular stack.
 	m.sp = stackTop - m.slideStack
+	m.minSp = m.sp
+	m.stackFloor = m.sp - stackMax
 	m.mem.Map(m.sp-stackMax, stackMax, dataPerm)
 
 	// Safe stack (separate address space; see DESIGN.md on isolation).
 	m.ssp = safeStackTop
+	m.minSsp = m.ssp
 	m.safe.Map(m.ssp-stackMax, stackMax, mem.R|mem.W)
+
+	// Frame layouts; see DESIGN.md §4 and pushFrame.
+	m.finfo = make([]frameInfo, len(m.prog.Funcs))
+	for i, fn := range m.prog.Funcs {
+		fi := &m.finfo[i]
+		if m.cfg.SafeStack {
+			fi.objBytes = uint64(fn.UnsafeSize)
+			fi.retOnSafe = true
+			fi.safeTotal = uint64(fn.SafeSize) + 8 // + return address slot
+		} else {
+			fi.objBytes = uint64(fn.SafeSize + fn.UnsafeSize)
+		}
+		fi.regularTotal = fi.objBytes
+		fi.cookie = m.cfg.StackCookies && !fi.retOnSafe
+		if fi.cookie {
+			fi.regularTotal += 8
+		}
+		if !fi.retOnSafe {
+			fi.regularTotal += 8
+		}
+	}
 
 	return nil
 }
@@ -528,19 +615,45 @@ func (m *Machine) sitePC(s site) int {
 	return int(m.code.Funcs[s.fn].BlockPC[s.blk]) + s.ip
 }
 
-// updateMemPeaks refreshes peak memory statistics.
+// updateMemPeaks refreshes peak memory statistics. Stack peaks are kept as
+// stack-pointer low-water marks; finish converts them to byte peaks. The
+// hot part (four compares) inlines into pushFrame; the safe-pointer-store
+// sampling — two interface calls, needed only after a store mutated it —
+// is outlined behind spsDirty.
 func (m *Machine) updateMemPeaks() {
 	if m.heapLive > m.memStats.HeapPeak {
 		m.memStats.HeapPeak = m.heapLive
 	}
-	stackUsed := int64(stackTop - m.slideStack - m.sp)
-	if stackUsed > m.memStats.StackPeak {
-		m.memStats.StackPeak = stackUsed
+	if m.sp < m.minSp {
+		m.minSp = m.sp
 	}
-	safeUsed := int64(safeStackTop - m.ssp)
-	if safeUsed > m.memStats.SafeStack {
-		m.memStats.SafeStack = safeUsed
+	if m.ssp < m.minSsp {
+		m.minSsp = m.ssp
 	}
+	if m.spsDirty {
+		m.sampleSPSPeaks()
+	}
+}
+
+// notePushPeaks is the per-call subset of updateMemPeaks: a call can only
+// move the stack low-water marks (and trip a pending safe-pointer-store
+// sample), so pushFrame inlines these compares instead of the full
+// refresh. The stack pointers are passed as arguments to keep the body
+// under the inlining budget.
+func (m *Machine) notePushPeaks(sp, ssp uint64) {
+	if sp < m.minSp {
+		m.minSp = sp
+	}
+	if ssp < m.minSsp {
+		m.minSsp = ssp
+	}
+	if m.spsDirty {
+		m.sampleSPSPeaks()
+	}
+}
+
+func (m *Machine) sampleSPSPeaks() {
+	m.spsDirty = false
 	if b := m.sps.FootprintBytes(); b > m.memStats.SPSBytes {
 		m.memStats.SPSBytes = b
 	}

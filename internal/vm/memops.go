@@ -19,6 +19,14 @@ import (
 //     the metadata (ProtCPICheck / ProtSBCheck);
 //   - SoftBound applies the same machinery to every pointer access.
 
+// protMask is the set of flags that can activate protection semantics on a
+// load or store under some runtime configuration. An access with none of
+// them takes the plain fast path regardless of configuration: protActive
+// and derefCheck both require one of these bits, so skipping them is
+// config-independent and safe for the predecode-time handler choice.
+const protMask = ir.ProtCPIStore | ir.ProtCPILoad | ir.ProtCPICheck |
+	ir.ProtCPS | ir.ProtSB | ir.ProtSBCheck
+
 // protLoad reports whether the instruction's flags make this access use the
 // safe pointer store under the active configuration.
 func (m *Machine) protActive(fl ir.Prot) (useSPS, universal, check, cps bool) {
@@ -70,15 +78,59 @@ func (m *Machine) checkTrapKind(fl ir.Prot) TrapKind {
 	return TrapCPIViolation
 }
 
-func (m *Machine) execLoad(f *frame, in *PIns) {
+// loadInto performs a load whose address operand has already been resolved
+// to (addr, ptrMeta, onSafe). regAddr says the address came from a register
+// operand (direct frame/global operands were proven safe statically and are
+// never bounds-checked); dst is the destination register; size and flags
+// come from whichever constituent of a (possibly fused) instruction this
+// load is. On success the pc advances by one; on a trap it does not. The
+// shape-specialized handlers (dispatch.go) and the fused superinstructions
+// (fusion.go) all funnel into this one implementation of the §3.2.2
+// semantics.
+func (m *Machine) loadInto(f *frame, addr uint64, ptrMeta Meta, onSafe, regAddr bool, dst int32, size uint8, flags ir.Prot) {
+	if flags&protMask == 0 {
+		// Plain access: no flag can activate checks or the safe pointer
+		// store under any configuration. This is the overwhelmingly common
+		// case even under CPI (only sensitive accesses are flagged), so
+		// the plain tail is flattened here rather than delegated.
+		space := m.mem
+		if onSafe {
+			space = m.safe
+		}
+		var v uint64
+		if size == 8 {
+			var hit bool
+			if v, hit = space.TryLoadWord(addr); !hit {
+				var err error
+				if v, err = space.Load(addr, 8); err != nil {
+					m.memFault(err)
+					return
+				}
+			}
+		} else {
+			var err error
+			if v, err = space.Load(addr, int(size)); err != nil {
+				m.memFault(err)
+				return
+			}
+		}
+		m.cycles += m.cfg.Cost.Load
+		f.regs[dst] = v
+		if onSafe {
+			f.meta[dst] = m.safeMetaAt(addr)
+		} else {
+			f.meta[dst] = invalidMeta
+		}
+		f.pc++
+		return
+	}
 	cost := &m.cfg.Cost
-	addr, ptrMeta, onSafe := m.addrSpaceP(f, &in.A)
 
 	// Bounds check on the dereferenced pointer when flagged.
-	if (m.cfg.CPI && in.Flags&ir.ProtCPICheck != 0) ||
-		(m.cfg.SoftBound && in.Flags&ir.ProtSBCheck != 0) {
-		if in.A.Kind == ir.ValReg { // direct operands are statically safe
-			if !m.derefCheck(m.checkTrapKind(in.Flags), addr, int64(in.Size), ptrMeta) {
+	if (m.cfg.CPI && flags&ir.ProtCPICheck != 0) ||
+		(m.cfg.SoftBound && flags&ir.ProtSBCheck != 0) {
+		if regAddr { // direct operands are statically safe
+			if !m.derefCheck(m.checkTrapKind(flags), addr, int64(size), ptrMeta) {
 				return
 			}
 		}
@@ -89,8 +141,8 @@ func (m *Machine) execLoad(f *frame, in *PIns) {
 		space = m.safe
 	}
 
-	useSPS, universal, _, cps := m.protActive(in.Flags)
-	if useSPS && in.Size == 8 && !onSafe {
+	useSPS, universal, _, cps := m.protActive(flags)
+	if useSPS && size == 8 && !onSafe {
 		m.cycles += m.sps.LoadCost()
 		e, ok := m.sps.Get(addr)
 		switch {
@@ -104,41 +156,70 @@ func (m *Machine) execLoad(f *frame, in *PIns) {
 				}
 				m.cycles += cost.Load
 			}
-			f.regs[in.Dst] = e.Value
-			f.meta[in.Dst] = metaFromEntry(e)
+			f.regs[dst] = e.Value
+			f.meta[dst] = metaFromEntry(e)
 		case universal:
 			// Universal pointer without a valid safe entry: regular load
 			// (§3.2.2), invalid metadata.
-			v, err := space.Load(addr, int(in.Size))
+			v, err := space.Load(addr, int(size))
 			if err != nil {
 				m.memFault(err)
 				return
 			}
 			m.cycles += cost.Load
-			f.regs[in.Dst] = v
-			f.meta[in.Dst] = invalidMeta
+			f.regs[dst] = v
+			f.meta[dst] = invalidMeta
 		default:
 			// A sensitive pointer location that no instrumented store ever
 			// wrote: yields an unusable value, so corruption planted by
 			// non-instrumented writes is "silently prevented" (§3.2.2).
-			f.regs[in.Dst] = 0
-			f.meta[in.Dst] = invalidMeta
+			f.regs[dst] = 0
+			f.meta[dst] = invalidMeta
 		}
 		f.pc++
 		return
 	}
 
-	v, err := space.Load(addr, int(in.Size))
+	v, err := space.Load(addr, int(size))
 	if err != nil {
 		m.memFault(err)
 		return
 	}
 	m.cycles += cost.Load
-	f.regs[in.Dst] = v
+	f.regs[dst] = v
 	if onSafe {
-		f.meta[in.Dst] = m.safeMeta[addr]
+		f.meta[dst] = m.safeMetaAt(addr)
 	} else {
-		f.meta[in.Dst] = invalidMeta
+		f.meta[dst] = invalidMeta
+	}
+	f.pc++
+}
+
+// loadPlainInto is the unflagged-load tail of loadInto: a plain memory read
+// with no protection semantics, observationally identical to the full path
+// with every prot branch statically false.
+func (m *Machine) loadPlainInto(f *frame, addr uint64, onSafe bool, dst int32, size uint8) {
+	space := m.mem
+	if onSafe {
+		space = m.safe
+	}
+	var v uint64
+	var err error
+	if size == 8 {
+		v, err = space.LoadWord(addr)
+	} else {
+		v, err = space.Load(addr, int(size))
+	}
+	if err != nil {
+		m.memFault(err)
+		return
+	}
+	m.cycles += m.cfg.Cost.Load
+	f.regs[dst] = v
+	if onSafe {
+		f.meta[dst] = m.safeMetaAt(addr)
+	} else {
+		f.meta[dst] = invalidMeta
 	}
 	f.pc++
 }
@@ -153,15 +234,43 @@ func (m *Machine) violationKind(cps bool) TrapKind {
 	return TrapCPIViolation
 }
 
-func (m *Machine) execStore(f *frame, in *PIns) {
+// storeFrom performs a store whose address and value operands have already
+// been resolved; regAddr and pc behaviour as in loadInto.
+func (m *Machine) storeFrom(f *frame, addr uint64, ptrMeta Meta, onSafe, regAddr bool, val uint64, valMeta Meta, size uint8, flags ir.Prot) {
+	if flags&protMask == 0 {
+		// Plain tail, flattened as in loadInto.
+		space := m.mem
+		if onSafe {
+			space = m.safe
+		} else if m.cfg.Isolation == IsoSFI {
+			m.cycles += m.cfg.Cost.SFIMask
+		}
+		if size == 8 {
+			if !space.TryStoreWord(addr, val) {
+				if err := space.Store(addr, 8, val); err != nil {
+					m.memFault(err)
+					return
+				}
+			}
+		} else {
+			if err := space.Store(addr, int(size), val); err != nil {
+				m.memFault(err)
+				return
+			}
+		}
+		if onSafe && size == 8 {
+			m.setSafeMeta(addr, valMeta)
+		}
+		m.cycles += m.cfg.Cost.Store
+		f.pc++
+		return
+	}
 	cost := &m.cfg.Cost
-	addr, ptrMeta, onSafe := m.addrSpaceP(f, &in.A)
-	val, valMeta := m.evalP(f, &in.B)
 
-	if (m.cfg.CPI && in.Flags&ir.ProtCPICheck != 0) ||
-		(m.cfg.SoftBound && in.Flags&ir.ProtSBCheck != 0) {
-		if in.A.Kind == ir.ValReg {
-			if !m.derefCheck(m.checkTrapKind(in.Flags), addr, int64(in.Size), ptrMeta) {
+	if (m.cfg.CPI && flags&ir.ProtCPICheck != 0) ||
+		(m.cfg.SoftBound && flags&ir.ProtSBCheck != 0) {
+		if regAddr {
+			if !m.derefCheck(m.checkTrapKind(flags), addr, int64(size), ptrMeta) {
 				return
 			}
 		}
@@ -174,9 +283,10 @@ func (m *Machine) execStore(f *frame, in *PIns) {
 		m.cycles += cost.SFIMask
 	}
 
-	useSPS, universal, _, cps := m.protActive(in.Flags)
-	if useSPS && in.Size == 8 && !onSafe {
+	useSPS, universal, _, cps := m.protActive(flags)
+	if useSPS && size == 8 && !onSafe {
 		m.cycles += m.sps.StoreCost()
+		m.spsDirty = true
 		switch {
 		case cps:
 			// CPS: only values with code provenance enter the safe store
@@ -193,7 +303,7 @@ func (m *Machine) execStore(f *frame, in *PIns) {
 			}
 		case valMeta.Kind != sps.KindInvalid:
 			m.sps.Set(addr, entryFromMeta(val, valMeta))
-		case in.Flags&ir.ProtAnnotated != 0:
+		case flags&ir.ProtAnnotated != 0:
 			// Programmer-annotated sensitive data (§3.2.1): the value
 			// itself is protected; bounds degenerate to "any" since the
 			// value is not used as a pointer.
@@ -211,17 +321,58 @@ func (m *Machine) execStore(f *frame, in *PIns) {
 		}
 	}
 
-	if err := space.Store(addr, int(in.Size), val); err != nil {
+	if err := space.Store(addr, int(size), val); err != nil {
 		m.memFault(err)
 		return
 	}
-	if onSafe && in.Size == 8 {
-		if valMeta.Kind != sps.KindInvalid {
-			m.safeMeta[addr] = valMeta
-		} else {
-			delete(m.safeMeta, addr)
-		}
+	if onSafe && size == 8 {
+		m.setSafeMeta(addr, valMeta)
 	}
 	m.cycles += cost.Store
+	f.pc++
+}
+
+// storePlainSlow is the miss path of the word-specialized plain store
+// handlers: the caller has already charged any SFI masking cost, so this
+// performs only the store itself plus shadow-metadata and cost accounting.
+func (m *Machine) storePlainSlow(f *frame, addr uint64, onSafe bool, val uint64, valMeta Meta, size uint8) {
+	space := m.mem
+	if onSafe {
+		space = m.safe
+	}
+	if err := space.Store(addr, int(size), val); err != nil {
+		m.memFault(err)
+		return
+	}
+	if onSafe && size == 8 {
+		m.setSafeMeta(addr, valMeta)
+	}
+	m.cycles += m.cfg.Cost.Store
+	f.pc++
+}
+
+// storePlainFrom is the unflagged-store tail of storeFrom (see
+// loadPlainInto).
+func (m *Machine) storePlainFrom(f *frame, addr uint64, onSafe bool, val uint64, valMeta Meta, size uint8) {
+	space := m.mem
+	if onSafe {
+		space = m.safe
+	} else if m.cfg.Isolation == IsoSFI {
+		m.cycles += m.cfg.Cost.SFIMask
+	}
+	var err error
+	if size == 8 {
+		err = space.StoreWord(addr, val)
+	} else {
+		err = space.Store(addr, int(size), val)
+	}
+	if err != nil {
+		m.memFault(err)
+		return
+	}
+	if onSafe && size == 8 {
+		m.setSafeMeta(addr, valMeta)
+	}
+	m.cycles += m.cfg.Cost.Store
 	f.pc++
 }

@@ -19,6 +19,15 @@ import (
 //     to chase through ir.Func/ir.Program at every step (frame object
 //     offset/size/stack placement, global and string sizes, sign-extended
 //     immediates) are resolved into a flat PVal;
+//   - handler resolution: every instruction gets a handler function chosen
+//     once from its opcode AND its operand shapes (see dispatch.go), so the
+//     per-step loop performs one indirect call instead of walking the
+//     opcode switch plus a per-operand kind-switch;
+//   - superinstruction fusion: common adjacent pairs (compare+condbr,
+//     load+bin, GEP+load, GEP+store) are rewritten into single fused
+//     handlers that execute both constituents in one dispatch (see
+//     fusion.go); fused ops charge the constituent costs and count the
+//     constituent steps, so they are invisible to the cycle/step tables;
 //   - call-site numbering: every static call site (return sites, setjmp
 //     sites) gets its ordinal, so the machine resolves site addresses with
 //     an O(1) slice index instead of scanning the site map per call.
@@ -40,6 +49,10 @@ type Code struct {
 	// machine sizes its ordinal→address tables from them.
 	NumRetSites int
 	NumJmpSites int
+
+	// FusedPairs counts the superinstruction pairs the peephole pass
+	// rewrote (0 when predecoded with NoFuse).
+	FusedPairs int
 }
 
 // FuncCode is one function flattened to a pc-indexed instruction stream.
@@ -47,40 +60,78 @@ type FuncCode struct {
 	Ins []PIns
 	// BlockPC maps a block index to the pc of its first instruction.
 	BlockPC []int32
+	// NeedsRegClear marks functions where some register read is not
+	// provably preceded by a write on every path (see regsDefBeforeUse):
+	// their pooled register files must be re-zeroed per activation. Most
+	// functions are proven clean and skip the per-call clear entirely.
+	NeedsRegClear bool
 }
 
 // PIns is one predecoded instruction. Hot fields are resolved copies of the
 // ir.Instr; In points back to the original for the cold paths that need
-// unresolved detail (call argument lists, intrinsic kinds, format strings).
+// unresolved detail (intrinsic kinds, format strings).
+//
+// A fused PIns (see fusion.go) is the head of a rewritten superinstruction
+// sequence and carries the trailing constituents in mirror fields its own
+// opcode does not use: C/D/ALU2/Size2/Flags2/Dst2 (and Dst3 for the
+// three-result sequences) are exclusively for fusion, while Targ0/Targ1 and
+// the call fields (SiteOrd, Args, In, Flags) hold a trailing branch's or
+// call's values when the head opcode has no use for them. The slots after
+// a fused head keep their original predecoded form: only fall-through from
+// the head skips them, so branch targets, setjmp resume sites and call
+// return sites that land there still execute the unfused instructions.
+// Field order is cache-conscious: the dispatch loop reads run first, and
+// the hot handlers then read A/B and the packed scalar block, so the first
+// two cache lines of a PIns cover an unfused instruction's entire hot
+// state; the fusion mirror fields and the cold call fields sit at the tail.
 type PIns struct {
+	// run is the handler resolved at predecode time; the dispatch loop
+	// calls it directly. It is chosen from Op plus operand shapes, and
+	// replaced by a fused handler when the peephole pass rewrites the pair
+	// starting here.
+	run handler
+
+	A, B PVal
+
+	Dst      int32 // destination register; -1 when none
+	Dst2     int32 // fused trailing constituent's destination register
+	Targ0    int32 // resolved branch target (OpBr, OpCondBr taken)
+	Targ1    int32 // resolved branch target (OpCondBr fallthrough)
+	Scale    int64 // OpGEP index scale
+	Off      int64 // OpGEP constant offset
 	Op       ir.Op
-	Size     uint8   // load/store width
+	Size     uint8 // load/store width
+	Size2    uint8 // fused trailing load/store width
 	ALU      ir.ALU
-	CastChar bool    // OpCast truncates to a byte
-	Dst      int32   // destination register; -1 when none
-	Blk, IP  int32   // original (block, instr) position, for diagnostics
-	Targ0    int32   // resolved branch target (OpBr, OpCondBr taken)
-	Targ1    int32   // resolved branch target (OpCondBr fallthrough)
-	SiteOrd  int32   // return-site ordinal (calls) / jmp-site ordinal (builtins); -1 otherwise
-	Scale    int64   // OpGEP index scale
-	Off      int64   // OpGEP constant offset
+	ALU2     ir.ALU // fused trailing binary operator
+	CastChar bool   // OpCast truncates to a byte
 	Flags    ir.Prot
-	A, B     PVal
-	In       *ir.Instr
+	Flags2   ir.Prot // fused trailing load/store protection flags
+
+	Dst3    int32 // fused third constituent's destination register
+	Blk, IP int32 // original (block, instr) position, for diagnostics
+	SiteOrd int32 // return-site ordinal (calls) / jmp-site ordinal (builtins); -1 otherwise
+
+	C, D PVal   // fused trailing constituent's operands
+	Args []PVal // predecoded call/intrinsic argument list
+	In   *ir.Instr
 }
 
 // PVal is a predecoded operand: the ir.Value kind-switch with every
 // program-constant lookup (frame object layout, global/string sizes) already
 // performed. Machine-dependent bases (frame, global, string addresses) are
 // still resolved at evaluation time — they differ per machine under ASLR.
+// Size and ObjOff are uint32 (object sizes and frame offsets are far below
+// 4 GiB) to keep the struct at 32 bytes — operand footprint is dispatch-loop
+// cache pressure.
 type PVal struct {
-	Kind   ir.ValKind
+	Imm    uint64 // sign-extended constant / byte offset
+	Size   uint32 // target object byte size (frame/global/string)
+	ObjOff uint32 // frame object offset within its stack frame
 	Reg    int32
 	Index  int32
-	Imm    uint64 // sign-extended constant / byte offset
-	Size   uint64 // target object byte size (frame/global/string)
-	ObjOff uint64 // frame object offset within its stack frame
-	Unsafe bool   // frame object lives on the unsafe (regular) stack
+	Kind   ir.ValKind
+	Unsafe bool // frame object lives on the unsafe (regular) stack
 }
 
 func predecodeVal(p *ir.Program, fn *ir.Func, v ir.Value) PVal {
@@ -93,22 +144,36 @@ func predecodeVal(p *ir.Program, fn *ir.Func, v ir.Value) PVal {
 	switch v.Kind {
 	case ir.ValFrame:
 		obj := fn.Frame[v.Index]
-		pv.Size = uint64(obj.Size)
-		pv.ObjOff = uint64(obj.Offset)
+		pv.Size = uint32(obj.Size)
+		pv.ObjOff = uint32(obj.Offset)
 		pv.Unsafe = obj.Unsafe
 	case ir.ValGlobal:
-		pv.Size = uint64(p.Globals[v.Index].Size)
+		pv.Size = uint32(p.Globals[v.Index].Size)
 	case ir.ValString:
-		pv.Size = uint64(len(p.Strings[v.Index]) + 1)
+		pv.Size = uint32(len(p.Strings[v.Index]) + 1)
 	}
 	return pv
 }
 
-// Predecode lowers a program into its execution-ready form. Site ordinals
-// are assigned in program order (function, block, instruction) — the same
-// order Machine.load registers site addresses in, which is what makes the
-// ordinal→address tables line up.
+// PredecodeOptions tunes the lowering.
+type PredecodeOptions struct {
+	// NoFuse disables the superinstruction peephole pass. Handlers are
+	// still resolved per instruction; the fusion equivalence tests use
+	// this to check that fused and unfused streams are observationally
+	// identical (Output, Cycles, Steps, traps).
+	NoFuse bool
+}
+
+// Predecode lowers a program into its execution-ready form with the default
+// options (fusion enabled). Site ordinals are assigned in program order
+// (function, block, instruction) — the same order Machine.load registers
+// site addresses in, which is what makes the ordinal→address tables line up.
 func Predecode(p *ir.Program) *Code {
+	return PredecodeWith(p, PredecodeOptions{})
+}
+
+// PredecodeWith lowers a program with explicit options.
+func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 	c := &Code{Funcs: make([]FuncCode, len(p.Funcs))}
 	var retOrd, jmpOrd int32
 	for fi, fn := range p.Funcs {
@@ -159,11 +224,128 @@ func Predecode(p *ir.Program) *Code {
 					pi.SiteOrd = retOrd
 					retOrd++
 				}
+				if len(in.Args) > 0 {
+					pi.Args = make([]PVal, len(in.Args))
+					for ai, a := range in.Args {
+						pi.Args[ai] = predecodeVal(p, fn, a)
+					}
+				}
+				pi.run = chooseHandler(&pi)
 				fc.Ins = append(fc.Ins, pi)
 			}
 		}
+		if !opt.NoFuse {
+			c.FusedPairs += fuse(fc)
+		}
+		fc.NeedsRegClear = !regsDefBeforeUse(fn)
 	}
 	c.NumRetSites = int(retOrd)
 	c.NumJmpSites = int(jmpOrd)
 	return c
+}
+
+// regsDefBeforeUse reports whether every register read in fn is preceded by
+// a register write on all paths from entry (parameters count as written:
+// pushFrame materializes them, zero-filling any arity gap). Functions with
+// this property never observe a stale pooled register file, so newFrame
+// skips re-zeroing it — the analysis is a standard must-defined forward
+// dataflow over the block graph.
+func regsDefBeforeUse(fn *ir.Func) bool {
+	nb := len(fn.Blocks)
+	nw := (fn.NumRegs + 63) / 64
+	if nw == 0 {
+		return true
+	}
+	newSet := func(full bool) []uint64 {
+		s := make([]uint64, nw)
+		if full {
+			for i := range s {
+				s[i] = ^uint64(0)
+			}
+		}
+		return s
+	}
+	params := newSet(false)
+	for i := range fn.Params {
+		if i < fn.NumRegs {
+			params[i/64] |= 1 << (i % 64)
+		}
+	}
+
+	// defs[b] is the set of registers block b writes.
+	defs := make([][]uint64, nb)
+	for bi, b := range fn.Blocks {
+		d := newSet(false)
+		for ii := range b.Ins {
+			if dst := b.Ins[ii].Dst; dst >= 0 && dst < fn.NumRegs {
+				d[dst/64] |= 1 << (dst % 64)
+			}
+		}
+		defs[bi] = d
+	}
+
+	// Must-defined at block entry: IN[b] = ∩ OUT[pred]; OUT = IN ∪ defs.
+	// Initialize entry to the parameter set and everything else to ⊤.
+	in := make([][]uint64, nb)
+	for bi := range in {
+		in[bi] = newSet(bi != 0)
+	}
+	copy(in[0], params)
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range fn.Blocks {
+			out := newSet(false)
+			copy(out, in[bi])
+			for i := range out {
+				out[i] |= defs[bi][i]
+			}
+			term := &b.Ins[len(b.Ins)-1]
+			var succs []int
+			switch term.Op {
+			case ir.OpBr:
+				succs = []int{term.Blk0}
+			case ir.OpCondBr:
+				succs = []int{term.Blk0, term.Blk1}
+			}
+			for _, sb := range succs {
+				for i := range out {
+					if nv := in[sb][i] & out[i]; nv != in[sb][i] {
+						in[sb][i] = nv
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Check every read against the running must-defined set.
+	readOK := func(defined []uint64, v ir.Value) bool {
+		if v.Kind != ir.ValReg {
+			return true
+		}
+		if v.Reg < 0 || v.Reg >= fn.NumRegs {
+			return false
+		}
+		return defined[v.Reg/64]&(1<<(v.Reg%64)) != 0
+	}
+	for bi, b := range fn.Blocks {
+		defined := newSet(false)
+		copy(defined, in[bi])
+		for ii := range b.Ins {
+			ins := &b.Ins[ii]
+			if !readOK(defined, ins.A) || !readOK(defined, ins.B) {
+				return false
+			}
+			for _, a := range ins.Args {
+				if !readOK(defined, a) {
+					return false
+				}
+			}
+			if dst := ins.Dst; dst >= 0 && dst < fn.NumRegs {
+				defined[dst/64] |= 1 << (dst % 64)
+			}
+		}
+	}
+	return true
 }

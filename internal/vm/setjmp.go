@@ -16,7 +16,11 @@ import (
 // jmp_buf layout: [0]=resume site address, [1]=frame depth, [2]=regular sp,
 // [3]=safe sp (words 4..7 reserved).
 
-func (m *Machine) setjmp(f *frame, in *ir.Instr, siteAddr, buf uint64) {
+// setjmp records a resume point. dst and flags are the setjmp call's
+// result register and protection flags, passed explicitly because when the
+// call is the trailing constituent of a fused sequence they live in the
+// head's mirror fields, not in the call instruction's own Dst/Flags.
+func (m *Machine) setjmp(f *frame, dst int32, flags ir.Prot, siteAddr, buf uint64) {
 	if siteAddr == 0 {
 		m.trapf(TrapAbort, 0, ViaNone, "setjmp site not registered")
 		return
@@ -33,16 +37,17 @@ func (m *Machine) setjmp(f *frame, in *ir.Instr, siteAddr, buf uint64) {
 		}
 		m.cycles += m.cfg.Cost.Store
 	}
-	protected := (m.cfg.CPI && in.Flags&ir.ProtCPIStore != 0) ||
-		(m.cfg.CPS && in.Flags&ir.ProtCPS != 0)
+	protected := (m.cfg.CPI && flags&ir.ProtCPIStore != 0) ||
+		(m.cfg.CPS && flags&ir.ProtCPS != 0)
 	if protected {
 		m.cycles += m.sps.StoreCost()
+		m.spsDirty = true
 		m.sps.Set(buf, sps.Entry{Value: siteAddr, Lower: siteAddr,
 			Upper: siteAddr, Kind: sps.KindCode})
 	}
-	if in.Dst >= 0 {
-		f.regs[in.Dst] = 0 // direct setjmp returns 0
-		f.meta[in.Dst] = invalidMeta
+	if dst >= 0 {
+		f.regs[dst] = 0 // direct setjmp returns 0
+		f.meta[dst] = invalidMeta
 	}
 	f.pc++
 }
@@ -119,6 +124,7 @@ func (m *Machine) longjmp(buf, val uint64) {
 		m.recycleFrame(df)
 	}
 	m.frames = m.frames[:depth]
+	m.cur = target
 	m.sp = spW
 	if sspW > m.ssp {
 		m.clearSafeMeta(m.ssp, sspW)
