@@ -112,6 +112,7 @@ func main() {
 	out := flag.String("out", "BENCH_vm.json", "output JSON path (- for stdout)")
 	reps := flag.Int("reps", 3, "repetitions per cell (best wall time wins)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs (for dispatch tuning)")
+	noPromote := flag.Bool("nopromote", false, "compile without register promotion (for paired promoted-vs-unpromoted runs on the same machine; the cell names gain a -nopromote suffix)")
 	flag.Parse()
 
 	var base map[string]Row
@@ -137,6 +138,12 @@ func main() {
 	}{
 		{"vanilla", core.Config{DEP: true}},
 		{"cpi", core.Config{Protect: core.CPI, DEP: true}},
+	}
+	if *noPromote {
+		for i := range cfgs {
+			cfgs[i].name += "-nopromote"
+			cfgs[i].cfg.NoPromote = true
+		}
 	}
 	rep := Report{Reps: *reps}
 	for _, w := range workloads.Micro() {

@@ -42,11 +42,15 @@ func EscapeAnalysis(f *ir.Func) {
 	}
 }
 
-// FuncInfo carries per-function def/use information (registers are single
-// assignment, so defs are unique).
+// FuncInfo carries per-function def/use information. Non-promoted registers
+// are single assignment, so their defs are unique; promoted registers (the
+// mutable ones ir.Func.Promoted lists) have many defs and no single defining
+// instruction — Def returns nil for them, and type queries fall back to the
+// variable's declared type, exactly as they do for parameters.
 type FuncInfo struct {
-	Fn   *ir.Func
-	Defs []defSite // by register
+	Fn      *ir.Func
+	Defs    []defSite // by register
+	mutable []bool    // promoted (multi-def) registers
 }
 
 type defSite struct {
@@ -56,10 +60,14 @@ type defSite struct {
 
 // Analyze builds def information for a function.
 func Analyze(f *ir.Func) *FuncInfo {
-	fi := &FuncInfo{Fn: f, Defs: make([]defSite, f.NumRegs)}
+	fi := &FuncInfo{
+		Fn:      f,
+		Defs:    make([]defSite, f.NumRegs),
+		mutable: f.MutableRegSet(),
+	}
 	for bi, b := range f.Blocks {
 		for ii := range b.Ins {
-			if d := b.Ins[ii].Dst; d >= 0 {
+			if d := b.Ins[ii].Dst; d >= 0 && !fi.mutable[d] {
 				fi.Defs[d] = defSite{blk: bi, idx: ii, valid: true}
 			}
 		}
@@ -67,8 +75,8 @@ func Analyze(f *ir.Func) *FuncInfo {
 	return fi
 }
 
-// Def returns the defining instruction of a register, or nil (parameters
-// and undefined registers).
+// Def returns the defining instruction of a register, or nil (parameters,
+// promoted multi-def registers, and undefined registers).
 func (fi *FuncInfo) Def(reg int) *ir.Instr {
 	if reg < 0 || reg >= len(fi.Defs) || !fi.Defs[reg].valid {
 		return nil
@@ -97,6 +105,14 @@ func (fi *FuncInfo) PointeeType(p *ir.Program, v ir.Value, depth int) *ctypes.Ty
 	case ir.ValReg:
 		def := fi.Def(v.Reg)
 		if def == nil {
+			// Promoted variable: its declared type survives promotion (the
+			// frame object used to carry it).
+			if t := fi.Fn.PromotedType(v.Reg); t != nil {
+				if t.IsPtr() {
+					return t.Elem
+				}
+				return nil
+			}
 			// Parameter: its declared type.
 			if v.Reg < len(fi.Fn.Params) {
 				t := fi.Fn.Params[v.Reg].Type

@@ -63,6 +63,14 @@ func ParseProtection(s string) (Protection, error) {
 type Config struct {
 	Protect Protection
 
+	// NoPromote disables the irgen register promotion pass (mem2reg) and
+	// compiles with the spill-everything baseline lowering. Promotion is
+	// the default; the unpromoted form exists for the differential
+	// promotion-equivalence suite, for the preserved unpromoted golden
+	// tables, and for the RIPE harness, whose attack forms assume the
+	// victim code pointer is memory-resident (see ripe.Run).
+	NoPromote bool
+
 	// SensitiveStructs lists struct tags to protect as sensitive data in
 	// addition to code pointers (§3.2.1's struct ucred example; CPI only).
 	SensitiveStructs []string
@@ -119,7 +127,7 @@ func Compile(src string, cfg Config) (*Program, error) {
 	if err := sema.Check(f); err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)
 	}
-	p, err := irgen.Lower(f)
+	p, err := irgen.LowerWith(f, irgen.Options{PromoteRegisters: !cfg.NoPromote})
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}

@@ -5,10 +5,16 @@
 // per-instruction whether an access touches sensitive data (§3.2.1–§3.2.2).
 //
 // The IR is single-assignment at the register level (each virtual register
-// is defined by exactly one instruction) but has no phi nodes: local
-// variables live in frame objects, as in unoptimized clang output, which is
-// the representation the paper's passes see before optimization (§3.2.2:
-// "The CPI instrumentation pass precedes compiler optimizations").
+// is defined by exactly one instruction) and has no phi nodes: in the
+// baseline lowering, local variables live in frame objects, as in
+// unoptimized clang output, which is the representation the paper's passes
+// see before optimization (§3.2.2: "The CPI instrumentation pass precedes
+// compiler optimizations"). The irgen register promotion pass (mem2reg)
+// relaxes this for promoted scalar variables: each gets one *mutable*
+// canonical register (recorded in Func.Promoted) that every reaching
+// definition writes — the destructed form of block-argument phis — and the
+// verifier enforces def-before-use across blocks for those registers
+// instead of single assignment.
 package ir
 
 import (
@@ -79,6 +85,20 @@ type Param struct {
 	Type *ctypes.Type
 }
 
+// PromotedVar records one scalar variable the irgen register promotion pass
+// moved out of its frame slot into a virtual register. Promoted registers
+// are *mutable*: unlike the single-assignment temporaries, they may be
+// written by any number of instructions (each write is a "phi-resolved"
+// definition of the variable), and the verifier instead enforces that every
+// read is preceded by a write on all paths from entry. The declared type is
+// kept so the sensitivity analyses retain the provenance the frame object
+// used to carry.
+type PromotedVar struct {
+	Reg  int
+	Name string
+	Type *ctypes.Type
+}
+
 // Func is one function.
 type Func struct {
 	Name     string
@@ -88,6 +108,10 @@ type Func struct {
 	Frame    []*FrameObj
 	Blocks   []*Block
 	NumRegs  int
+
+	// Promoted lists the frame slots the register promotion pass replaced
+	// with mutable virtual registers (empty when lowering ran unpromoted).
+	Promoted []PromotedVar
 
 	AddressTaken bool
 
@@ -173,6 +197,12 @@ const (
 	OpBr
 	// OpCondBr: if A != 0 jump to Blk0 else Blk1.
 	OpCondBr
+	// OpMov: Dst = A, metadata included. Introduced by the irgen register
+	// promotion pass: the load/store halves of a promoted frame slot become
+	// register moves, and control-flow joins (short-circuit and conditional
+	// temporaries) become moves into the variable's canonical register from
+	// every predecessor arm — the destructed form of a block-argument phi.
+	OpMov
 )
 
 // ALU is a binary operator for OpBin.
@@ -358,6 +388,102 @@ func alignUp(n, a int64) int64 {
 		return n
 	}
 	return (n + a - 1) / a * a
+}
+
+// MustDefinedIn computes the forward must-defined dataflow over the block
+// graph: for an item domain of size n (registers, frame slots, ...), the
+// returned per-block sets hold the items guaranteed written on every path
+// from entry to that block's start (IN[b] = ∩ OUT[pred]; OUT = IN ∪ defs).
+// entry seeds the entry block's IN (nil means nothing pre-defined);
+// blockDefs must mark the items a block writes into the given set. The
+// verifier's promoted-register invariant, the irgen promotion pass's
+// initialization check, and the VM's register-clear elision all share this
+// lattice — and, importantly, this one terminator successor walk.
+func (f *Func) MustDefinedIn(n int, entry []bool, blockDefs func(b *Block, out []bool)) [][]bool {
+	nb := len(f.Blocks)
+	in := make([][]bool, nb)
+	for bi := range in {
+		set := make([]bool, n)
+		if bi != 0 {
+			for i := range set {
+				set[i] = true
+			}
+		}
+		in[bi] = set
+	}
+	copy(in[0], entry)
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range f.Blocks {
+			out := make([]bool, n)
+			copy(out, in[bi])
+			blockDefs(b, out)
+			term := &b.Ins[len(b.Ins)-1]
+			var succs [2]int
+			ns := 0
+			switch term.Op {
+			case OpBr:
+				succs[0], ns = term.Blk0, 1
+			case OpCondBr:
+				succs[0], succs[1], ns = term.Blk0, term.Blk1, 2
+			}
+			for si := 0; si < ns; si++ {
+				sb := succs[si]
+				for i := range out {
+					if in[sb][i] && !out[i] {
+						in[sb][i] = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+// RegDefs marks every register a block writes; the blockDefs callback for
+// register-domain MustDefinedIn dataflows.
+func RegDefs(b *Block, out []bool) {
+	for ii := range b.Ins {
+		if d := b.Ins[ii].Dst; d >= 0 && d < len(out) {
+			out[d] = true
+		}
+	}
+}
+
+// ParamSet returns the register set the caller materializes on entry.
+func (f *Func) ParamSet() []bool {
+	set := make([]bool, f.NumRegs)
+	for i := range f.Params {
+		if i < f.NumRegs {
+			set[i] = true
+		}
+	}
+	return set
+}
+
+// MutableRegSet returns a per-register bitmap of the promoted (multiple-
+// assignment) registers, sized NumRegs.
+func (f *Func) MutableRegSet() []bool {
+	set := make([]bool, f.NumRegs)
+	for _, pv := range f.Promoted {
+		if pv.Reg >= 0 && pv.Reg < f.NumRegs {
+			set[pv.Reg] = true
+		}
+	}
+	return set
+}
+
+// PromotedType returns the declared type of the variable promoted to reg,
+// or nil when reg is not a promoted register.
+func (f *Func) PromotedType(reg int) *ctypes.Type {
+	for i := range f.Promoted {
+		if f.Promoted[i].Reg == reg {
+			return f.Promoted[i].Type
+		}
+	}
+	return nil
 }
 
 // NewBlock appends a new empty block to f and returns it.

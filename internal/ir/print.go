@@ -40,6 +40,9 @@ func (f *Func) String() string {
 		b.WriteString(" ; address-taken")
 	}
 	b.WriteString("\n")
+	for _, pv := range f.Promoted {
+		fmt.Fprintf(&b, "  promoted r%d %s : %s\n", pv.Reg, pv.Name, pv.Type)
+	}
 	for i, obj := range f.Frame {
 		fmt.Fprintf(&b, "  frame[%d] %s : %s (%d bytes)", i, obj.Name, obj.Type, obj.Size)
 		if obj.AddrEscapes {
@@ -166,6 +169,8 @@ func (in *Instr) String() string {
 			return "ret"
 		}
 		return fmt.Sprintf("ret %s", in.A)
+	case OpMov:
+		return fmt.Sprintf("r%d = mov %s%s", in.Dst, in.A, fl)
 	case OpBr:
 		return fmt.Sprintf("br .%d", in.Blk0)
 	case OpCondBr:

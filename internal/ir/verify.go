@@ -5,14 +5,20 @@ import "fmt"
 // Verify checks structural invariants of the program:
 //
 //   - every block ends with exactly one terminator, in final position;
-//   - every register is defined by exactly one instruction (single
-//     assignment) and register numbers are within NumRegs;
+//   - every non-promoted register is defined by exactly one instruction
+//     (single assignment) and register numbers are within NumRegs;
+//   - promoted (mutable) registers — the ones Func.Promoted lists — may be
+//     assigned any number of times, but every read of one must be preceded
+//     by a write on all paths from entry (def-before-use across blocks, the
+//     invariant the register promotion pass guarantees by refusing to
+//     promote variables with a potentially uninitialized read);
 //   - branch targets, frame indices, global/string/function indices are in
 //     range;
 //   - load/store sizes are 1 or 8.
 //
 // The passes rely on these invariants (notably single assignment, which the
-// safe-stack escape analysis uses to reason about address flow).
+// safe-stack escape analysis uses to reason about address flow; promoted
+// registers carry their declared type in Func.Promoted instead).
 func (p *Program) Verify() error {
 	for _, f := range p.Funcs {
 		if err := p.verifyFunc(f); err != nil {
@@ -48,6 +54,12 @@ func (p *Program) Verify() error {
 func (p *Program) verifyFunc(f *Func) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("no blocks")
+	}
+	mutable := f.MutableRegSet()
+	for _, pv := range f.Promoted {
+		if pv.Reg < 0 || pv.Reg >= f.NumRegs {
+			return fmt.Errorf("promoted var %s register r%d out of range", pv.Name, pv.Reg)
+		}
 	}
 	defined := make([]bool, f.NumRegs)
 	for i := range f.Params {
@@ -104,7 +116,7 @@ func (p *Program) verifyFunc(f *Func) error {
 				if in.Dst >= f.NumRegs {
 					return fmt.Errorf("block .%d instr %d: dst r%d out of range", bi, ii, in.Dst)
 				}
-				if defined[in.Dst] {
+				if defined[in.Dst] && !mutable[in.Dst] {
 					return fmt.Errorf("block .%d instr %d: r%d assigned twice", bi, ii, in.Dst)
 				}
 				defined[in.Dst] = true
@@ -140,6 +152,53 @@ func (p *Program) verifyFunc(f *Func) error {
 				if in.Callee >= len(p.Funcs) {
 					return fmt.Errorf("block .%d instr %d: callee %d out of range", bi, ii, in.Callee)
 				}
+			case OpMov:
+				if in.Dst < 0 {
+					return fmt.Errorf("block .%d instr %d: mov without destination", bi, ii)
+				}
+			}
+		}
+	}
+	if len(f.Promoted) > 0 {
+		return f.verifyDefBeforeUse(mutable)
+	}
+	return nil
+}
+
+// verifyDefBeforeUse enforces the promoted-register invariant: every read of
+// a mutable register must be preceded by a write on all paths from entry
+// (MustDefinedIn over the register domain; parameters count as written
+// because the caller materializes them).
+func (f *Func) verifyDefBeforeUse(mutable []bool) error {
+	nr := f.NumRegs
+	in := f.MustDefinedIn(nr, f.ParamSet(), RegDefs)
+
+	for bi, b := range f.Blocks {
+		defined := make([]bool, nr)
+		copy(defined, in[bi])
+		check := func(v Value, ii int) error {
+			if v.Kind == ValReg && v.Reg >= 0 && v.Reg < nr &&
+				mutable[v.Reg] && !defined[v.Reg] {
+				return fmt.Errorf("block .%d instr %d: promoted r%d read before write on some path",
+					bi, ii, v.Reg)
+			}
+			return nil
+		}
+		for ii := range b.Ins {
+			ins := &b.Ins[ii]
+			if err := check(ins.A, ii); err != nil {
+				return err
+			}
+			if err := check(ins.B, ii); err != nil {
+				return err
+			}
+			for _, a := range ins.Args {
+				if err := check(a, ii); err != nil {
+					return err
+				}
+			}
+			if d := ins.Dst; d >= 0 && d < nr {
+				defined[d] = true
 			}
 		}
 	}

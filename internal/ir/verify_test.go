@@ -60,6 +60,60 @@ func TestVerifyRejectsDoubleAssignment(t *testing.T) {
 	wantErr(t, p, "assigned twice")
 }
 
+func TestVerifyAllowsPromotedMultipleAssignment(t *testing.T) {
+	p, f, b := minimal()
+	f.Promoted = []PromotedVar{{Reg: 1, Name: "x", Type: ctypes.Int}}
+	b.Emit(Instr{Op: OpMov, Dst: 1, A: Const(1)})
+	b.Emit(Instr{Op: OpMov, Dst: 1, A: Const(2)})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Reg(1)})
+	if err := p.Verify(); err != nil {
+		t.Fatalf("promoted register reassignment rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsPromotedReadBeforeWrite(t *testing.T) {
+	// entry: condbr r0 -> .1 / .2 ; .1 writes x ; .2 doesn't; .3 reads x.
+	p, f, _ := minimal()
+	f.Promoted = []PromotedVar{{Reg: 1, Name: "x", Type: ctypes.Int}}
+	f.Params = []Param{{Name: "c", Type: ctypes.Int}}
+	f.Blocks[0].Emit(Instr{Op: OpCondBr, Dst: -1, A: Reg(0), Blk0: 1, Blk1: 2})
+	b1 := f.NewBlock("then")
+	b1.Emit(Instr{Op: OpMov, Dst: 1, A: Const(7)})
+	b1.Emit(Instr{Op: OpBr, Dst: -1, Blk0: 3})
+	b2 := f.NewBlock("else")
+	b2.Emit(Instr{Op: OpBr, Dst: -1, Blk0: 3})
+	b3 := f.NewBlock("join")
+	b3.Emit(Instr{Op: OpRet, Dst: -1, A: Reg(1)})
+	wantErr(t, p, "read before write")
+}
+
+func TestVerifyAcceptsPromotedJoinWrites(t *testing.T) {
+	// Both arms write x before the join reads it: the destructed-phi shape.
+	p, f, _ := minimal()
+	f.Promoted = []PromotedVar{{Reg: 1, Name: "x", Type: ctypes.Int}}
+	f.Params = []Param{{Name: "c", Type: ctypes.Int}}
+	f.Blocks[0].Emit(Instr{Op: OpCondBr, Dst: -1, A: Reg(0), Blk0: 1, Blk1: 2})
+	b1 := f.NewBlock("then")
+	b1.Emit(Instr{Op: OpMov, Dst: 1, A: Const(7)})
+	b1.Emit(Instr{Op: OpBr, Dst: -1, Blk0: 3})
+	b2 := f.NewBlock("else")
+	b2.Emit(Instr{Op: OpMov, Dst: 1, A: Const(9)})
+	b2.Emit(Instr{Op: OpBr, Dst: -1, Blk0: 3})
+	b3 := f.NewBlock("join")
+	b3.Emit(Instr{Op: OpRet, Dst: -1, A: Reg(1)})
+	if err := p.Verify(); err != nil {
+		t.Fatalf("join-write shape rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsMovWithoutDst(t *testing.T) {
+	p, f, b := minimal()
+	f.Promoted = []PromotedVar{{Reg: 1, Name: "x", Type: ctypes.Int}}
+	b.Emit(Instr{Op: OpMov, Dst: -1, A: Const(1)})
+	b.Emit(Instr{Op: OpRet, Dst: -1, A: Const(0)})
+	wantErr(t, p, "mov without destination")
+}
+
 func TestVerifyRejectsRegisterOutOfRange(t *testing.T) {
 	p, _, b := minimal()
 	b.Emit(Instr{Op: OpBin, ALU: AAdd, Dst: 9, A: Const(1), B: Const(2)})

@@ -16,13 +16,31 @@ import (
 	"repro/internal/minic/builtins"
 )
 
-// Lower converts a checked file into an IR program.
+// Options tunes the lowering.
+type Options struct {
+	// PromoteRegisters runs the mem2reg-style register promotion pass after
+	// the naive lowering: non-address-taken scalar locals and parameters
+	// leave their frame slots for mutable virtual registers, their loads and
+	// stores become register moves (mostly folded away again), and
+	// control-flow joins write the variable's canonical register from every
+	// arm. Off, the lowering is the exact spill-everything baseline.
+	PromoteRegisters bool
+}
+
+// Lower converts a checked file into an IR program with the spill-everything
+// baseline lowering (no promotion).
 func Lower(f *ast.File) (*ir.Program, error) {
+	return LowerWith(f, Options{})
+}
+
+// LowerWith converts a checked file into an IR program per opts.
+func LowerWith(f *ast.File, opts Options) (*ir.Program, error) {
 	g := &gen{
 		unit:    f,
 		prog:    &ir.Program{Structs: f.Structs},
 		strIdx:  map[string]int{},
 		funcIdx: map[string]int{},
+		opts:    opts,
 	}
 	return g.run()
 }
@@ -32,6 +50,7 @@ type gen struct {
 	prog    *ir.Program
 	strIdx  map[string]int
 	funcIdx map[string]int
+	opts    Options
 
 	// Per-function state.
 	fn       *ir.Func
@@ -66,6 +85,9 @@ func (g *gen) run() (*ir.Program, error) {
 		fn, err := g.lowerFunc(fd)
 		if err != nil {
 			return nil, err
+		}
+		if g.opts.PromoteRegisters {
+			promoteFunc(fn)
 		}
 		g.prog.Funcs = append(g.prog.Funcs, fn)
 	}

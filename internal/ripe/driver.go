@@ -193,10 +193,30 @@ func (t Target) isStructTarget() bool {
 }
 
 // Run mounts one attack against one defense and classifies the outcome.
+//
+// Attack programs compile with register promotion disabled: RIPE's attack
+// forms are defined against memory-resident victims (its C sources target
+// unoptimized victim placement), and several stack-variable targets are
+// plain scalars that promotion would lift out of memory entirely — turning
+// "the defense stopped the attack" into "there was nothing to attack" and
+// silently shifting the §5.1 tables. The promotion-invariance test compiles
+// the same attacks promoted (RunPromoted) and checks that protection only
+// ever gets stronger.
 func Run(a Attack, d Defense, seed int64) (Result, error) {
+	return run(a, d, seed, false)
+}
+
+// RunPromoted mounts one attack with the default (register-promoted)
+// compilation, for the promotion-invariance tests.
+func RunPromoted(a Attack, d Defense, seed int64) (Result, error) {
+	return run(a, d, seed, true)
+}
+
+func run(a Attack, d Defense, seed int64, promote bool) (Result, error) {
 	res := Result{Attack: a, Defense: d.Name, Outcome: Failed}
 	cfg := d.Cfg
 	cfg.Seed = seed
+	cfg.NoPromote = !promote
 	prog, err := core.Compile(Source(a), cfg)
 	if err != nil {
 		return res, fmt.Errorf("%s: compile: %w", a, err)

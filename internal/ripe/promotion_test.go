@@ -1,0 +1,76 @@
+package ripe
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestPromotionInvarianceCPSCPI: register promotion must never weaken
+// protection. The canonical RIPE tables compile the attack fixtures
+// unpromoted (see Run), because the attack forms are defined against
+// memory-resident victims; this test mounts every feasible attack *with*
+// promotion under CPS and CPI and checks:
+//
+//   - no attack succeeds in either compilation (the paper's central claim
+//     survives the optimization);
+//   - every attack whose victim is not a promotable scalar has an
+//     outcome and trap identical to the unpromoted run — for 12 of the 13
+//     target kinds promotion is completely invisible to the attack;
+//   - the funcptrstackvar targets — a bare `void (*fp)(void)` local that
+//     promotion lifts out of memory entirely — may shift from "prevented"
+//     to "failed" (there is no longer a slot to attack), but never to
+//     success: locals leaving memory only ever shrinks the attack surface.
+//
+// Slow (full 741-attack matrix, twice per defense); skipped under -short.
+func TestPromotionInvarianceCPSCPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 741-attack matrix promoted+unpromoted; run without -short")
+	}
+	attacks := All()
+	for _, defense := range []string{"cps", "cpi"} {
+		d, err := DefenseByName(defense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		promoted := make([]Result, len(attacks))
+		unpromoted := make([]Result, len(attacks))
+		errs := make([]error, len(attacks))
+		harness.ForEach(len(attacks), 8, func(i int) {
+			var e1, e2 error
+			promoted[i], e1 = RunPromoted(attacks[i], d, 42)
+			unpromoted[i], e2 = Run(attacks[i], d, 42)
+			if e1 != nil {
+				errs[i] = e1
+			} else {
+				errs[i] = e2
+			}
+		})
+		shifted := 0
+		for i, a := range attacks {
+			if errs[i] != nil {
+				t.Fatalf("%s/%s: %v", defense, a, errs[i])
+			}
+			p, u := promoted[i], unpromoted[i]
+			if u.Outcome == Success {
+				t.Errorf("%s breached unpromoted by %s (%v)", defense, a, u.Trap)
+			}
+			if p.Outcome == Success {
+				t.Errorf("%s breached by %s under promotion (%v): promotion weakened protection",
+					defense, a, p.Trap)
+			}
+			if a.Target == FuncPtrStackVar {
+				if p.Outcome != u.Outcome {
+					shifted++
+				}
+				continue
+			}
+			if p.Outcome != u.Outcome || p.Trap != u.Trap {
+				t.Errorf("%s/%s: promoted %v/%v vs unpromoted %v/%v",
+					defense, a, p.Outcome, p.Trap, u.Outcome, u.Trap)
+			}
+		}
+		t.Logf("%s: %d/%d funcptrstackvar cells strengthened by promotion",
+			defense, shifted, len(attacks))
+	}
+}

@@ -179,6 +179,40 @@ func (m *Machine) SafeRegionLeakable() bool {
 	return found
 }
 
+// HeapGlobalsHash returns an FNV-1a hash over every mapped aligned word of
+// the globals segment and the heap (address offsets and contents). It is
+// the "heap-visible state" fingerprint of a finished run: two executions of
+// the same program that agree on it wrote the same values to the same
+// data-segment and heap locations. The stacks are deliberately excluded —
+// frame layouts are compiler artifacts (the promotion-equivalence suite
+// compares runs whose frames legitimately differ).
+func (m *Machine) HeapGlobalsHash() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(w uint64) {
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (w >> i & 0xff)) * prime
+		}
+	}
+	scan := func(base, lo, hi uint64) {
+		for a := lo; a+8 <= hi; a += 8 {
+			if !m.mem.Mapped(a) {
+				a += mem.PageSize - 8
+				continue
+			}
+			if v, err := m.mem.Load(a, 8); err == nil && v != 0 {
+				mix(a - base) // position, slide-independent
+				mix(v)
+			}
+		}
+	}
+	gbase := globalBase + m.slideData
+	scan(gbase, gbase, gbase+uint64(m.memStats.Globals))
+	hbase := heapBase + m.slideHeap
+	scan(hbase, hbase, m.heapBrk)
+	return h
+}
+
 // scanRegular visits every aligned word of the regular stack, globals and
 // heap.
 func (m *Machine) scanRegular(visit func(addr, word uint64)) {

@@ -9,6 +9,7 @@ package vm
 // memory operation, and so on.
 type CostModel struct {
 	Bin    int64 // ALU op
+	Mov    int64 // register-to-register move (promoted variable traffic)
 	Load   int64 // regular memory load
 	Store  int64 // regular memory store
 	GEP    int64 // pointer arithmetic
@@ -67,6 +68,7 @@ type CostModel struct {
 func DefaultCosts() CostModel {
 	return CostModel{
 		Bin:          1,
+		Mov:          1,
 		Load:         2,
 		Store:        2,
 		GEP:          1,

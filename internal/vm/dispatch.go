@@ -51,6 +51,14 @@ func chooseHandler(in *PIns) handler {
 		return hBinGen
 	case ir.OpAddr:
 		return hAddr
+	case ir.OpMov:
+		switch in.A.Kind {
+		case ir.ValReg:
+			return hMovR
+		case ir.ValConst:
+			return hMovC
+		}
+		return hMovGen
 	case ir.OpGEP:
 		if in.A.Kind == ir.ValReg {
 			switch in.B.Kind {
@@ -181,6 +189,35 @@ func hBinGen(m *Machine, f *frame, in *PIns) {
 		return
 	}
 	finishBin(m, f, in, v)
+}
+
+// ---- OpMov ----
+
+// The mov handlers implement promoted-variable traffic: value and metadata
+// move between registers (the metadata copy is what preserves based-on
+// provenance when a pointer variable lives in a register instead of a safe-
+// stack slot).
+
+func hMovR(m *Machine, f *frame, in *PIns) {
+	f.regs[in.Dst] = f.regs[in.A.Reg]
+	f.meta[in.Dst] = f.meta[in.A.Reg]
+	m.cycles += m.cfg.Cost.Mov
+	f.pc++
+}
+
+func hMovC(m *Machine, f *frame, in *PIns) {
+	f.regs[in.Dst] = in.A.Imm
+	f.meta[in.Dst] = invalidMeta
+	m.cycles += m.cfg.Cost.Mov
+	f.pc++
+}
+
+func hMovGen(m *Machine, f *frame, in *PIns) {
+	v, meta := m.evalP(f, &in.A)
+	f.regs[in.Dst] = v
+	f.meta[in.Dst] = meta
+	m.cycles += m.cfg.Cost.Mov
+	f.pc++
 }
 
 // ---- OpAddr / OpCast ----

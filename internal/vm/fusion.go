@@ -17,9 +17,14 @@ import "repro/internal/ir"
 //	load/bin + compare + condbr (three-constituent: test a loaded or
 //	                            computed value and branch)
 //	load + bin + call          (the recursive-call argument shape)
-//	bin + call                 (argument computation feeding a call)
-//	{bin,load,store} × {bin,load,store,condbr,br,ret}
+//	bin + call, mov + call     (argument computation feeding a call)
+//	{mov,load,bin} + compare + condbr
+//	{bin,load,store,mov} × {bin,load,store,condbr,br,ret,mov}
 //	                           (the generic pair matrix)
+//
+// The mov rows/columns keep the matrix profitable on register-promoted
+// streams: promotion deletes most of the load/store pairs the original
+// matrix was built for and leaves mov/bin/condbr traffic in their place.
 //
 // Fusion must be invisible to everything except wall-clock time. The rules
 // that guarantee it:
@@ -83,13 +88,16 @@ func fuse(fc *FuncCode) int {
 			if c := &ins[i+2]; c.Blk == a.Blk &&
 				b.Op == ir.OpBin && isCmp(b.ALU) &&
 				c.Op == ir.OpCondBr && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
-				if a.Op == ir.OpLoad || a.Op == ir.OpBin {
+				if a.Op == ir.OpLoad || a.Op == ir.OpBin || a.Op == ir.OpMov {
 					a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
 					a.Targ0, a.Targ1 = c.Targ0, c.Targ1
-					if a.Op == ir.OpLoad {
+					switch a.Op {
+					case ir.OpLoad:
 						a.run = hFLoadCmpBr
-					} else {
+					case ir.OpBin:
 						a.run = hFBinCmpBr
+					default:
+						a.run = hFMovCmpBr
 					}
 					n++
 					continue
@@ -163,13 +171,19 @@ func fuse(fc *FuncCode) int {
 			a.run = hFusedGEPStore
 			n++
 
-		// Bin + call: the call's cold fields live in slots the bin does not
-		// use (Flags, SiteOrd, Args, In), so argument computation and the
-		// call dispatch become one superinstruction.
+		// Bin/mov + call: the call's cold fields live in slots the head does
+		// not use (Flags, SiteOrd, Args, In), so argument computation and
+		// the call dispatch become one superinstruction.
 		case a.Op == ir.OpBin && b.Op == ir.OpCall:
 			a.Flags, a.SiteOrd, a.Args, a.In = b.Flags, b.SiteOrd, b.Args, b.In
 			a.Dst2 = b.Dst
 			a.run = hFBinCall
+			n++
+
+		case a.Op == ir.OpMov && b.Op == ir.OpCall:
+			a.Flags, a.SiteOrd, a.Args, a.In = b.Flags, b.SiteOrd, b.Args, b.In
+			a.Dst2 = b.Dst
+			a.run = hFMovCall
 			n++
 
 		// The generic pair matrix.
@@ -180,8 +194,8 @@ func fuse(fc *FuncCode) int {
 	return n
 }
 
-// fusablePair rewrites a as the head of a generic {bin,load,store} ×
-// {bin,load,store,condbr,br,ret} pair when both opcodes participate,
+// fusablePair rewrites a as the head of a generic {bin,load,store,mov} ×
+// {bin,load,store,condbr,br,ret,mov} pair when both opcodes participate,
 // copying b's operands into the head's mirror fields.
 func fusablePair(a, b *PIns) bool {
 	var fi, si int
@@ -192,6 +206,8 @@ func fusablePair(a, b *PIns) bool {
 		fi = 1
 	case ir.OpStore:
 		fi = 2
+	case ir.OpMov:
+		fi = 3
 	default:
 		return false
 	}
@@ -214,6 +230,9 @@ func fusablePair(a, b *PIns) bool {
 	case ir.OpRet:
 		si = 5
 		a.C = b.A
+	case ir.OpMov:
+		si = 6
+		a.C, a.Dst2 = b.A, b.Dst
 	default:
 		return false
 	}
@@ -222,10 +241,11 @@ func fusablePair(a, b *PIns) bool {
 }
 
 // pairHandlers is the generic first × second handler matrix.
-var pairHandlers = [3][6]handler{
-	{hFBinBin, hFBinLoad, hFBinStore, hFBinCondBr, hFBinBr, hFBinRet},
-	{hFLoadBin, hFLoadLoad, hFLoadStore, hFLoadCondBr, hFLoadBr, hFLoadRet},
-	{hFStoreBin, hFStoreLoad, hFStoreStore, hFStoreCondBr, hFStoreBr, hFStoreRet},
+var pairHandlers = [4][7]handler{
+	{hFBinBin, hFBinLoad, hFBinStore, hFBinCondBr, hFBinBr, hFBinRet, hFBinMov},
+	{hFLoadBin, hFLoadLoad, hFLoadStore, hFLoadCondBr, hFLoadBr, hFLoadRet, hFLoadMov},
+	{hFStoreBin, hFStoreLoad, hFStoreStore, hFStoreCondBr, hFStoreBr, hFStoreRet, hFStoreMov},
+	{hFMovBin, hFMovLoad, hFMovStore, hFMovCondBr, hFMovBr, hFMovRet, hFMovMov},
 }
 
 // isCmp reports whether the operator is one of the comparison ALU ops
@@ -332,6 +352,15 @@ func (m *Machine) x1Bin(f *frame, in *PIns) bool {
 	f.regs[in.Dst] = v
 	f.meta[in.Dst] = invalidMeta
 	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	return m.fusedTick()
+}
+
+func (m *Machine) x1Mov(f *frame, in *PIns) bool {
+	v, meta := m.evalVal(f, &in.A)
+	f.regs[in.Dst] = v
+	f.meta[in.Dst] = meta
+	m.cycles += m.cfg.Cost.Mov
 	f.pc++
 	return m.fusedTick()
 }
@@ -475,6 +504,14 @@ func (m *Machine) x2Store(f *frame, in *PIns) {
 	addr, meta, onSafe, regAddr := m.resolveAddr(f, &in.C)
 	val, valMeta := m.evalVal(f, &in.D)
 	m.storeFrom(f, addr, meta, onSafe, regAddr, val, valMeta, in.Size2, in.Flags2)
+}
+
+func (m *Machine) x2Mov(f *frame, in *PIns) {
+	v, meta := m.evalVal(f, &in.C)
+	f.regs[in.Dst2] = v
+	f.meta[in.Dst2] = meta
+	m.cycles += m.cfg.Cost.Mov
+	f.pc++
 }
 
 func (m *Machine) x2CondBr(f *frame, in *PIns) {
@@ -789,6 +826,22 @@ func hFLoadCmpBr(m *Machine, f *frame, in *PIns) {
 	}
 }
 
+// hFMovCmpBr: set a promoted variable, test it (or a sibling), branch — the
+// loop-header shape on register-promoted streams.
+func hFMovCmpBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2CmpBr(f, in)
+	}
+}
+
+// hFMovCall: promoted-variable write feeding a call (the mov counterpart of
+// hFBinCall; the call's result register rides in Dst2).
+func hFMovCall(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.execCallWith(f, in, in.Dst2, in.Flags)
+	}
+}
+
 func hFBinCmpBr(m *Machine, f *frame, in *PIns) {
 	if m.x1Bin(f, in) {
 		m.x2CmpBr(f, in)
@@ -902,5 +955,65 @@ func hFStoreBr(m *Machine, f *frame, in *PIns) {
 func hFStoreRet(m *Machine, f *frame, in *PIns) {
 	if m.x1Store(f, in) {
 		m.x2Ret(f, in)
+	}
+}
+
+func hFBinMov(m *Machine, f *frame, in *PIns) {
+	if m.x1Bin(f, in) {
+		m.x2Mov(f, in)
+	}
+}
+
+func hFLoadMov(m *Machine, f *frame, in *PIns) {
+	if m.x1Load(f, in) {
+		m.x2Mov(f, in)
+	}
+}
+
+func hFStoreMov(m *Machine, f *frame, in *PIns) {
+	if m.x1Store(f, in) {
+		m.x2Mov(f, in)
+	}
+}
+
+func hFMovBin(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2Bin(f, in)
+	}
+}
+
+func hFMovLoad(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2Load(f, in)
+	}
+}
+
+func hFMovStore(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2Store(f, in)
+	}
+}
+
+func hFMovCondBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2CondBr(f, in)
+	}
+}
+
+func hFMovBr(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2Br(f, in)
+	}
+}
+
+func hFMovRet(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2Ret(f, in)
+	}
+}
+
+func hFMovMov(m *Machine, f *frame, in *PIns) {
+	if m.x1Mov(f, in) {
+		m.x2Mov(f, in)
 	}
 }

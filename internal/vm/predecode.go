@@ -24,10 +24,11 @@ import (
 //     per-step loop performs one indirect call instead of walking the
 //     opcode switch plus a per-operand kind-switch;
 //   - superinstruction fusion: common adjacent pairs (compare+condbr,
-//     load+bin, GEP+load, GEP+store) are rewritten into single fused
-//     handlers that execute both constituents in one dispatch (see
-//     fusion.go); fused ops charge the constituent costs and count the
-//     constituent steps, so they are invisible to the cycle/step tables;
+//     load+bin, GEP+load, GEP+store, and the mov pairs of register-promoted
+//     streams) are rewritten into single fused handlers that execute both
+//     constituents in one dispatch (see fusion.go); fused ops charge the
+//     constituent costs and count the constituent steps, so they are
+//     invisible to the cycle/step tables;
 //   - call-site numbering: every static call site (return sites, setjmp
 //     sites) gets its ordinal, so the machine resolves site addresses with
 //     an O(1) slice index instead of scanning the site map per call.
@@ -248,89 +249,25 @@ func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 // a register write on all paths from entry (parameters count as written:
 // pushFrame materializes them, zero-filling any arity gap). Functions with
 // this property never observe a stale pooled register file, so newFrame
-// skips re-zeroing it — the analysis is a standard must-defined forward
-// dataflow over the block graph.
+// skips re-zeroing it. The block-graph dataflow is the shared
+// ir.MustDefinedIn lattice (also used by the verifier's promoted-register
+// invariant and the promotion pass's initialization check).
 func regsDefBeforeUse(fn *ir.Func) bool {
-	nb := len(fn.Blocks)
-	nw := (fn.NumRegs + 63) / 64
-	if nw == 0 {
+	nr := fn.NumRegs
+	if nr == 0 {
 		return true
 	}
-	newSet := func(full bool) []uint64 {
-		s := make([]uint64, nw)
-		if full {
-			for i := range s {
-				s[i] = ^uint64(0)
-			}
-		}
-		return s
-	}
-	params := newSet(false)
-	for i := range fn.Params {
-		if i < fn.NumRegs {
-			params[i/64] |= 1 << (i % 64)
-		}
-	}
-
-	// defs[b] is the set of registers block b writes.
-	defs := make([][]uint64, nb)
-	for bi, b := range fn.Blocks {
-		d := newSet(false)
-		for ii := range b.Ins {
-			if dst := b.Ins[ii].Dst; dst >= 0 && dst < fn.NumRegs {
-				d[dst/64] |= 1 << (dst % 64)
-			}
-		}
-		defs[bi] = d
-	}
-
-	// Must-defined at block entry: IN[b] = ∩ OUT[pred]; OUT = IN ∪ defs.
-	// Initialize entry to the parameter set and everything else to ⊤.
-	in := make([][]uint64, nb)
-	for bi := range in {
-		in[bi] = newSet(bi != 0)
-	}
-	copy(in[0], params)
-	changed := true
-	for changed {
-		changed = false
-		for bi, b := range fn.Blocks {
-			out := newSet(false)
-			copy(out, in[bi])
-			for i := range out {
-				out[i] |= defs[bi][i]
-			}
-			term := &b.Ins[len(b.Ins)-1]
-			var succs []int
-			switch term.Op {
-			case ir.OpBr:
-				succs = []int{term.Blk0}
-			case ir.OpCondBr:
-				succs = []int{term.Blk0, term.Blk1}
-			}
-			for _, sb := range succs {
-				for i := range out {
-					if nv := in[sb][i] & out[i]; nv != in[sb][i] {
-						in[sb][i] = nv
-						changed = true
-					}
-				}
-			}
-		}
-	}
+	in := fn.MustDefinedIn(nr, fn.ParamSet(), ir.RegDefs)
 
 	// Check every read against the running must-defined set.
-	readOK := func(defined []uint64, v ir.Value) bool {
+	readOK := func(defined []bool, v ir.Value) bool {
 		if v.Kind != ir.ValReg {
 			return true
 		}
-		if v.Reg < 0 || v.Reg >= fn.NumRegs {
-			return false
-		}
-		return defined[v.Reg/64]&(1<<(v.Reg%64)) != 0
+		return v.Reg >= 0 && v.Reg < nr && defined[v.Reg]
 	}
+	defined := make([]bool, nr)
 	for bi, b := range fn.Blocks {
-		defined := newSet(false)
 		copy(defined, in[bi])
 		for ii := range b.Ins {
 			ins := &b.Ins[ii]
@@ -342,8 +279,8 @@ func regsDefBeforeUse(fn *ir.Func) bool {
 					return false
 				}
 			}
-			if dst := ins.Dst; dst >= 0 && dst < fn.NumRegs {
-				defined[dst/64] |= 1 << (dst % 64)
+			if dst := ins.Dst; dst >= 0 && dst < nr {
+				defined[dst] = true
 			}
 		}
 	}
