@@ -1,0 +1,106 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Register-calling-convention tests: the irgen promotion pass tags call
+// sites whose arguments are all registers/constants (ir.Instr.RegArgs),
+// predecode turns those into per-site argument plans (FuncCode.Plans), and the
+// VM's pushFrameReg moves the arguments straight into the callee's register
+// file. The convention must be invisible to everything except wall-clock
+// time, so a differential test runs every micro workload against a
+// NoRegConv predecoding (no plans anywhere) and requires bit-identical
+// results.
+
+func TestRegisterCallConventionTagging(t *testing.T) {
+	w, ok := workloads.ByName(workloads.Micro(), "micro.fib")
+	if !ok {
+		t.Fatal("micro.fib missing")
+	}
+	prog, err := core.Compile(w.Src, core.Config{DEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := prog.IR.FuncByName("fib")
+	if fib == nil {
+		t.Fatal("fib missing from IR")
+	}
+
+	// The parameter n is a promoted scalar: the per-callee metadata must
+	// record that parameter register 0 is the variable itself.
+	pp := fib.PromotedParamRegs()
+	if len(pp) != 1 || !pp[0] {
+		t.Errorf("fib.PromotedParamRegs() = %v, want [true]", pp)
+	}
+
+	// Every direct call in fib passes an adjusted promoted register
+	// (fib(n-1), fib(n-2)): all sites must carry the irgen tag.
+	calls, tagged := 0, 0
+	for _, b := range fib.Blocks {
+		for ii := range b.Ins {
+			if in := &b.Ins[ii]; in.Op == ir.OpCall && in.Callee >= 0 {
+				calls++
+				if in.RegArgs {
+					tagged++
+				}
+			}
+		}
+	}
+	if calls == 0 || tagged != calls {
+		t.Errorf("fib: %d/%d call sites tagged RegArgs", tagged, calls)
+	}
+
+	// Predecode must turn the tagged sites into argument plans.
+	if got := prog.Predecoded().RegConvSites; got == 0 {
+		t.Error("predecode built no register-convention plans")
+	}
+}
+
+func TestRegisterCallConventionEquivalence(t *testing.T) {
+	for _, w := range workloads.Micro() {
+		for _, cfg := range []core.Config{
+			{DEP: true},
+			{Protect: core.CPS, DEP: true},
+			{Protect: core.CPI, DEP: true},
+		} {
+			prog, err := core.Compile(w.Src, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if prog.Predecoded().RegConvSites == 0 {
+				t.Fatalf("%s: no register-convention sites — equivalence test would be vacuous", w.Name)
+			}
+			vmCfg := prog.VMConfig()
+			mFast, err := vm.NewShared(prog.IR, prog.Predecoded(), vmCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genCode := vm.PredecodeWith(prog.IR, vm.PredecodeOptions{NoRegConv: true})
+			if genCode.RegConvSites != 0 {
+				t.Fatalf("%s: NoRegConv predecoding reports %d plan sites", w.Name, genCode.RegConvSites)
+			}
+			mGen, err := vm.NewShared(prog.IR, genCode, vmCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, gen := mFast.Run("main"), mGen.Run("main")
+			name := w.Name + "/" + cfg.Protect.String()
+			if fast.Trap != vm.TrapExit {
+				t.Errorf("%s: trap %v (%v)", name, fast.Trap, fast.Err)
+			}
+			if fast.Trap != gen.Trap || fast.ExitCode != gen.ExitCode ||
+				fast.Cycles != gen.Cycles || fast.Steps != gen.Steps ||
+				fast.Output != gen.Output {
+				t.Errorf("%s: register convention not invisible: fast{trap %v exit %d cycles %d steps %d} vs generic{trap %v exit %d cycles %d steps %d}",
+					name, fast.Trap, fast.ExitCode, fast.Cycles, fast.Steps,
+					gen.Trap, gen.ExitCode, gen.Cycles, gen.Steps)
+			}
+		}
+	}
+}

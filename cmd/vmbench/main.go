@@ -36,6 +36,11 @@ type Row struct {
 	StepsPerSec float64 `json:"steps_per_sec"`
 	NsPerStep   float64 `json:"ns_per_step"`
 
+	// FusedFrac is the fraction of dynamic dispatches the superinstruction
+	// fusion pass absorbed (constituents executed without a dispatch-loop
+	// round trip) — the visibility metric of the cost-driven selector.
+	FusedFrac float64 `json:"fused_dispatch_frac"`
+
 	// BaselineStepsPerSec and SpeedupX record the previous run's rate and
 	// the ratio against it, when a baseline file was present.
 	BaselineStepsPerSec float64 `json:"baseline_steps_per_sec,omitempty"`
@@ -54,7 +59,7 @@ func measure(name, src, cfgName string, cfg core.Config, reps int) (Row, error) 
 		return Row{}, fmt.Errorf("%s/%s: compile: %w", name, cfgName, err)
 	}
 	var steps, cycles int64
-	var best float64
+	var fused, best float64
 	for i := 0; i < reps; i++ {
 		m, err := prog.NewMachine()
 		if err != nil {
@@ -66,14 +71,14 @@ func measure(name, src, cfgName string, cfg core.Config, reps int) (Row, error) 
 		if r.Trap != vm.TrapExit {
 			return Row{}, fmt.Errorf("%s/%s: trap %v (%v)", name, cfgName, r.Trap, r.Err)
 		}
-		steps, cycles = r.Steps, r.Cycles
+		steps, cycles, fused = r.Steps, r.Cycles, r.FusedFrac()
 		if best == 0 || wall < best {
 			best = wall
 		}
 	}
 	row := Row{
 		Workload: name, Config: cfgName,
-		Steps: steps, Cycles: cycles, WallSeconds: best,
+		Steps: steps, Cycles: cycles, WallSeconds: best, FusedFrac: fused,
 	}
 	if best > 0 {
 		row.StepsPerSec = float64(steps) / best
@@ -160,8 +165,9 @@ func main() {
 					100*(row.SpeedupX-1), row.SpeedupX)
 			}
 			rep.Rows = append(rep.Rows, row)
-			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step%s\n",
-				row.Workload, row.Config, row.StepsPerSec, row.NsPerStep, delta)
+			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step  %4.1f%% fused%s\n",
+				row.Workload, row.Config, row.StepsPerSec, row.NsPerStep,
+				100*row.FusedFrac, delta)
 		}
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")

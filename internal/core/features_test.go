@@ -162,6 +162,10 @@ func TestTemporalSafetyCatchesStaleDeref(t *testing.T) {
 	// The temporal id is checked on dereferences of sensitive types
 	// (Appendix A's rules guard sensitive accesses; an int read through a
 	// stale pointer is a data issue, out of CPI's scope even temporally).
+	// free() invalidates the safe-pointer-store entries of the released
+	// region, so the reused slot must be legitimately re-populated before
+	// the stale dereference: spatially everything is valid again, and only
+	// the temporal id distinguishes the stale pointer from the fresh one.
 	src := `
 struct holder { struct holder *next; void (*fn)(void); int v; };
 void f(void) { puts("f"); }
@@ -171,8 +175,8 @@ int main(void) {
 	h->v = 5;
 	struct holder *stale = h;
 	free(h);
-	int *p = (int *)malloc(sizeof(struct holder)); // reuse
-	p[0] = 99;
+	struct holder *h2 = (struct holder *)malloc(sizeof(struct holder)); // reuse
+	h2->fn = f; // fresh allocation legitimately re-populates the slot
 	void (*g)(void) = stale->fn; // temporal violation: stale sensitive deref
 	g();
 	return 0;
@@ -182,10 +186,41 @@ int main(void) {
 	if r.Trap != vm.TrapCPIViolation {
 		t.Fatalf("temporal: trap = %v (%v), want CPI violation", r.Trap, r.Err)
 	}
-	// And without the extension (the Levee default), the stale read runs.
+	// And without the extension (the Levee default), the stale read sees the
+	// spatially valid fresh entry and runs.
 	r2 := runT(t, src, Config{Protect: CPI, DEP: true})
 	if r2.Trap != vm.TrapExit {
 		t.Fatalf("spatial-only: trap = %v (%v)", r2.Trap, r2.Err)
+	}
+}
+
+func TestFreeInvalidatesDanglingEntries(t *testing.T) {
+	// Regression for the free()-time bulk invalidation: a sensitive pointer
+	// stored into a heap object must not keep validating through a dangling
+	// pointer after the object is freed and its address reused. Before the
+	// fix, the safe-pointer-store entry survived the free, so the stale
+	// load returned the old (valid, code-provenance) value and the call
+	// went through — a dangling entry laundered into a live one.
+	src := `
+struct holder { void (*fn)(void); };
+void f(void) { puts("f ran"); }
+int main(void) {
+	struct holder *h = (struct holder *)malloc(sizeof(struct holder));
+	h->fn = f;
+	struct holder *stale = h;
+	free(h);
+	struct holder *h2 = (struct holder *)malloc(sizeof(struct holder)); // same size: address reused
+	void (*g)(void) = stale->fn; // dangling: the entry must NOT validate
+	g();
+	return (int)(h2 == 0);
+}
+`
+	r := runT(t, src, Config{Protect: CPI, DEP: true})
+	if r.Trap != vm.TrapCPIViolation {
+		t.Fatalf("dangling entry under cpi: trap = %v (%v), want CPI violation", r.Trap, r.Err)
+	}
+	if strings.Contains(r.Output, "f ran") {
+		t.Fatal("dangling entry under cpi: stale code pointer was called")
 	}
 }
 

@@ -284,7 +284,12 @@ func flagIntrinsic(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, md mode) 
 		if mayTouchSensitive(p, fi, in.Args, 0, md) || mayTouchSensitive(p, fi, in.Args, 1, md) {
 			in.Flags |= ir.ProtSafeIntr
 		}
-	case builtins.Memset:
+	case builtins.Memset, builtins.Free:
+		// Both clear sensitive state keyed by the pointed-to region: memset
+		// overwrites it, and free() must invalidate the safe-pointer-store
+		// entries covering it (otherwise a dangling entry still validates
+		// when the allocator reuses the address). Regions statically proven
+		// insensitive keep the plain variants.
 		if mayTouchSensitive(p, fi, in.Args, 0, md) {
 			in.Flags |= ir.ProtSafeIntr
 		}

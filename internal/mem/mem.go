@@ -360,6 +360,37 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 	return nil
 }
 
+// Fill writes n copies of c starting at addr, page-chunked like WriteBytes
+// but without a source buffer: the memset/zero fast path fills each page's
+// backing array in place, so a large fill allocates nothing.
+func (m *Memory) Fill(addr uint64, c byte, n int64) error {
+	for i := int64(0); i < n; {
+		a := addr + uint64(i)
+		pg := m.page(a)
+		if pg == nil {
+			return &Fault{Addr: a, Kind: FaultUnmapped}
+		}
+		if pg.perm&W == 0 {
+			return &Fault{Addr: a, Kind: FaultNoWrite}
+		}
+		off := a & offMask
+		chunk := int64(PageSize - off)
+		if chunk > n-i {
+			chunk = n - i
+		}
+		dst := pg.data[off : off+uint64(chunk)]
+		if c == 0 {
+			clear(dst)
+		} else {
+			for j := range dst {
+				dst[j] = c
+			}
+		}
+		i += chunk
+	}
+	return nil
+}
+
 // ForceStore writes size bytes (little-endian) ignoring page write
 // permissions (loader use only).
 func (m *Memory) ForceStore(addr uint64, size int, v uint64) error {

@@ -65,22 +65,43 @@ func (m *Machine) runHook(fi int) {
 	}
 }
 
+// execCallPlan dispatches a direct call that carries a register-convention
+// argument plan: the common case on promoted streams, kept free of the
+// intrinsic test and the no-hooks hook lookup.
+func (m *Machine) execCallPlan(f *frame, in *PIns, dst int32) {
+	if m.hooks != nil {
+		m.runHook(int(in.Callee))
+		if m.trap != nil {
+			return
+		}
+	}
+	m.cycles += m.cfg.Cost.Call
+	m.pushFrameReg(int(in.Callee), f, f.code.Plans[in.PlanIdx],
+		m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
+}
+
 // execCallWith dispatches a direct call or intrinsic. dst is the caller
 // register for the result and flags the call's protection flags: in.Dst and
 // in.Flags normally, the mirror fields when the call is the trailing
 // constituent of a fused sequence (whose head owns Dst/Flags).
 func (m *Machine) execCallWith(f *frame, in *PIns, dst int32, flags ir.Prot) {
-	orig := in.In
-	if orig.Callee < 0 {
+	callee := int(in.Callee)
+	if callee < 0 {
 		m.execIntrinsic(f, in, dst, flags)
 		return
 	}
-	m.runHook(orig.Callee)
+	m.runHook(callee)
 	if m.trap != nil {
 		return
 	}
 	m.cycles += m.cfg.Cost.Call
-	m.pushFrame(orig.Callee, f, in.Args, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
+	if in.PlanIdx >= 0 {
+		// Register calling convention: the predecoded plan moves the
+		// arguments straight into the callee's register file.
+		m.pushFrameReg(callee, f, f.code.Plans[in.PlanIdx], m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
+		return
+	}
+	m.pushFrame(callee, f, in.Args, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
 }
 
 func (m *Machine) execICall(f *frame, in *PIns) {
@@ -223,10 +244,14 @@ func (m *Machine) clearSafeMeta(lo, hi uint64) {
 	}
 }
 
-// popFrame releases the callee frame, resumes the caller, and returns the
-// activation record to the pool.
+// popFrame releases the callee frame and resumes the caller. The record
+// itself stays in m.frames' backing array past the truncated length, where
+// the next push at this depth recycles it (newFrame).
 func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
-	if f.safeSize > 0 {
+	if f.safeSize > 0 && (len(m.safeMetaW) > 0 || len(m.safeMetaU) > 0) {
+		// With no shadow metadata recorded anywhere, the clear is a
+		// guaranteed no-op; skipping it keeps metadata-free returns (the
+		// common case on register-promoted frames) branch-only.
 		m.clearSafeMeta(f.safeBase, f.safeBase+f.safeSize)
 	}
 	m.sp += f.regSize
@@ -236,7 +261,6 @@ func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
 		m.cur = nil
 		m.exitCode = int64(rv)
 		m.trap = &Trap{Kind: TrapExit, PC: "<exit>"}
-		m.recycleFrame(f)
 		return
 	}
 	caller := m.frames[len(m.frames)-1]
@@ -246,5 +270,4 @@ func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
 		caller.regs[f.dst] = rv
 		caller.meta[f.dst] = rm
 	}
-	m.recycleFrame(f)
 }

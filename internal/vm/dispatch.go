@@ -114,6 +114,9 @@ func chooseHandler(in *PIns) handler {
 		}
 		return hStoreGen
 	case ir.OpCall:
+		if in.PlanIdx >= 0 {
+			return hCallPlan
+		}
 		return hCall
 	case ir.OpICall:
 		return hICall
@@ -481,6 +484,10 @@ func hStoreGen(m *Machine, f *frame, in *PIns) {
 // ---- control transfer ----
 
 func hCall(m *Machine, f *frame, in *PIns) { m.execCallWith(f, in, in.Dst, in.Flags) }
+
+// hCallPlan is the register-calling-convention call handler, chosen at
+// predecode for direct calls with an argument plan.
+func hCallPlan(m *Machine, f *frame, in *PIns) { m.execCallPlan(f, in, in.Dst) }
 
 func hICall(m *Machine, f *frame, in *PIns) { m.execICall(f, in) }
 

@@ -26,11 +26,15 @@ func (m *Machine) Run(entry string) *Result {
 	// The dispatch loop: one step of bookkeeping, then one indirect call
 	// through the handler resolved at predecode time (dispatch.go). Fused
 	// superinstructions count their second constituent themselves
-	// (fusedTick), so m.steps is always the constituent step count. The
-	// budget is hoisted to a local — it never changes during a run.
+	// (fusedTick), so m.steps is always the constituent step count, while
+	// disp counts loop round trips — the difference is the dispatches the
+	// fusion pass eliminated (Result.Dispatches). The budget is hoisted to
+	// a local — it never changes during a run.
 	budget := m.stepBudget
+	disp := int64(0)
 	for m.trap == nil {
 		m.steps++
+		disp++
 		if m.steps > budget {
 			m.trapf(TrapMaxSteps, 0, ViaNone, "after %d steps", m.steps)
 			break
@@ -39,6 +43,7 @@ func (m *Machine) Run(entry string) *Result {
 		in := &f.ins[f.pc]
 		in.run(m, f, in)
 	}
+	m.dispatches = disp
 	return m.finish(m.trap)
 }
 
@@ -51,13 +56,14 @@ func (m *Machine) finish(t *Trap) *Result {
 		m.memStats.SafeStack = used
 	}
 	r := &Result{
-		Trap:     t.Kind,
-		ExitCode: m.exitCode,
-		Cycles:   m.cycles,
-		Steps:    m.steps,
-		Output:   m.out.String(),
-		Mem:      m.memStats,
-		Err:      t,
+		Trap:       t.Kind,
+		ExitCode:   m.exitCode,
+		Cycles:     m.cycles,
+		Steps:      m.steps,
+		Dispatches: m.dispatches,
+		Output:     m.out.String(),
+		Mem:        m.memStats,
+		Err:        t,
 	}
 	if t.Kind == TrapHijacked {
 		r.HijackTarget = t.Target
@@ -91,24 +97,39 @@ func (m *Machine) memFault(err error) {
 	m.trapf(TrapSegFault, 0, ViaNone, "%v", err)
 }
 
-// newFrame takes an activation record from the pool (or allocates one) and
-// sizes its register file, zeroed, for fn.
+// newFrame obtains the activation record for the next call depth. Records
+// are recycled in place: a pop truncates m.frames but leaves the pointer in
+// the backing array, so the next push at that depth finds the record the
+// last depth-d activation used — which, on the recursive call chains that
+// dominate the micro workloads, is almost always the *same function*, so
+// the code/register-file geometry is already right and only pc (plus a
+// register re-zero for NeedsRegClear functions) needs resetting.
 func (m *Machine) newFrame(fi int) *frame {
-	var f *frame
-	if n := len(m.framePool); n > 0 {
-		f = m.framePool[n-1]
-		m.framePool = m.framePool[:n-1]
-		// Reset the recycled record field by field rather than zeroing the
-		// whole struct: pushFrame overwrites the rest (retPC, dst, retAddr,
-		// bases and sizes when present), and this path runs on every call.
-		f.pc = 0
-		f.regBase, f.safeBase = 0, 0
-		f.regSize, f.safeSize = 0, 0
-		f.retSlot, f.canaryAddr = 0, 0
-		f.retOnSafe = false
-	} else {
-		f = &frame{}
+	n := len(m.frames)
+	if n < cap(m.frames) {
+		if f := m.frames[:n+1][n]; f != nil {
+			if f.fidx == fi {
+				f.pc = 0
+				if f.code.NeedsRegClear {
+					// Some register read is not provably write-preceded;
+					// re-zero the recycled file. Proven-clean functions (the
+					// common case) skip this: every read sees a written
+					// register anyway.
+					clear(f.regs)
+					clear(f.meta)
+				}
+				return f
+			}
+			return m.initFrame(f, fi)
+		}
 	}
+	return m.initFrame(&frame{}, fi)
+}
+
+// initFrame points an activation record (fresh, or recycled from a
+// different function) at function fi and sizes its register file.
+func (m *Machine) initFrame(f *frame, fi int) *frame {
+	f.pc = 0
 	fn := m.prog.Funcs[fi]
 	f.fn = fn
 	f.code = &m.code.Funcs[fi]
@@ -122,19 +143,11 @@ func (m *Machine) newFrame(fi int) *frame {
 		f.regs = f.regs[:nr]
 		f.meta = f.meta[:nr]
 		if f.code.NeedsRegClear {
-			// Some register read is not provably write-preceded; re-zero
-			// the pooled file. Proven-clean functions (the common case)
-			// skip this: every read sees a written register anyway.
 			clear(f.regs)
 			clear(f.meta)
 		}
 	}
 	return f
-}
-
-// recycleFrame returns a popped frame to the pool.
-func (m *Machine) recycleFrame(f *frame) {
-	m.framePool = append(m.framePool, f)
 }
 
 // pushFrame establishes a new activation record and charges frame-setup
@@ -150,7 +163,6 @@ func (m *Machine) pushFrame(fi int, caller *frame, args []PVal, retAddr uint64, 
 	}
 	f := m.newFrame(fi)
 	fn := f.fn
-	info := &m.finfo[fi]
 	f.retPC = retPC
 	f.dst = dst
 	if len(args) > 0 {
@@ -177,6 +189,49 @@ func (m *Machine) pushFrame(fi int, caller *frame, args []PVal, retAddr uint64, 
 		f.meta[i] = Meta{}
 	}
 
+	m.finishPush(f, fi, retAddr)
+}
+
+// pushFrameReg is the register-calling-convention fast path of pushFrame:
+// the call site's arguments were predecoded into a register/constant plan
+// (regArgPlan) covering the callee's parameters exactly, so they move
+// straight into the callee's register file — no per-argument operand kind
+// dispatch, no arity zero-fill. Metadata moves with each register, so
+// pointer provenance flows through register-passed arguments exactly as
+// through the generic loop. Cost charging is identical (Cost.Arg per
+// argument).
+func (m *Machine) pushFrameReg(fi int, caller *frame, plan []PArg, retAddr uint64, retPC, dst int) {
+	if len(m.frames) >= m.cfg.MaxCallDepth {
+		m.trapf(TrapStackOverflow, 0, ViaNone, "call depth %d", len(m.frames))
+		return
+	}
+	f := m.newFrame(fi)
+	f.retPC = retPC
+	f.dst = dst
+	if len(plan) > 0 {
+		m.cycles += int64(len(plan)) * m.cfg.Cost.Arg
+		regs, meta := f.regs, f.meta
+		for i := range plan {
+			if a := &plan[i]; a.Reg >= 0 {
+				regs[i] = caller.regs[a.Reg]
+				meta[i] = caller.meta[a.Reg]
+			} else {
+				regs[i] = a.Imm
+				meta[i] = invalidMeta
+			}
+		}
+	}
+	m.finishPush(f, fi, retAddr)
+}
+
+// finishPush establishes the stack frames, return-address slot and canary
+// for an activation whose registers are already materialized, then makes it
+// the current frame. Shared tail of pushFrame and pushFrameReg.
+func (m *Machine) finishPush(f *frame, fi int, retAddr uint64) {
+	fn := f.fn
+	info := &m.finfo[fi]
+	f.canaryAddr = 0
+
 	regularTotal := info.regularTotal
 	if regularTotal > 0 {
 		if m.sp < m.stackFloor+regularTotal {
@@ -184,24 +239,24 @@ func (m *Machine) pushFrame(fi int, caller *frame, args []PVal, retAddr uint64, 
 			return
 		}
 		m.sp -= regularTotal
-		f.regBase = m.sp
 	}
+	f.regBase = m.sp
 	if info.safeTotal > 0 {
 		if m.ssp < uint64(safeStackTop)-stackMax+info.safeTotal {
 			m.trapf(TrapStackOverflow, m.ssp, ViaNone, "safe stack exhausted")
 			return
 		}
 		m.ssp -= info.safeTotal
-		f.safeBase = m.ssp
 	}
+	f.safeBase = m.ssp
 	f.regSize = regularTotal
 	f.safeSize = info.safeTotal
 
 	// Return address slot: the word an attacker aims for when it lives on
 	// the regular stack.
 	f.retAddr = retAddr
+	f.retOnSafe = info.retOnSafe
 	if info.retOnSafe {
-		f.retOnSafe = true
 		f.retSlot = f.safeBase + uint64(fn.SafeSize)
 		if !m.safe.TryStoreWord(f.retSlot, f.retAddr) {
 			if err := m.safe.Store(f.retSlot, 8, f.retAddr); err != nil {

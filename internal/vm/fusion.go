@@ -53,145 +53,290 @@ import "repro/internal/ir"
 // Targ0/Targ1; see PIns).
 
 // fuse rewrites eligible sequences in one function's stream and reports how
-// many heads were rewritten.
+// many heads were rewritten. Selection is cost-driven rather than greedy:
+// for every position the pass enumerates each fusable sequence starting
+// there, then a per-block dynamic program picks, for execution entering at
+// any point — block entries, call return sites, setjmp resume sites, and
+// plain fall-through — the plan that minimizes the weighted number of
+// dispatch-loop round trips to the block's end. The weight of a dispatch is
+// keyed to the head's opcode (dispatchWeight): the loop's per-step overhead
+// is a larger fraction of a register-only mov/bin/condbr — the bulk of the
+// register-promoted dynamic mix — than of a memory access, so the program
+// prefers plans whose eliminated dispatches are the cheap promoted opcodes.
+// A greedy positional scan can pick a pair that denies the fall-through
+// path a longer sequence starting one slot later; the dynamic program
+// cannot, and ties go to the longest sequence.
+//
+// Because suffix costs are shared by every entry point (execution from pc i
+// always runs the same chosen plan), one backward pass per block yields the
+// optimum for all entries simultaneously. Matching happens entirely before
+// any rewrite (choices are recorded, then applied in ascending order), so
+// every sequence is matched against the pristine stream and trailing slots
+// are copied before any of their own head rewrites could overwrite them.
 func fuse(fc *FuncCode) int {
-	n := 0
+	total := 0
 	ins := fc.Ins
-	for i := 0; i+1 < len(ins); i++ {
-		a, b := &ins[i], &ins[i+1]
-		if a.Blk != b.Blk {
-			continue // never fuse across a block boundary
+	for bi := range fc.BlockPC {
+		start := int(fc.BlockPC[bi])
+		end := len(ins)
+		if bi+1 < len(fc.BlockPC) {
+			end = int(fc.BlockPC[bi+1])
 		}
-
-		// Four constituents: load, load, cmp, condbr — the array-scan loop
-		// header shape (while (a[i] < a[j]) ...).
-		if i+3 < len(ins) {
-			b2, b3 := &ins[i+2], &ins[i+3]
-			if b3.Blk == a.Blk &&
-				a.Op == ir.OpLoad && b.Op == ir.OpLoad &&
-				b2.Op == ir.OpBin && isCmp(b2.ALU) &&
-				b2.A.Kind == ir.ValReg && b2.A.Reg == a.Dst &&
-				b2.B.Kind == ir.ValReg && b2.B.Reg == b.Dst &&
-				b3.Op == ir.OpCondBr && b3.A.Kind == ir.ValReg && b3.A.Reg == b2.Dst {
-				a.C, a.Size2, a.Flags2, a.Dst2 = b.A, b.Size, b.Flags, b.Dst
-				a.ALU2, a.Dst3 = b2.ALU, b2.Dst
-				a.Targ0, a.Targ1 = b3.Targ0, b3.Targ1
-				a.run = hFLoadLoadCmpBr
-				n++
-				continue
-			}
-		}
-
-		// Three-constituent sequences: {load,bin} + compare + condbr, and
-		// load + bin + call (load an argument, adjust it, call).
-		if i+2 < len(ins) {
-			if c := &ins[i+2]; c.Blk == a.Blk &&
-				b.Op == ir.OpBin && isCmp(b.ALU) &&
-				c.Op == ir.OpCondBr && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
-				if a.Op == ir.OpLoad || a.Op == ir.OpBin || a.Op == ir.OpMov {
-					a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
-					a.Targ0, a.Targ1 = c.Targ0, c.Targ1
-					switch a.Op {
-					case ir.OpLoad:
-						a.run = hFLoadCmpBr
-					case ir.OpBin:
-						a.run = hFBinCmpBr
-					default:
-						a.run = hFMovCmpBr
-					}
-					n++
-					continue
-				}
-			}
-			// load + GEP + load/store: the spilled-index array access
-			// (a[i] with i in a frame slot) — load the index, compute the
-			// element address from it, access the element. The GEP's
-			// Scale/Off ride in the head's own (unused-by-load) fields,
-			// its base in C and result register in Dst2; the trailing
-			// access uses Size2/Flags2 with its result in Dst3 (load) or
-			// its value operand in D (store).
-			if c := &ins[i+2]; c.Blk == a.Blk &&
-				a.Op == ir.OpLoad && b.Op == ir.OpGEP &&
-				b.B.Kind == ir.ValReg && b.B.Reg == a.Dst {
-				if c.Op == ir.OpLoad && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
-					a.C, a.Scale, a.Off, a.Dst2 = b.A, b.Scale, b.Off, b.Dst
-					a.Size2, a.Flags2, a.Dst3 = c.Size, c.Flags, c.Dst
-					a.run = hFLoadGEPLoad
-					n++
-					continue
-				}
-				if c.Op == ir.OpStore && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
-					a.C, a.Scale, a.Off, a.Dst2 = b.A, b.Scale, b.Off, b.Dst
-					a.Size2, a.Flags2, a.D = c.Size, c.Flags, c.B
-					a.run = hFLoadGEPStore
-					n++
-					continue
-				}
-			}
-			if c := &ins[i+2]; c.Blk == a.Blk &&
-				a.Op == ir.OpLoad && b.Op == ir.OpBin && c.Op == ir.OpCall {
-				a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
-				// The call's cold fields: the head's Flags belongs to the
-				// load, so the call's flags ride in Flags2.
-				a.Flags2, a.SiteOrd, a.Args, a.In = c.Flags, c.SiteOrd, c.Args, c.In
-				a.Dst3 = c.Dst
-				a.run = hFLoadBinCall
-				n++
-				continue
-			}
-		}
-
-		switch {
-		// Specialized compare + condbr on the compare's result: the branch
-		// reuses the freshly computed value without a register re-read.
-		case a.Op == ir.OpBin && isCmp(a.ALU) &&
-			b.Op == ir.OpCondBr && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
-			a.Targ0, a.Targ1 = b.Targ0, b.Targ1
-			switch {
-			case a.A.Kind == ir.ValReg && a.B.Kind == ir.ValReg:
-				a.run = hFusedCmpBrRR
-			case a.A.Kind == ir.ValReg && a.B.Kind == ir.ValConst:
-				a.run = hFusedCmpBrRC
-			default:
-				a.run = hFusedCmpBrGen
-			}
-			n++
-
-		// Specialized GEP + load / GEP + store through the GEP's result:
-		// the computed address and metadata are handed over directly.
-		case a.Op == ir.OpGEP &&
-			b.Op == ir.OpLoad && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
-			a.Size2, a.Flags2, a.Dst2 = b.Size, b.Flags, b.Dst
-			a.run = hFusedGEPLoad
-			n++
-
-		case a.Op == ir.OpGEP &&
-			b.Op == ir.OpStore && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
-			a.Size2, a.Flags2, a.C = b.Size, b.Flags, b.B
-			a.run = hFusedGEPStore
-			n++
-
-		// Bin/mov + call: the call's cold fields live in slots the head does
-		// not use (Flags, SiteOrd, Args, In), so argument computation and
-		// the call dispatch become one superinstruction.
-		case a.Op == ir.OpBin && b.Op == ir.OpCall:
-			a.Flags, a.SiteOrd, a.Args, a.In = b.Flags, b.SiteOrd, b.Args, b.In
-			a.Dst2 = b.Dst
-			a.run = hFBinCall
-			n++
-
-		case a.Op == ir.OpMov && b.Op == ir.OpCall:
-			a.Flags, a.SiteOrd, a.Args, a.In = b.Flags, b.SiteOrd, b.Args, b.In
-			a.Dst2 = b.Dst
-			a.run = hFMovCall
-			n++
-
-		// The generic pair matrix.
-		case fusablePair(a, b):
-			n++
+		if end-start >= 2 {
+			total += fuseBlock(ins[start:end]) // never fuse across a block boundary
 		}
 	}
-	return n
+	return total
+}
+
+// seqKind identifies one fusable sequence shape starting at a position.
+type seqKind uint8
+
+const (
+	seqNone          seqKind = iota
+	seqLoadLoadCmpBr         // load+load+cmp+condbr (4)
+	seqLoadCmpBr             // load+cmp+condbr (3)
+	seqBinCmpBr              // bin+cmp+condbr (3)
+	seqMovCmpBr              // mov+cmp+condbr (3)
+	seqLoadGEPLoad           // load+GEP+load (3)
+	seqLoadGEPStore          // load+GEP+store (3)
+	seqLoadBinCall           // load+bin+call (3)
+	seqCmpBr                 // cmp+condbr on the compare result (2)
+	seqGEPLoad               // GEP+load through the result (2)
+	seqGEPStore              // GEP+store through the result (2)
+	seqBinCall               // bin+call (2)
+	seqMovCall               // mov+call (2)
+	seqPair                  // the generic pair matrix (2)
+)
+
+// seqCand is one fusable sequence candidate: its shape and constituent count.
+type seqCand struct {
+	kind seqKind
+	n    int
+}
+
+// dispatchWeight scores one dispatch-loop round trip by head opcode. The
+// absolute values are a relative model, not cycles: the loop overhead
+// (step/budget bookkeeping plus the indirect handler call) is a larger
+// fraction of a register-only operation than of an instruction that does
+// real memory or frame work, so eliminating a mov/bin/condbr dispatch —
+// the opcodes register promotion left dominant — is worth more.
+func dispatchWeight(op ir.Op) int32 {
+	switch op {
+	case ir.OpMov, ir.OpBin:
+		return 6
+	case ir.OpCondBr, ir.OpCall:
+		return 5
+	case ir.OpLoad, ir.OpStore, ir.OpGEP:
+		return 4
+	}
+	return 3
+}
+
+// fuseBlock runs the selection dynamic program over one block's slice of the
+// stream and applies the chosen rewrites, returning the number of heads.
+func fuseBlock(ins []PIns) int {
+	n := len(ins)
+	// cost[i] is the minimal weighted dispatch cost of executing from
+	// position i to the block's end under the optimal plan for the suffix.
+	cost := make([]int32, n+1)
+	pick := make([]seqCand, n)
+	var buf [6]seqCand
+	for i := n - 1; i >= 0; i-- {
+		w := dispatchWeight(ins[i].Op)
+		best := w + cost[i+1]
+		pick[i] = seqCand{seqNone, 1}
+		for _, c := range candidatesAt(ins, i, buf[:0]) {
+			// Strict improvement, or the longest sequence on a cost tie
+			// (same-length ties keep the earlier, more specialized shape).
+			if v := w + cost[i+c.n]; v < best || (v == best && c.n > pick[i].n) {
+				best, pick[i] = v, c
+			}
+		}
+		cost[i] = best
+	}
+	fused := 0
+	for i := range pick {
+		if pick[i].kind != seqNone {
+			applySeq(ins, i, pick[i].kind)
+			fused++
+		}
+	}
+	return fused
+}
+
+// candidatesAt appends every fusable sequence starting at position i of the
+// block slice, longest shapes first (matching the shapes the handlers in
+// this file implement). It only reads the stream — rewrites happen later.
+func candidatesAt(ins []PIns, i int, out []seqCand) []seqCand {
+	n := len(ins)
+	if i+1 >= n {
+		return out
+	}
+	a, b := &ins[i], &ins[i+1]
+
+	// Four constituents: load, load, cmp, condbr — the array-scan loop
+	// header shape (while (a[i] < a[j]) ...).
+	if i+3 < n {
+		b2, b3 := &ins[i+2], &ins[i+3]
+		if a.Op == ir.OpLoad && b.Op == ir.OpLoad &&
+			b2.Op == ir.OpBin && isCmp(b2.ALU) &&
+			b2.A.Kind == ir.ValReg && b2.A.Reg == a.Dst &&
+			b2.B.Kind == ir.ValReg && b2.B.Reg == b.Dst &&
+			b3.Op == ir.OpCondBr && b3.A.Kind == ir.ValReg && b3.A.Reg == b2.Dst {
+			out = append(out, seqCand{seqLoadLoadCmpBr, 4})
+		}
+	}
+
+	// Three-constituent sequences: {load,bin,mov} + compare + condbr,
+	// load + GEP + load/store (the spilled-index array access), and
+	// load + bin + call (load an argument, adjust it, call).
+	if i+2 < n {
+		c := &ins[i+2]
+		if b.Op == ir.OpBin && isCmp(b.ALU) &&
+			c.Op == ir.OpCondBr && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
+			switch a.Op {
+			case ir.OpLoad:
+				out = append(out, seqCand{seqLoadCmpBr, 3})
+			case ir.OpBin:
+				out = append(out, seqCand{seqBinCmpBr, 3})
+			case ir.OpMov:
+				out = append(out, seqCand{seqMovCmpBr, 3})
+			}
+		}
+		if a.Op == ir.OpLoad && b.Op == ir.OpGEP &&
+			b.B.Kind == ir.ValReg && b.B.Reg == a.Dst {
+			if c.Op == ir.OpLoad && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
+				out = append(out, seqCand{seqLoadGEPLoad, 3})
+			}
+			if c.Op == ir.OpStore && c.A.Kind == ir.ValReg && c.A.Reg == b.Dst {
+				out = append(out, seqCand{seqLoadGEPStore, 3})
+			}
+		}
+		if a.Op == ir.OpLoad && b.Op == ir.OpBin && c.Op == ir.OpCall {
+			out = append(out, seqCand{seqLoadBinCall, 3})
+		}
+	}
+
+	// Pairs: the specialized shapes shadow the generic matrix exactly as
+	// the handlers do (a specialized pair is never also offered generically).
+	switch {
+	case a.Op == ir.OpBin && isCmp(a.ALU) &&
+		b.Op == ir.OpCondBr && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
+		out = append(out, seqCand{seqCmpBr, 2})
+	case a.Op == ir.OpGEP &&
+		b.Op == ir.OpLoad && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
+		out = append(out, seqCand{seqGEPLoad, 2})
+	case a.Op == ir.OpGEP &&
+		b.Op == ir.OpStore && b.A.Kind == ir.ValReg && b.A.Reg == a.Dst:
+		out = append(out, seqCand{seqGEPStore, 2})
+	case a.Op == ir.OpBin && b.Op == ir.OpCall:
+		out = append(out, seqCand{seqBinCall, 2})
+	case a.Op == ir.OpMov && b.Op == ir.OpCall:
+		out = append(out, seqCand{seqMovCall, 2})
+	case pairable(a.Op, b.Op):
+		out = append(out, seqCand{seqPair, 2})
+	}
+	return out
+}
+
+// applySeq rewrites position i of the block slice as the head of the chosen
+// sequence, copying the trailing constituents' operands into the head's
+// mirror fields. Callers apply choices in ascending position order, so every
+// trailer read here is still in its pristine predecoded form.
+func applySeq(ins []PIns, i int, k seqKind) {
+	a, b := &ins[i], &ins[i+1]
+	switch k {
+	case seqLoadLoadCmpBr:
+		b2, b3 := &ins[i+2], &ins[i+3]
+		a.C, a.Size2, a.Flags2, a.Dst2 = b.A, b.Size, b.Flags, b.Dst
+		a.ALU2, a.Dst3 = b2.ALU, b2.Dst
+		a.Targ0, a.Targ1 = b3.Targ0, b3.Targ1
+		a.run = hFLoadLoadCmpBr
+
+	case seqLoadCmpBr, seqBinCmpBr, seqMovCmpBr:
+		c := &ins[i+2]
+		a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
+		a.Targ0, a.Targ1 = c.Targ0, c.Targ1
+		switch k {
+		case seqLoadCmpBr:
+			a.run = hFLoadCmpBr
+		case seqBinCmpBr:
+			a.run = hFBinCmpBr
+		default:
+			a.run = hFMovCmpBr
+		}
+
+	// load + GEP + load/store: the GEP's Scale/Off ride in the head's own
+	// (unused-by-load) fields, its base in C and result register in Dst2;
+	// the trailing access uses Size2/Flags2 with its result in Dst3 (load)
+	// or its value operand in D (store).
+	case seqLoadGEPLoad:
+		c := &ins[i+2]
+		a.C, a.Scale, a.Off, a.Dst2 = b.A, b.Scale, b.Off, b.Dst
+		a.Size2, a.Flags2, a.Dst3 = c.Size, c.Flags, c.Dst
+		a.run = hFLoadGEPLoad
+
+	case seqLoadGEPStore:
+		c := &ins[i+2]
+		a.C, a.Scale, a.Off, a.Dst2 = b.A, b.Scale, b.Off, b.Dst
+		a.Size2, a.Flags2, a.D = c.Size, c.Flags, c.B
+		a.run = hFLoadGEPStore
+
+	case seqLoadBinCall:
+		c := &ins[i+2]
+		a.C, a.D, a.ALU2, a.Dst2 = b.A, b.B, b.ALU, b.Dst
+		// The call's cold fields: the head's Flags belongs to the load, so
+		// the call's flags ride in Flags2.
+		a.Flags2, a.SiteOrd, a.Args, a.In = c.Flags, c.SiteOrd, c.Args, c.In
+		a.Callee, a.PlanIdx = c.Callee, c.PlanIdx
+		a.Dst3 = c.Dst
+		a.run = hFLoadBinCall
+
+	// Specialized compare + condbr on the compare's result: the branch
+	// reuses the freshly computed value without a register re-read.
+	case seqCmpBr:
+		a.Targ0, a.Targ1 = b.Targ0, b.Targ1
+		switch {
+		case a.A.Kind == ir.ValReg && a.B.Kind == ir.ValReg:
+			a.run = hFusedCmpBrRR
+		case a.A.Kind == ir.ValReg && a.B.Kind == ir.ValConst:
+			a.run = hFusedCmpBrRC
+		default:
+			a.run = hFusedCmpBrGen
+		}
+
+	// Specialized GEP + load / GEP + store through the GEP's result: the
+	// computed address and metadata are handed over directly.
+	case seqGEPLoad:
+		a.Size2, a.Flags2, a.Dst2 = b.Size, b.Flags, b.Dst
+		a.run = hFusedGEPLoad
+
+	case seqGEPStore:
+		a.Size2, a.Flags2, a.C = b.Size, b.Flags, b.B
+		a.run = hFusedGEPStore
+
+	// Bin/mov + call: the call's cold fields live in slots the head does
+	// not use (Flags, SiteOrd, Args, PlanIdx, In), so argument computation and
+	// the call dispatch become one superinstruction.
+	case seqBinCall, seqMovCall:
+		a.Flags, a.SiteOrd, a.Args, a.In = b.Flags, b.SiteOrd, b.Args, b.In
+		a.Callee, a.PlanIdx = b.Callee, b.PlanIdx
+		a.Dst2 = b.Dst
+		switch {
+		case k == seqMovCall:
+			a.run = hFMovCall
+		case simpleBinShape(a):
+			// The recursive-call argument shape (f(n-1), f(a+b)): the bin
+			// half runs register-direct, no operand kind dispatch.
+			a.run = hFBinCallFast
+		default:
+			a.run = hFBinCall
+		}
+
+	case seqPair:
+		fusablePair(a, b)
+	}
 }
 
 // fusablePair rewrites a as the head of a generic {bin,load,store,mov} ×
@@ -237,7 +382,82 @@ func fusablePair(a, b *PIns) bool {
 		return false
 	}
 	a.run = pairHandlers[fi][si]
+	// Upgrade the hottest bin-headed pair — bin+ret returning the freshly
+	// computed value (the `return a + b;` epilogue of recursive kernels) —
+	// to its register-direct form.
+	if si == 5 && a.Op == ir.OpBin && simpleBinShape(a) &&
+		b.A.Kind == ir.ValReg && b.A.Reg == a.Dst {
+		a.run = hFBinRetFast
+	}
 	return true
+}
+
+// simpleBinShape reports a never-faulting register-direct binary head:
+// add/sub of a register and a register-or-constant.
+func simpleBinShape(a *PIns) bool {
+	return (a.ALU == ir.AAdd || a.ALU == ir.ASub) &&
+		a.A.Kind == ir.ValReg &&
+		(a.B.Kind == ir.ValReg || a.B.Kind == ir.ValConst)
+}
+
+// simpleBinEval evaluates a simpleBinShape head's operands and result.
+func simpleBinEval(f *frame, in *PIns) uint64 {
+	a := f.regs[in.A.Reg]
+	var b uint64
+	if in.B.Kind == ir.ValConst {
+		b = in.B.Imm
+	} else {
+		b = f.regs[in.B.Reg]
+	}
+	if in.ALU == ir.AAdd {
+		return a + b
+	}
+	return a - b
+}
+
+// hFBinCallFast: simpleBinShape argument computation feeding a call.
+func hFBinCallFast(m *Machine, f *frame, in *PIns) {
+	v := simpleBinEval(f, in)
+	f.regs[in.Dst] = v
+	f.meta[in.Dst] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	if !m.fusedTick() {
+		return
+	}
+	if in.PlanIdx >= 0 {
+		m.execCallPlan(f, in, in.Dst2)
+	} else {
+		m.execCallWith(f, in, in.Dst2, in.Flags)
+	}
+}
+
+// hFBinRetFast: simpleBinShape computation whose fresh result is returned.
+func hFBinRetFast(m *Machine, f *frame, in *PIns) {
+	v := simpleBinEval(f, in)
+	f.regs[in.Dst] = v
+	f.meta[in.Dst] = invalidMeta
+	m.cycles += m.cfg.Cost.Bin
+	f.pc++
+	if m.fusedTick() {
+		m.retFinish(f, v, invalidMeta)
+	}
+}
+
+// pairable reports whether two opcodes participate in the generic pair
+// matrix — the pure membership check candidatesAt uses before committing to
+// a fusablePair rewrite.
+func pairable(a, b ir.Op) bool {
+	switch a {
+	case ir.OpBin, ir.OpLoad, ir.OpStore, ir.OpMov:
+	default:
+		return false
+	}
+	switch b {
+	case ir.OpBin, ir.OpLoad, ir.OpStore, ir.OpCondBr, ir.OpBr, ir.OpRet, ir.OpMov:
+		return true
+	}
+	return false
 }
 
 // pairHandlers is the generic first × second handler matrix.

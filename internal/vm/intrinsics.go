@@ -57,7 +57,7 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns, dst int32, flags ir.Prot) {
 		done()
 
 	case builtins.Free:
-		m.free(arg(0))
+		m.free(arg(0), flags&ir.ProtSafeIntr != 0)
 		m.cycles += cost.Alloc
 		setDst(0, invalidMeta)
 		done()
@@ -352,7 +352,15 @@ func (m *Machine) malloc(n int64) (uint64, bool) {
 	return addr, true
 }
 
-func (m *Machine) free(addr uint64) {
+// free releases an allocation; the safe variant (a free site the
+// instrumentation pass could not prove insensitive) additionally invalidates
+// the safe-pointer-store entries covering the released object — otherwise a
+// sensitive pointer stored there before the free leaves a dangling entry
+// that still validates when the allocator reuses the address (§3.2.2's
+// invalid-metadata rule applied at deallocation time). Bulk path: one
+// DeleteRange over [addr, addr+size) instead of a full-store scan, charged
+// per covered word like the safe-memset path.
+func (m *Machine) free(addr uint64, safeVariant bool) {
 	a := m.allocs[addr]
 	if a == nil || a.freed {
 		return // lenient, like most allocators
@@ -360,11 +368,21 @@ func (m *Machine) free(addr uint64) {
 	a.freed = true
 	m.heapLive -= a.size
 	m.freeLst[a.size] = append(m.freeLst[a.size], addr)
+	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
+		words := a.size / 8
+		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.StoreCost())
+		m.spsDirty = true
+		m.sps.DeleteRange(addr, int(words))
+	}
 }
 
+// zero clears freshly allocated memory (calloc) through the page-chunked
+// fill fast path — no scratch buffer allocation, whatever the size.
 func (m *Machine) zero(addr uint64, n int64) {
-	b := make([]byte, n)
-	if err := m.mem.WriteBytes(addr, b); err != nil {
+	if n <= 0 {
+		return
+	}
+	if err := m.mem.Fill(addr, 0, n); err != nil {
 		m.memFault(err)
 	}
 }
@@ -406,11 +424,8 @@ func (m *Machine) memset(dst uint64, c byte, n int64, safeVariant bool) bool {
 	if n <= 0 {
 		return true
 	}
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = c
-	}
-	if err := m.mem.WriteBytes(dst, b); err != nil {
+	// Page-chunked in-place fill: no n-byte scratch slice per call.
+	if err := m.mem.Fill(dst, c, n); err != nil {
 		m.memFault(err)
 		return false
 	}

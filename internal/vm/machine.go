@@ -151,9 +151,10 @@ type allocation struct {
 	freed bool
 }
 
-// frame is one activation record. Frames and their register files are
-// pooled per machine (see Machine.newFrame): call-heavy workloads reuse the
-// same backing arrays instead of allocating per call.
+// frame is one activation record. Records are recycled in place in the
+// frames stack's backing array (see Machine.newFrame): a call at depth d
+// reuses the record — and usually the function, on recursive chains — of
+// the previous depth-d activation instead of allocating per call.
 type frame struct {
 	fn   *ir.Func
 	code *FuncCode // predecoded function record of fn
@@ -260,13 +261,12 @@ type Machine struct {
 	cur    *frame
 	cycles int64
 	steps  int64
-	out    bytes.Buffer
-	rng    uint64
+	// dispatches counts dispatch-loop round trips; steps-dispatches is the
+	// number of constituent executions superinstruction fusion absorbed.
+	dispatches int64
+	out        bytes.Buffer
+	rng        uint64
 
-	// framePool recycles activation records (and their register files)
-	// released by returns, so call-heavy workloads allocate only up to
-	// their peak call depth.
-	framePool []*frame
 	// Layout.
 	slideCode    uint64
 	slideData    uint64

@@ -51,9 +51,13 @@ type Code struct {
 	NumRetSites int
 	NumJmpSites int
 
-	// FusedPairs counts the superinstruction pairs the peephole pass
+	// FusedPairs counts the superinstruction heads the fusion pass
 	// rewrote (0 when predecoded with NoFuse).
 	FusedPairs int
+
+	// RegConvSites counts the direct call sites predecoded with a
+	// register-convention argument plan (see regArgPlan).
+	RegConvSites int
 }
 
 // FuncCode is one function flattened to a pc-indexed instruction stream.
@@ -61,6 +65,9 @@ type FuncCode struct {
 	Ins []PIns
 	// BlockPC maps a block index to the pc of its first instruction.
 	BlockPC []int32
+	// Plans holds the register-convention argument plans of this function's
+	// call sites, indexed by PIns.PlanIdx.
+	Plans [][]PArg
 	// NeedsRegClear marks functions where some register read is not
 	// provably preceded by a write on every path (see regsDefBeforeUse):
 	// their pooled register files must be re-zeroed per activation. Most
@@ -112,10 +119,48 @@ type PIns struct {
 	Dst3    int32 // fused third constituent's destination register
 	Blk, IP int32 // original (block, instr) position, for diagnostics
 	SiteOrd int32 // return-site ordinal (calls) / jmp-site ordinal (builtins); -1 otherwise
+	Callee  int32 // OpCall callee function index (< 0: intrinsic); mirrored into fused call heads
+	PlanIdx int32 // register-convention plan index into FuncCode.Plans; -1 means the generic arg loop runs
 
 	C, D PVal   // fused trailing constituent's operands
 	Args []PVal // predecoded call/intrinsic argument list
 	In   *ir.Instr
+}
+
+// PArg is one argument of the register calling convention: a caller register
+// (Reg >= 0) or an immediate (Reg < 0, value in Imm). A call site with a
+// plan (PIns.PlanIdx >= 0) moves its arguments straight into the callee's
+// register file — pushFrameReg — with no per-argument operand kind dispatch.
+// Plans live in a per-function side table rather than in PIns itself so the
+// stream's per-instruction footprint (dispatch-loop cache pressure) does not
+// pay a slice header on every instruction.
+type PArg struct {
+	Imm uint64
+	Reg int32
+}
+
+// regArgPlan builds the register-convention plan for a call site the irgen
+// promotion pass tagged (ir.Instr.RegArgs): the tag is the eligibility
+// signal, and this re-validates what the fast path relies on — every
+// argument a register or constant, and the argument list covering the
+// callee's parameters exactly, so pushFrameReg needs neither the arity
+// zero-fill nor a bounds guard against the callee register file.
+func regArgPlan(callee *ir.Func, in *ir.Instr) []PArg {
+	if len(in.Args) != len(callee.Params) || len(callee.Params) > callee.NumRegs {
+		return nil
+	}
+	plan := make([]PArg, len(in.Args))
+	for i, a := range in.Args {
+		switch a.Kind {
+		case ir.ValReg:
+			plan[i] = PArg{Reg: int32(a.Reg)}
+		case ir.ValConst:
+			plan[i] = PArg{Reg: -1, Imm: uint64(a.Imm)}
+		default:
+			return nil
+		}
+	}
+	return plan
 }
 
 // PVal is a predecoded operand: the ir.Value kind-switch with every
@@ -158,11 +203,17 @@ func predecodeVal(p *ir.Program, fn *ir.Func, v ir.Value) PVal {
 
 // PredecodeOptions tunes the lowering.
 type PredecodeOptions struct {
-	// NoFuse disables the superinstruction peephole pass. Handlers are
+	// NoFuse disables the superinstruction fusion pass. Handlers are
 	// still resolved per instruction; the fusion equivalence tests use
 	// this to check that fused and unfused streams are observationally
 	// identical (Output, Cycles, Steps, traps).
 	NoFuse bool
+
+	// NoRegConv disables the register calling convention: no call site gets
+	// an argument plan, so every call runs the generic pushFrame argument
+	// loop. The calling-convention equivalence tests use this to check that
+	// the fast path is observationally identical.
+	NoRegConv bool
 }
 
 // Predecode lowers a program into its execution-ready form with the default
@@ -198,6 +249,7 @@ func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 					Blk:     int32(bi),
 					IP:      int32(ii),
 					SiteOrd: -1,
+					PlanIdx: -1,
 					Scale:   in.Scale,
 					Off:     in.Off,
 					Flags:   in.Flags,
@@ -214,14 +266,23 @@ func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 				case ir.OpCast:
 					pi.CastChar = in.Ty != nil && in.Ty.Kind == ctypes.KindChar
 				case ir.OpCall:
+					pi.Callee = int32(in.Callee)
 					if in.Callee >= 0 {
 						pi.SiteOrd = retOrd
 						retOrd++
+						if in.RegArgs && !opt.NoRegConv {
+							if plan := regArgPlan(p.Funcs[in.Callee], in); plan != nil {
+								pi.PlanIdx = int32(len(fc.Plans))
+								fc.Plans = append(fc.Plans, plan)
+								c.RegConvSites++
+							}
+						}
 					} else {
 						pi.SiteOrd = jmpOrd
 						jmpOrd++
 					}
 				case ir.OpICall:
+					pi.Callee = -1
 					pi.SiteOrd = retOrd
 					retOrd++
 				}

@@ -116,13 +116,12 @@ func (m *Machine) longjmp(buf, val uint64) {
 		return
 	}
 
-	// Unwind, returning the discarded activation records — including the
-	// frame executing this longjmp — to the pool. Nothing dereferences
-	// them after the non-local transfer: execIntrinsic returns straight
-	// through step, and newFrame re-zeros recycled register files.
-	for _, df := range m.frames[depth:] {
-		m.recycleFrame(df)
-	}
+	// Unwind: the discarded activation records — including the frame
+	// executing this longjmp — stay in the backing array past the new
+	// length, where newFrame recycles them. Nothing dereferences them
+	// after the non-local transfer: execIntrinsic returns straight
+	// through the dispatch loop, and newFrame re-zeros recycled register
+	// files where needed.
 	m.frames = m.frames[:depth]
 	m.cur = target
 	m.sp = spW

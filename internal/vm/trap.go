@@ -99,7 +99,11 @@ type Result struct {
 	ExitCode int64
 	Cycles   int64
 	Steps    int64
-	Output   string
+	// Dispatches is the number of dispatch-loop round trips the run took;
+	// Steps counts executed constituents, so 1 - Dispatches/Steps is the
+	// fraction of dynamic dispatches superinstruction fusion eliminated.
+	Dispatches int64
+	Output     string
 
 	// Hijack details when Trap == TrapHijacked.
 	HijackTarget uint64
@@ -114,6 +118,16 @@ type Result struct {
 
 // Ok reports whether the program exited normally.
 func (r *Result) Ok() bool { return r.Trap == TrapExit }
+
+// FusedFrac returns the fraction of dynamic dispatches that superinstruction
+// fusion absorbed: executed constituents that did not pay a dispatch-loop
+// round trip. 0 when nothing ran (or nothing fused).
+func (r *Result) FusedFrac() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return 1 - float64(r.Dispatches)/float64(r.Steps)
+}
 
 // MemStats records peak memory consumption by category (bytes).
 type MemStats struct {

@@ -8,9 +8,38 @@ package workloads
 func Micro() []Workload {
 	return []Workload{
 		{Name: "micro.fib", Lang: C, Src: srcFib},
+		{Name: "micro.calls", Lang: C, Src: srcCalls},
 		{Name: "micro.qsort", Lang: C, Src: srcQsort},
 	}
 }
+
+// micro.calls — mutual recursion with near-empty bodies: the purest
+// call-convention stress. Where fib interleaves an add and two loads of the
+// accumulator between calls, ping/pong do nothing but test, decrement and
+// call, so virtually every dynamic step is frame push/pop traffic — the
+// workload that isolates the register calling convention's per-call cost.
+const srcCalls = `
+int pong(int n);
+
+int ping(int n) {
+	if (n == 0) return 0;
+	return pong(n - 1) + 1;
+}
+
+int pong(int n) {
+	if (n == 0) return 1;
+	return ping(n - 1);
+}
+
+int main() {
+	int acc = 0;
+	int i;
+	for (i = 0; i < 4000; i++) {
+		acc += ping(97) + pong(34);
+	}
+	return acc % 251;
+}
+`
 
 // micro.fib — naive double recursion: the densest call/return workload
 // expressible in mini-C. Nearly every step is a call, a return, or the
