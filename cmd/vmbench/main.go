@@ -8,9 +8,16 @@
 // (the ×-speedup per workload/config), so tuning sessions see the
 // trajectory without diffing JSON by hand.
 //
+// Protected rows additionally print their simulated-cycle overhead against
+// the same workload's vanilla row — the paper's actual metric — so a cost
+// regression is visible even when interpreter throughput is unchanged.
+// With -gate403 N, the scaled 403.gcc steady-state workload is also
+// measured under vanilla and cpi and the command fails if the cpi cycle
+// overhead exceeds N percent (CI runs this with N=15).
+//
 // Usage:
 //
-//	go run ./cmd/vmbench [-out BENCH_vm.json] [-reps 3] [-cpuprofile cpu.pprof]
+//	go run ./cmd/vmbench [-out BENCH_vm.json] [-reps 3] [-gate403 15] [-cpuprofile cpu.pprof]
 package main
 
 import (
@@ -45,6 +52,10 @@ type Row struct {
 	// the ratio against it, when a baseline file was present.
 	BaselineStepsPerSec float64 `json:"baseline_steps_per_sec,omitempty"`
 	SpeedupX            float64 `json:"speedup_x,omitempty"`
+
+	// OverheadPct is this config's simulated-cycle overhead over the same
+	// workload's vanilla row in this run (protected rows only).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 // Report is the BENCH_vm.json document.
@@ -116,6 +127,7 @@ func fail(err error) {
 func main() {
 	out := flag.String("out", "BENCH_vm.json", "output JSON path (- for stdout)")
 	reps := flag.Int("reps", 3, "repetitions per cell (best wall time wins)")
+	gate403 := flag.Float64("gate403", 0, "also measure the scaled 403.gcc steady-state workload and fail if cpi cycle overhead exceeds this percentage (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs (for dispatch tuning)")
 	noPromote := flag.Bool("nopromote", false, "compile without register promotion (for paired promoted-vs-unpromoted runs on the same machine; the cell names gain a -nopromote suffix)")
 	flag.Parse()
@@ -151,9 +163,11 @@ func main() {
 		}
 	}
 	rep := Report{Reps: *reps}
-	for _, w := range workloads.Micro() {
+	bench := func(name, src string) []Row {
+		var rows []Row
+		var vanCycles int64
 		for _, c := range cfgs {
-			row, err := measure(w.Name, w.Src, c.name, c.cfg, *reps)
+			row, err := measure(name, src, c.name, c.cfg, *reps)
 			if err != nil {
 				fail(err)
 			}
@@ -164,10 +178,34 @@ func main() {
 				delta = fmt.Sprintf("  %+6.1f%% vs baseline (%.2fx)",
 					100*(row.SpeedupX-1), row.SpeedupX)
 			}
+			ovh := ""
+			if c.cfg.Protect == core.Vanilla {
+				vanCycles = row.Cycles
+			} else if vanCycles > 0 {
+				row.OverheadPct = 100 * float64(row.Cycles-vanCycles) / float64(vanCycles)
+				ovh = fmt.Sprintf("  ovh %+5.1f%%", row.OverheadPct)
+			}
 			rep.Rows = append(rep.Rows, row)
-			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step  %4.1f%% fused%s\n",
+			rows = append(rows, row)
+			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step  %4.1f%% fused%s%s\n",
 				row.Workload, row.Config, row.StepsPerSec, row.NsPerStep,
-				100*row.FusedFrac, delta)
+				100*row.FusedFrac, ovh, delta)
+		}
+		return rows
+	}
+	for _, w := range workloads.Micro() {
+		bench(w.Name, w.Src)
+	}
+	if *gate403 > 0 {
+		w, ok := workloads.ByName(workloads.Spec(), "403.gcc")
+		if !ok {
+			fail(fmt.Errorf("gate403: workload 403.gcc missing"))
+		}
+		for _, row := range bench(w.Name, w.Src) {
+			if row.Config == "cpi" && row.OverheadPct > *gate403 {
+				fail(fmt.Errorf("gate403: 403.gcc cpi cycle overhead %.2f%% exceeds the %.0f%% gate",
+					row.OverheadPct, *gate403))
+			}
 		}
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")

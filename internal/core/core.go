@@ -89,6 +89,11 @@ type Config struct {
 	Isolation      vm.IsolationMode
 	DebugDualStore bool
 	TemporalSafety bool
+	// SweepEvery runs the periodic temporal-safety sweep after every
+	// SweepEvery-th allocation (0 disables it): live allocations'
+	// safe-pointer-store entries are validated against their CETS ids and
+	// stale ones dropped. See vm.Config.SweepEvery.
+	SweepEvery int64
 
 	// Runtime parameters.
 	Seed     int64
@@ -187,6 +192,7 @@ func (p *Program) VMConfig() vm.Config {
 		Isolation:      p.Cfg.Isolation,
 		DebugDualStore: p.Cfg.DebugDualStore,
 		TemporalSafety: p.Cfg.TemporalSafety,
+		SweepEvery:     p.Cfg.SweepEvery,
 		Seed:           p.Cfg.Seed,
 		Input:          p.Cfg.Input,
 		MaxSteps:       p.Cfg.MaxSteps,

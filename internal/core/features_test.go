@@ -224,6 +224,49 @@ int main(void) {
 	}
 }
 
+func TestTemporalSweepCleansDanglingTargetEntries(t *testing.T) {
+	// The free()-time bulk invalidation drops the entries *inside* the
+	// freed region; entries elsewhere that point *into* it keep validating
+	// spatially and become dangling. That is the hole the periodic
+	// temporal-safety sweep closes: each entry records the CETS id of its
+	// target object, so once the target is freed (and later recycled under
+	// a new id) the sweep sees the mismatch and drops the stale entry.
+	src := `
+struct node { void (*fn)(void); struct node *next; };
+void f(void) { puts("f"); }
+int main(void) {
+	struct node *a = (struct node *)malloc(sizeof(struct node));
+	struct node *b = (struct node *)malloc(sizeof(struct node));
+	a->fn = f;
+	b->fn = f;
+	a->next = b; // protected store: the entry records b's CETS id
+	free(b);     // invalidates b's slots, NOT the entry at &a->next
+	struct node *c = (struct node *)malloc(sizeof(struct node)); // recycles b's address
+	c->fn = f;
+	return (c != 0) + 1;
+}
+`
+	r := runT(t, src, Config{Protect: CPI, DEP: true, SweepEvery: 1})
+	if r.Trap != vm.TrapExit || r.ExitCode != 2 {
+		t.Fatalf("trap = %v exit = %d (%v), want clean exit 2", r.Trap, r.ExitCode, r.Err)
+	}
+	if r.SweepRuns == 0 {
+		t.Fatal("SweepEvery=1 ran no sweeps")
+	}
+	if r.SweepDropped == 0 {
+		t.Error("sweep dropped no entries: the dangling next-pointer entry survived")
+	}
+	if r.SweepCycles <= 0 {
+		t.Error("sweep cycles not accounted")
+	}
+	// Without the sweep the dangling entry survives the whole run,
+	// confirming the sweep is what cleaned it.
+	r0 := runT(t, src, Config{Protect: CPI, DEP: true})
+	if r0.Trap != vm.TrapExit || r0.SweepRuns != 0 {
+		t.Fatalf("baseline: trap=%v sweeps=%d", r0.Trap, r0.SweepRuns)
+	}
+}
+
 // --- longjmp protection ----------------------------------------------------
 
 func TestLongjmpBufferProtected(t *testing.T) {

@@ -4,8 +4,9 @@ package sps
 // organisations differ only in access cost and memory footprint; their
 // observable state — Get, Len, and the Scan enumeration — must be identical
 // under any operation sequence. A seeded randomized driver exercises
-// Set/Get/Delete/Reset/Scan against a model map and checks every store
-// after every step.
+// Set/Get/Delete/Reset/Scan plus the bulk entry points (CopyRange,
+// DeleteRange, DropPages, ScanRange) against a model map and checks every
+// store after every step.
 
 import (
 	"fmt"
@@ -59,6 +60,24 @@ func (m modelStore) deleteRange(base uint64, words int) {
 	for i := 0; i < words; i++ {
 		m.del(base + uint64(i)*8)
 	}
+}
+
+// dropPages is the reference DropPages: observably it is exactly
+// deleteRange — the unit count and storage release are implementation
+// facets the model does not track. It returns the number of live entries
+// removed, which must equal the hash organisation's unit count.
+func (m modelStore) dropPages(base uint64, words int) int {
+	if words <= 0 {
+		return 0
+	}
+	removed := 0
+	for i := 0; i < words; i++ {
+		if _, ok := m.get(base + uint64(i)*8); ok {
+			removed++
+		}
+		m.del(base + uint64(i)*8)
+	}
+	return removed
 }
 
 // dumpRange enumerates the model's entries with slot address in [lo, hi).
@@ -208,7 +227,7 @@ func TestCrossStoreEquivalence(t *testing.T) {
 
 			const steps = 2000
 			for i := 0; i < steps; i++ {
-				switch op := rng.Intn(14); {
+				switch op := rng.Intn(15); {
 				case op < 5: // Set (sometimes the zero Entry)
 					a, e := addr(), randEntry(rng)
 					model.set(a, e)
@@ -244,7 +263,23 @@ func TestCrossStoreEquivalence(t *testing.T) {
 					for _, s := range stores {
 						s.DeleteRange(base, words)
 					}
-				case op < 13: // ScanRange over a random, possibly unaligned window
+				case op < 13: // DropPages (page-granular bulk invalidation)
+					base := addr()
+					// Spans several shadow pages so fully covered blocks
+					// get unreserved, not just edge-trimmed.
+					words := rng.Intn(3 * pageWords)
+					removed := model.dropPages(base, words)
+					for _, s := range stores {
+						units := s.DropPages(base, words)
+						if units < 0 {
+							t.Fatalf("step %d: %s: DropPages units = %d", i, s.Name(), units)
+						}
+						if _, isHash := s.(*Hash); isHash && units != removed {
+							t.Fatalf("step %d: hash DropPages units = %d, want %d removed entries",
+								i, units, removed)
+						}
+					}
+				case op < 14: // ScanRange over a random, possibly unaligned window
 					lo := addr() + uint64(rng.Intn(8))
 					hi := lo + uint64(rng.Intn(2*pageWords*8))
 					for _, s := range stores {

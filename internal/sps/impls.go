@@ -214,6 +214,55 @@ func (a *Array) DeleteRange(base uint64, words int) {
 	}
 }
 
+// DropPages implements Store. Shadow pages fully inside the window are
+// unreserved outright — the block leaves the map, which both clears its
+// slots and returns its 16 KiB to the sparse mapping — and only the (at
+// most two) partially covered edge pages fall back to per-slot deletes.
+// The returned unit count is the number of *resident* shadow pages the
+// window intersected; unreserved pages cost nothing, which is the whole
+// point of page-granular free()-time invalidation.
+func (a *Array) DropPages(base uint64, words int) int {
+	if words <= 0 {
+		return 0
+	}
+	// Covered slots are contiguous regardless of base alignment:
+	// (base+8i)>>3 = (base>>3)+i.
+	sLo := base >> 3
+	sHi := sLo + uint64(words) // exclusive
+	units := 0
+	for pn := sLo >> 9; pn <= (sHi-1)>>9; pn++ {
+		blk := a.blocks[pn]
+		if blk == nil {
+			continue
+		}
+		units++
+		if sLo <= pn<<9 && (pn+1)<<9 <= sHi {
+			for i := range blk {
+				if blk[i] != (Entry{}) {
+					a.live--
+				}
+			}
+			delete(a.blocks, pn)
+			a.pns = nil // key set changed
+			continue
+		}
+		lo, hi := sLo, sHi
+		if lo < pn<<9 {
+			lo = pn << 9
+		}
+		if hi > (pn+1)<<9 {
+			hi = (pn + 1) << 9
+		}
+		for s := lo; s < hi; s++ {
+			if e := &blk[s&(pageWords-1)]; *e != (Entry{}) {
+				*e = Entry{}
+				a.live--
+			}
+		}
+	}
+	return units
+}
+
 // TwoLevel is the two-level lookup table organisation (directory of
 // second-level tables, like the MPX layout the paper plans to adopt, §4).
 // Each second-level table carries a cached sorted index of its keys,
@@ -434,6 +483,50 @@ func (t *TwoLevel) DeleteRange(base uint64, words int) {
 	deleteRangeGeneric(t, base, words)
 }
 
+// DropPages implements Store: second-level tables fully inside the window
+// are dropped from the directory whole; partially covered edge tables are
+// cleared through their sorted key cache. Units are resident second-level
+// tables intersected.
+func (t *TwoLevel) DropPages(base uint64, words int) int {
+	if words <= 0 {
+		return 0
+	}
+	sLo := base >> 3
+	sHi := sLo + uint64(words) // exclusive
+	units := 0
+	for hi := sLo >> l2Bits; hi <= (sHi-1)>>l2Bits; hi++ {
+		tbl := t.dir[hi]
+		if tbl == nil {
+			continue
+		}
+		units++
+		if sLo <= hi<<l2Bits && (hi+1)<<l2Bits <= sHi {
+			t.live -= len(tbl.m)
+			delete(t.dir, hi)
+			t.his = nil // directory key set changed
+			continue
+		}
+		loKey, hiKey := uint64(0), uint64(1)<<l2Bits
+		if sLo > hi<<l2Bits {
+			loKey = sLo - hi<<l2Bits
+		}
+		if sHi < (hi+1)<<l2Bits {
+			hiKey = sHi - hi<<l2Bits
+		}
+		keys := tbl.sortedKeys()
+		deleted := false
+		for i := searchU64(keys, loKey); i < len(keys) && keys[i] < hiKey; i++ {
+			delete(tbl.m, keys[i])
+			t.live--
+			deleted = true
+		}
+		if deleted {
+			tbl.keys = nil // key set changed
+		}
+	}
+	return units
+}
+
 // Hash is the hash-table organisation: most compact, slowest (probing plus
 // worse locality, §4/§5.2: 13.9% CPI memory overhead vs 105% for the array).
 // A cached sorted key index, invalidated whenever the key set changes,
@@ -532,4 +625,27 @@ func (h *Hash) CopyRange(dst, src uint64, words int) {
 // DeleteRange implements Store.
 func (h *Hash) DeleteRange(base uint64, words int) {
 	deleteRangeGeneric(h, base, words)
+}
+
+// DropPages implements Store: a hash table has no page structure to
+// release, so this is a ranged delete over the sorted key cache. Units are
+// the removed entries — the per-entry probes the organisation actually
+// pays, still far below a per-word charge over a sparsely occupied window.
+func (h *Hash) DropPages(base uint64, words int) int {
+	if words <= 0 {
+		return 0
+	}
+	sLo := base >> 3
+	sHi := sLo + uint64(words) // exclusive
+	h.keys = cachedSortedKeys(h.keys, h.m)
+	keys := h.keys
+	units := 0
+	for i := searchU64(keys, sLo); i < len(keys) && keys[i] < sHi; i++ {
+		delete(h.m, keys[i])
+		units++
+	}
+	if units > 0 {
+		h.keys = nil // key set changed
+	}
+	return units
 }

@@ -99,6 +99,16 @@ type Store interface {
 	// DeleteRange removes the entries of the words base+8i for i in
 	// [0, words) (the safe-variant memset bulk path).
 	DeleteRange(base uint64, words int)
+	// DropPages is the free()/munmap-style bulk invalidation: observably it
+	// is DeleteRange(base, words), but each organisation additionally
+	// releases the backing storage the cleared window occupied (the array
+	// unreserves whole shadow pages, the two-level store drops fully covered
+	// second-level tables, the hash falls back to a ranged delete). The
+	// return value is the number of occupied units the call touched —
+	// resident shadow pages, resident second-level tables, or (for the
+	// hash) removed entries — which is what the page-granular cost model
+	// charges instead of a per-word charge over the whole window.
+	DropPages(base uint64, words int) int
 }
 
 // New returns a store by organisation name: "array", "twolevel", "hash".

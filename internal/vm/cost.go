@@ -57,6 +57,22 @@ type CostModel struct {
 	// memcpy/memset variants (§3.2.2), on top of the SPS probe.
 	SafeIntrWord int64
 
+	// DropBase and DropUnit price the page-granular free()-time bulk
+	// invalidation (sps.Store.DropPages). The safe region is page-organized
+	// precisely so deallocation can release whole shadow pages, so a
+	// flagged free charges one per-call constant plus one unit charge per
+	// *occupied* shadow page / second-level table / removed hash entry —
+	// never per word of the freed region.
+	DropBase int64
+	DropUnit int64
+
+	// SweepAlloc and SweepEntry price the periodic temporal-safety sweep:
+	// one charge per live allocation walked, one per safe-pointer-store
+	// entry validated against its owning allocation's id (plus the store's
+	// LoadCost per probe and StoreCost per dropped entry).
+	SweepAlloc int64
+	SweepEntry int64
+
 	// SFIMask is the per-store masking cost under SFI isolation (§3.2.3:
 	// "as small as a single and operation"; measured <5% total extra).
 	// Only stores are masked — store-only sandboxing suffices to keep the
@@ -92,6 +108,10 @@ func DefaultCosts() CostModel {
 		SBCheck:      6,
 		SBGEP:        2,
 		SafeIntrWord: 2,
+		DropBase:     20,
+		DropUnit:     30,
+		SweepAlloc:   2,
+		SweepEntry:   2,
 		SFIMask:      1,
 	}
 }

@@ -56,14 +56,19 @@ func (m *Machine) finish(t *Trap) *Result {
 		m.memStats.SafeStack = used
 	}
 	r := &Result{
-		Trap:       t.Kind,
-		ExitCode:   m.exitCode,
-		Cycles:     m.cycles,
-		Steps:      m.steps,
-		Dispatches: m.dispatches,
-		Output:     m.out.String(),
-		Mem:        m.memStats,
-		Err:        t,
+		Trap:           t.Kind,
+		ExitCode:       m.exitCode,
+		Cycles:         m.cycles,
+		Steps:          m.steps,
+		Dispatches:     m.dispatches,
+		Output:         m.out.String(),
+		DoubleFrees:    m.freeDouble,
+		UntrackedFrees: m.freeUntracked,
+		SweepRuns:      m.sweepRuns,
+		SweepCycles:    m.sweepCycles,
+		SweepDropped:   m.sweepDropped,
+		Mem:            m.memStats,
+		Err:            t,
 	}
 	if t.Kind == TrapHijacked {
 		r.HijackTarget = t.Target

@@ -322,6 +322,7 @@ func (m *Machine) malloc(n int64) (uint64, bool) {
 	}
 	n = (n + 15) &^ 15
 	m.nextID++
+	m.sweepTick()
 	// Exact-size free-list reuse: realistic allocator behaviour that makes
 	// use-after-free attacks possible in the unprotected configuration.
 	if lst := m.freeLst[n]; len(lst) > 0 {
@@ -352,27 +353,54 @@ func (m *Machine) malloc(n int64) (uint64, bool) {
 	return addr, true
 }
 
+// freeListCap bounds each exact-size free list. Long steady-state runs
+// free far more blocks than they will ever reuse at once; beyond the cap
+// the address is retired (returned to the OS, in real-allocator terms)
+// instead of being kept reusable forever, so the per-size lists cannot
+// balloon host memory across scaled workloads.
+const freeListCap = 64
+
 // free releases an allocation; the safe variant (a free site the
 // instrumentation pass could not prove insensitive) additionally invalidates
 // the safe-pointer-store entries covering the released object — otherwise a
 // sensitive pointer stored there before the free leaves a dangling entry
 // that still validates when the allocator reuses the address (§3.2.2's
-// invalid-metadata rule applied at deallocation time). Bulk path: one
-// DeleteRange over [addr, addr+size) instead of a full-store scan, charged
-// per covered word like the safe-memset path.
+// invalid-metadata rule applied at deallocation time). Invalidation is
+// page-granular: one DropPages call releases whole occupied shadow pages /
+// second-level tables and is charged per occupied unit plus a small
+// constant — never per word of the freed region, which for a large mostly
+// insensitive pool would swamp the run with invalidation cycles the real
+// page-organized safe region does not pay.
+//
+// Double frees and frees of untracked (interior or foreign) addresses stay
+// lenient — the allocator absorbs them, like most production allocators —
+// but under the protected configurations the event is counted and surfaced
+// in Result, since deallocation hygiene is exactly what the temporal-safety
+// machinery keys on.
 func (m *Machine) free(addr uint64, safeVariant bool) {
+	if addr == 0 {
+		return // free(NULL) is a defined no-op
+	}
 	a := m.allocs[addr]
 	if a == nil || a.freed {
+		if m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound {
+			if a == nil {
+				m.freeUntracked++
+			} else {
+				m.freeDouble++
+			}
+		}
 		return // lenient, like most allocators
 	}
 	a.freed = true
 	m.heapLive -= a.size
-	m.freeLst[a.size] = append(m.freeLst[a.size], addr)
+	if lst := m.freeLst[a.size]; len(lst) < freeListCap {
+		m.freeLst[a.size] = append(lst, addr)
+	}
 	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
-		words := a.size / 8
-		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.StoreCost())
+		units := m.sps.DropPages(addr, int(a.size/8))
+		m.cycles += m.cfg.Cost.DropBase + int64(units)*(m.cfg.Cost.DropUnit+m.sps.StoreCost())
 		m.spsDirty = true
-		m.sps.DeleteRange(addr, int(words))
 	}
 }
 

@@ -300,3 +300,79 @@ func TestInputLen(t *testing.T) {
 		t.Fatalf("input_len = %d", r.ExitCode)
 	}
 }
+
+// TestFreeMisuseCounters: double frees and interior-pointer (untracked)
+// frees stay lenient, but under the protected configurations the machine
+// counts them and surfaces the counts in Result.
+func TestFreeMisuseCounters(t *testing.T) {
+	src := `
+int main(void) {
+	free(0);                      // free(NULL): defined, never counted
+	int *p = (int *)malloc(64);
+	free(p);
+	free(p);                      // double free
+	int *q = (int *)malloc(64);
+	free(q + 2);                  // interior pointer: untracked address
+	free(q);
+	return 3;
+}`
+	p := compile(t, src)
+	m, err := New(p, Config{CPI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run("main")
+	if r.Trap != TrapExit || r.ExitCode != 3 {
+		t.Fatalf("trap=%v exit=%d (%v), want lenient exit 3", r.Trap, r.ExitCode, r.Err)
+	}
+	if r.DoubleFrees != 1 {
+		t.Errorf("DoubleFrees = %d, want 1", r.DoubleFrees)
+	}
+	if r.UntrackedFrees != 1 {
+		t.Errorf("UntrackedFrees = %d, want 1", r.UntrackedFrees)
+	}
+	// The vanilla configuration absorbs the same misuse silently: the
+	// counters are protection-config state, not allocator state.
+	mv, err := New(compile(t, src), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := mv.Run("main")
+	if rv.DoubleFrees != 0 || rv.UntrackedFrees != 0 {
+		t.Errorf("vanilla counted double=%d untracked=%d, want 0/0",
+			rv.DoubleFrees, rv.UntrackedFrees)
+	}
+}
+
+// TestFreeListCapped: the exact-size free lists are bounded, so a long
+// steady-state alloc/free churn cannot balloon host memory; addresses past
+// the cap are retired rather than kept reusable.
+func TestFreeListCapped(t *testing.T) {
+	p := compile(t, `int main(void) { return 0; }`)
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]uint64, 0, 3*freeListCap)
+	for i := 0; i < 3*freeListCap; i++ {
+		a, ok := m.malloc(48)
+		if !ok {
+			t.Fatal("malloc failed")
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		m.free(a, false)
+	}
+	if got := len(m.freeLst[48]); got != freeListCap {
+		t.Errorf("free list holds %d addresses, want cap %d", got, freeListCap)
+	}
+	// LIFO reuse still works within the cap.
+	a, ok := m.malloc(48)
+	if !ok {
+		t.Fatal("malloc failed")
+	}
+	if want := addrs[freeListCap-1]; a != want {
+		t.Errorf("reused %#x, want LIFO head %#x", a, want)
+	}
+}

@@ -86,6 +86,11 @@ type Config struct {
 	// TemporalSafety enables CETS-style temporal id checks (the §4
 	// "can be easily extended" extension; off by default, like Levee).
 	TemporalSafety bool
+	// SweepEvery runs the periodic temporal-safety sweep after every
+	// SweepEvery-th allocation: live allocations' safe-pointer-store
+	// entries are validated against their CETS ids and stale ones dropped
+	// (see sweep.go). 0 disables the sweep (the default, like Levee).
+	SweepEvery int64
 
 	// SPS selects the safe pointer store organisation: array (default),
 	// twolevel, hash.
@@ -294,6 +299,16 @@ type Machine struct {
 	nextID  uint64
 	freeLst map[int64][]uint64 // size -> addresses (enables reuse/UAF)
 
+	// Heap-misuse counters (double frees / untracked-address frees seen at
+	// free sites under the protected configurations) and temporal-sweep
+	// accounting, surfaced in Result.
+	freeDouble     int64
+	freeUntracked  int64
+	sweepCountdown int64
+	sweepRuns      int64
+	sweepCycles    int64
+	sweepDropped   int64
+
 	// hooks are driver callbacks invoked when a function is entered; the
 	// attack harness uses them to model the §2 attacker acting at a chosen
 	// moment (e.g. between setup and dispatch).
@@ -349,21 +364,22 @@ func NewShared(p *ir.Program, code *Code, cfg Config) (*Machine, error) {
 		cfg.MaxCallDepth = 4096
 	}
 	m := &Machine{
-		cfg:        cfg,
-		prog:       p,
-		code:       code,
-		mem:        mem.New(),
-		safe:       mem.New(),
-		sps:        sps.New(cfg.SPS),
-		funcByAddr: map[uint64]int{},
-		retSites:   map[uint64]struct{}{},
-		jmpSites:   map[uint64]site{},
-		allocs:     map[uint64]*allocation{},
-		freeLst:    map[int64][]uint64{},
-		rng:        uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
-		spsDirty:   true,
-		randState:  uint64(cfg.Seed)*6364136223846793005 + 1,
-		stepBudget: cfg.MaxSteps,
+		cfg:            cfg,
+		prog:           p,
+		code:           code,
+		mem:            mem.New(),
+		safe:           mem.New(),
+		sps:            sps.New(cfg.SPS),
+		funcByAddr:     map[uint64]int{},
+		retSites:       map[uint64]struct{}{},
+		jmpSites:       map[uint64]site{},
+		allocs:         map[uint64]*allocation{},
+		freeLst:        map[int64][]uint64{},
+		rng:            uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
+		spsDirty:       true,
+		sweepCountdown: cfg.SweepEvery,
+		randState:      uint64(cfg.Seed)*6364136223846793005 + 1,
+		stepBudget:     cfg.MaxSteps,
 	}
 	if err := m.load(); err != nil {
 		return nil, err

@@ -109,6 +109,22 @@ type Result struct {
 	HijackTarget uint64
 	HijackVia    HijackVia
 
+	// Heap-misuse accounting: double frees and frees of untracked
+	// (interior or foreign) addresses observed at free sites under the
+	// protected configurations. The allocator stays lenient — both are
+	// absorbed, like most production allocators — but the events are the
+	// raw material of temporal-safety bugs, so runs surface them.
+	DoubleFrees    int64
+	UntrackedFrees int64
+
+	// Temporal-safety sweep accounting (Config.SweepEvery): number of
+	// sweep passes, the cycles they charged (included in Cycles, reported
+	// separately so overhead tables can attribute them), and the stale
+	// entries dropped.
+	SweepRuns    int64
+	SweepCycles  int64
+	SweepDropped int64
+
 	// Memory accounting for the §5.2 memory-overhead experiment.
 	Mem MemStats
 
