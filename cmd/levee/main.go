@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "layout/canary randomization seed")
 	input := flag.String("input", "", "attacker-controlled input for read_input()")
 	stats := flag.Bool("stats", false, "print instrumentation statistics")
+	statsJSON := flag.String("stats-json", "", "also write the Table 2 statistics (with and without points-to pruning) to this JSON path")
 	emitIR := flag.Bool("emit-ir", false, "print the instrumented IR instead of running")
 	entry := flag.String("entry", "main", "entry function")
 	flag.Parse()
@@ -100,6 +102,11 @@ func main() {
 			s.MemOps, s.MOPct(), s.Checks)
 		fmt.Printf("safe intrinsics:  %d\n", s.SafeIntrs)
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, string(src), cfg, prog); err != nil {
+			fatal(err)
+		}
+	}
 
 	m, err := prog.NewMachine()
 	if err != nil {
@@ -116,6 +123,56 @@ func main() {
 			r.Cycles, r.Steps, r.Mem.SPSEntries, r.Mem.SPSBytes)
 	}
 	os.Exit(int(r.ExitCode & 0x7f))
+}
+
+// statRow mirrors the ANALYSIS_stats.json row shape vmbench emits, so the
+// per-file numbers from levee and the per-workload matrix from vmbench are
+// directly comparable.
+type statRow struct {
+	Workload       string  `json:"workload"`
+	Config         string  `json:"config"`
+	PointsTo       bool    `json:"points_to"`
+	Funcs          int     `json:"funcs"`
+	FNUStackPct    float64 `json:"fnustack_pct"`
+	MemOps         int     `json:"mem_ops"`
+	Instrumented   int     `json:"instrumented"`
+	MOPct          float64 `json:"mo_pct"`
+	Checks         int     `json:"checks"`
+	SafeIntrinsics int     `json:"safe_intrinsics"`
+}
+
+// writeStatsJSON records the compiled program's Table 2 statistics. For the
+// protections with whole-program pruning (cps/cpi) the file holds two rows —
+// the requested configuration plus its NoPointsTo counterpart — so the
+// accuracy delta of the points-to analysis is visible per file.
+func writeStatsJSON(path, src string, cfg core.Config, prog *core.Program) error {
+	row := func(c core.Config, p *core.Program) statRow {
+		s := p.Stats
+		return statRow{
+			Workload: flag.Arg(0), Config: fmt.Sprint(c.Protect),
+			PointsTo: !c.NoPointsTo,
+			Funcs:    s.Funcs, FNUStackPct: s.FNUStackPct(),
+			MemOps: s.MemOps, Instrumented: s.Instrumented,
+			MOPct: s.MOPct(), Checks: s.Checks, SafeIntrinsics: s.SafeIntrs,
+		}
+	}
+	rows := []statRow{row(cfg, prog)}
+	if (cfg.Protect == core.CPS || cfg.Protect == core.CPI) && !cfg.NoPointsTo {
+		other := cfg
+		other.NoPointsTo = true
+		oprog, err := core.Compile(src, other)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row(other, oprog))
+	}
+	b, err := json.MarshalIndent(struct {
+		Rows []statRow `json:"rows"`
+	}{rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -64,6 +64,65 @@ type Report struct {
 	Rows []Row `json:"rows"`
 }
 
+// StatRow is one (workload, protection, pruning) cell of the Table 2
+// instrumentation statistics: the static cost of the protection, measured
+// at compile time, with and without the whole-program points-to pruning.
+type StatRow struct {
+	Workload       string  `json:"workload"`
+	Config         string  `json:"config"`    // cps | cpi
+	PointsTo       bool    `json:"points_to"` // whole-program pruning applied?
+	Funcs          int     `json:"funcs"`
+	FNUStackPct    float64 `json:"fnustack_pct"`
+	MemOps         int     `json:"mem_ops"`
+	Instrumented   int     `json:"instrumented"`
+	MOPct          float64 `json:"mo_pct"`
+	Checks         int     `json:"checks"`
+	SafeIntrinsics int     `json:"safe_intrinsics"`
+}
+
+// StatsReport is the ANALYSIS_stats.json document CI archives per commit so
+// sensitive-set accuracy is tracked like interpreter throughput.
+type StatsReport struct {
+	Rows []StatRow `json:"rows"`
+}
+
+// collectStats compiles every workload under cps and cpi, pruned and
+// unpruned, and returns the Table 2 columns per cell. Compile-only: no
+// execution, so the full matrix is cheap.
+func collectStats() (StatsReport, error) {
+	set := append([]workloads.Workload{}, workloads.Micro()...)
+	set = append(set, workloads.Spec()...)
+	set = append(set, workloads.Phoronix()...)
+	for _, p := range workloads.WebStack() {
+		set = append(set, workloads.Workload{Name: p.Name, Lang: workloads.C, Src: p.Src})
+	}
+	var rep StatsReport
+	for _, w := range set {
+		for _, c := range []struct {
+			name string
+			prot core.Protection
+		}{{"cps", core.CPS}, {"cpi", core.CPI}} {
+			for _, pruned := range []bool{false, true} {
+				prog, err := core.Compile(w.Src, core.Config{
+					Protect: c.prot, DEP: true, NoPointsTo: !pruned,
+				})
+				if err != nil {
+					return rep, fmt.Errorf("%s/%s: compile: %w", w.Name, c.name, err)
+				}
+				s := prog.Stats
+				rep.Rows = append(rep.Rows, StatRow{
+					Workload: w.Name, Config: c.name, PointsTo: pruned,
+					Funcs: s.Funcs, FNUStackPct: s.FNUStackPct(),
+					MemOps: s.MemOps, Instrumented: s.Instrumented,
+					MOPct: s.MOPct(), Checks: s.Checks,
+					SafeIntrinsics: s.SafeIntrs,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
 func measure(name, src, cfgName string, cfg core.Config, reps int) (Row, error) {
 	prog, err := core.Compile(src, cfg)
 	if err != nil {
@@ -129,6 +188,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per cell (best wall time wins)")
 	gate403 := flag.Float64("gate403", 0, "also measure the scaled 403.gcc steady-state workload and fail if cpi cycle overhead exceeds this percentage (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs (for dispatch tuning)")
+	statsOut := flag.String("statsout", "ANALYSIS_stats.json", "write per-workload Table 2 instrumentation statistics (cps/cpi, pruned and unpruned) to this JSON path (empty disables)")
 	noPromote := flag.Bool("nopromote", false, "compile without register promotion (for paired promoted-vs-unpromoted runs on the same machine; the cell names gain a -nopromote suffix)")
 	flag.Parse()
 
@@ -215,10 +275,44 @@ func main() {
 	b = append(b, '\n')
 	if *out == "-" {
 		os.Stdout.Write(b)
-		return
+	} else {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fail(err)
+
+	if *statsOut != "" {
+		srep, err := collectStats()
+		if err != nil {
+			fail(err)
+		}
+		// Surface the pruning wins in the text output: one line per cell
+		// where the points-to analysis shrank the instrumented set.
+		pruned := map[string]StatRow{}
+		for _, r := range srep.Rows {
+			if r.PointsTo {
+				pruned[r.Workload+"/"+r.Config] = r
+			}
+		}
+		for _, r := range srep.Rows {
+			if r.PointsTo {
+				continue
+			}
+			if p, ok := pruned[r.Workload+"/"+r.Config]; ok && p.Instrumented < r.Instrumented {
+				fmt.Printf("%-14s %-4s MO%% %5.2f -> %5.2f with points-to pruning (%d -> %d of %d memops)\n",
+					r.Workload, r.Config, r.MOPct, p.MOPct,
+					r.Instrumented, p.Instrumented, r.MemOps)
+			}
+		}
+		sb, err := json.MarshalIndent(srep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		sb = append(sb, '\n')
+		if err := os.WriteFile(*statsOut, sb, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *statsOut)
 	}
-	fmt.Printf("wrote %s\n", *out)
 }

@@ -51,6 +51,16 @@ type FuncInfo struct {
 	Fn      *ir.Func
 	Defs    []defSite // by register
 	mutable []bool    // promoted (multi-def) registers
+
+	// multiDefs lists every writer of each promoted register: promotion
+	// turns frame stores into movs, so the value-provenance heuristics
+	// (StringLike) must be able to walk backwards through all of them.
+	multiDefs map[int][]*ir.Instr
+
+	// slotLoadsIdx/slotStoresIdx index direct frame-slot accesses by slot
+	// (lazily built): the spill-everything lowering's equivalent of the
+	// mov chains, so StringLike decides identically across lowering modes.
+	slotLoadsIdx, slotStoresIdx map[int64][]*ir.Instr
 }
 
 type defSite struct {
@@ -67,9 +77,18 @@ func Analyze(f *ir.Func) *FuncInfo {
 	}
 	for bi, b := range f.Blocks {
 		for ii := range b.Ins {
-			if d := b.Ins[ii].Dst; d >= 0 && !fi.mutable[d] {
-				fi.Defs[d] = defSite{blk: bi, idx: ii, valid: true}
+			d := b.Ins[ii].Dst
+			if d < 0 {
+				continue
 			}
+			if !fi.mutable[d] {
+				fi.Defs[d] = defSite{blk: bi, idx: ii, valid: true}
+				continue
+			}
+			if fi.multiDefs == nil {
+				fi.multiDefs = map[int][]*ir.Instr{}
+			}
+			fi.multiDefs[d] = append(fi.multiDefs[d], &b.Ins[ii])
 		}
 	}
 	return fi
@@ -129,6 +148,8 @@ func (fi *FuncInfo) PointeeType(p *ir.Program, v ir.Value, depth int) *ctypes.Ty
 			if def.FromTy != nil && def.FromTy.IsPtr() {
 				return def.FromTy.Elem
 			}
+			return fi.PointeeType(p, def.A, depth+1)
+		case ir.OpMov:
 			return fi.PointeeType(p, def.A, depth+1)
 		case ir.OpGEP:
 			return fi.PointeeType(p, def.A, depth+1)
@@ -214,24 +235,165 @@ func Collect(p *ir.Program) Stats {
 // string heuristic of §3.2.1: values originating from string constants or
 // flowing into libc string functions are treated as strings, not universal
 // pointers. reg < 0 means the operand is a direct value.
+//
+// The heuristic follows mov/cast copy chains in both directions (bounded
+// depth): register promotion rewrites frame traffic into movs, so without
+// chain-following the heuristic would stop firing on promoted code while
+// still firing on the same program compiled -nopromote. Under the
+// spill-everything lowering the same copies are loads and stores on direct
+// frame slots; those are followed too — restricted to non-escaping slots,
+// where every write is visible in the function body — so the heuristic's
+// decisions are identical across the two lowering modes.
 func StringLike(fi *FuncInfo, v ir.Value, uses map[int][]*ir.Instr) bool {
+	return stringLike(fi, v, uses, 0)
+}
+
+// stringLikeMaxDepth bounds the copy-chain walk; promotion produces short
+// chains (a handful of movs), so the bound exists only to terminate on
+// cyclic promoted-register flows.
+const stringLikeMaxDepth = 8
+
+func stringLike(fi *FuncInfo, v ir.Value, uses map[int][]*ir.Instr, depth int) bool {
+	if depth > stringLikeMaxDepth {
+		return false
+	}
 	if v.Kind == ir.ValString {
 		return true
 	}
 	if v.Kind != ir.ValReg {
 		return false
 	}
+	// Backwards (def direction): the value originates from a string
+	// constant or a string-function result, possibly through movs/casts.
 	if def := fi.Def(v.Reg); def != nil {
-		if def.Op == ir.OpCall && def.Callee < 0 && isStrIntr(def.Intr) {
-			return true // result of strcpy/strcat/...: a string
-		}
-		if def.Op == ir.OpAddr && def.A.Kind == ir.ValString {
+		if defStringLike(fi, def, uses, depth) {
 			return true
 		}
+	} else {
+		// Promoted register: every writer is a candidate origin.
+		for _, def := range fi.multiDefs[v.Reg] {
+			if defStringLike(fi, def, uses, depth) {
+				return true
+			}
+		}
 	}
+	// Forwards (use direction): the value flows into a string function,
+	// possibly through movs/casts into other registers or through a
+	// non-escaping frame slot (the -nopromote spelling of a local copy).
 	for _, u := range uses[v.Reg] {
-		if u.Op == ir.OpCall && u.Callee < 0 && isStrIntr(u.Intr) {
+		switch {
+		case u.Op == ir.OpCall && u.Callee < 0 && isStrIntr(u.Intr):
 			return true // passed to a string function
+		case (u.Op == ir.OpMov || u.Op == ir.OpCast) && u.Dst >= 0 &&
+			u.A.Kind == ir.ValReg && u.A.Reg == v.Reg:
+			if stringLikeForward(fi, u.Dst, uses, depth+1) {
+				return true
+			}
+		case u.Op == ir.OpStore && u.B.Kind == ir.ValReg && u.B.Reg == v.Reg &&
+			fi.trackedSlot(u.A):
+			for _, ld := range fi.slotLoads()[slotKey(u.A)] {
+				if ld.Dst >= 0 && stringLikeForward(fi, ld.Dst, uses, depth+1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// defStringLike checks one defining instruction for string provenance.
+func defStringLike(fi *FuncInfo, def *ir.Instr, uses map[int][]*ir.Instr, depth int) bool {
+	switch def.Op {
+	case ir.OpCall:
+		return def.Callee < 0 && isStrIntr(def.Intr) // strcpy/strcat/... result
+	case ir.OpAddr:
+		return def.A.Kind == ir.ValString
+	case ir.OpMov, ir.OpCast:
+		return stringLike(fi, def.A, uses, depth+1)
+	case ir.OpLoad:
+		// Spill-everything lowering: a local copy is a load from the
+		// variable's frame slot. Every store to the same non-escaping slot
+		// is a candidate origin — the exact analogue of the promoted
+		// multiDefs walk above.
+		if fi.trackedSlot(def.A) {
+			for _, st := range fi.slotStores()[slotKey(def.A)] {
+				if stringLike(fi, st.B, uses, depth+1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// trackedSlot reports whether v directly names a frame slot all of whose
+// writes are visible in the function body. The escape analysis must have
+// run first (the instrument pipeline always orders SafeStack before
+// CPS/CPI): an address-escaped slot can be written through pointers the
+// slot-access index cannot see, so the walk refuses to reason about it and
+// the operation stays instrumented.
+func (fi *FuncInfo) trackedSlot(v ir.Value) bool {
+	return v.Kind == ir.ValFrame && !fi.Fn.Frame[v.Index].Unsafe
+}
+
+// slotKey indexes a direct frame access by object and byte offset.
+func slotKey(v ir.Value) int64 { return int64(v.Index)<<32 | int64(uint32(v.Imm)) }
+
+func (fi *FuncInfo) slotLoads() map[int64][]*ir.Instr {
+	fi.buildSlotAccesses()
+	return fi.slotLoadsIdx
+}
+
+func (fi *FuncInfo) slotStores() map[int64][]*ir.Instr {
+	fi.buildSlotAccesses()
+	return fi.slotStoresIdx
+}
+
+func (fi *FuncInfo) buildSlotAccesses() {
+	if fi.slotLoadsIdx != nil {
+		return
+	}
+	fi.slotLoadsIdx = map[int64][]*ir.Instr{}
+	fi.slotStoresIdx = map[int64][]*ir.Instr{}
+	for _, b := range fi.Fn.Blocks {
+		for ii := range b.Ins {
+			in := &b.Ins[ii]
+			if in.A.Kind != ir.ValFrame {
+				continue
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				fi.slotLoadsIdx[slotKey(in.A)] = append(fi.slotLoadsIdx[slotKey(in.A)], in)
+			case ir.OpStore:
+				fi.slotStoresIdx[slotKey(in.A)] = append(fi.slotStoresIdx[slotKey(in.A)], in)
+			}
+		}
+	}
+}
+
+// stringLikeForward walks only the use direction: once past the original
+// operand, a copy's *origin* no longer says anything about the operand, so
+// walking back would be circular.
+func stringLikeForward(fi *FuncInfo, reg int, uses map[int][]*ir.Instr, depth int) bool {
+	if depth > stringLikeMaxDepth {
+		return false
+	}
+	for _, u := range uses[reg] {
+		switch {
+		case u.Op == ir.OpCall && u.Callee < 0 && isStrIntr(u.Intr):
+			return true
+		case (u.Op == ir.OpMov || u.Op == ir.OpCast) && u.Dst >= 0 &&
+			u.A.Kind == ir.ValReg && u.A.Reg == reg:
+			if stringLikeForward(fi, u.Dst, uses, depth+1) {
+				return true
+			}
+		case u.Op == ir.OpStore && u.B.Kind == ir.ValReg && u.B.Reg == reg &&
+			fi.trackedSlot(u.A):
+			for _, ld := range fi.slotLoads()[slotKey(u.A)] {
+				if ld.Dst >= 0 && stringLikeForward(fi, ld.Dst, uses, depth+1) {
+					return true
+				}
+			}
 		}
 	}
 	return false

@@ -257,6 +257,92 @@ int f(int c) {
 	}
 }
 
+// TestPointeeTypeThroughPromotedParams covers the parameter arm of the
+// register-provenance lookup: a promoted (reassigned) parameter has no def
+// site and no frame slot, so its pointee type must come from the declared
+// parameter type — including when the value reaches the memory operation
+// through a chain of movs.
+func TestPointeeTypeThroughPromotedParams(t *testing.T) {
+	p := lowerPromoted(t, `
+struct vt { void (*fn)(void); };
+int g;
+int f(struct vt *v, int *q, int c) {
+	if (c) { q = &g; }
+	struct vt *w = v;
+	struct vt *x = w;
+	(void)x;
+	return *q;
+}
+`)
+	fn := p.FuncByName("f")
+	fi := Analyze(fn)
+
+	// q was reassigned: it must be promoted, and its pointee is int.
+	qReg := -1
+	for _, pv := range fn.Promoted {
+		if pv.Name == "q" {
+			qReg = pv.Reg
+		}
+	}
+	if qReg < 0 {
+		t.Fatalf("param q not promoted: %+v", fn.Promoted)
+	}
+	if ty := fi.PointeeType(p, ir.Reg(qReg), 0); ty == nil || ty.Kind != ctypes.KindInt {
+		t.Errorf("PointeeType(promoted param q) = %v, want int", ty)
+	}
+
+	// v was never reassigned: it stays the plain parameter register, and
+	// every mov copy of it must resolve to struct vt through the chain.
+	if ty := fi.PointeeType(p, ir.Reg(0), 0); ty == nil || ty.Kind != ctypes.KindStruct {
+		t.Errorf("PointeeType(param v) = %v, want struct vt", ty)
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			if in.Op != ir.OpMov || in.Dst < 0 || in.Ty == nil || !in.Ty.IsPtr() ||
+				in.Ty.Elem.Kind != ctypes.KindStruct {
+				continue
+			}
+			if ty := fi.PointeeType(p, ir.Reg(in.Dst), 0); ty == nil || ty.Kind != ctypes.KindStruct {
+				t.Errorf("PointeeType through mov chain (%s) = %v, want struct vt", in.String(), ty)
+			}
+		}
+	}
+}
+
+// TestPointeeTypeDepthCutoff pins the depth > 8 recursion bound: a mov
+// chain within the bound resolves the pointee type, one past it returns
+// unknown (nil) instead of recursing without limit.
+func TestPointeeTypeDepthCutoff(t *testing.T) {
+	intp := ctypes.PointerTo(ctypes.Int)
+	const chain = 12
+	fn := &ir.Func{
+		Name:    "chain",
+		Ret:     ctypes.Int,
+		Params:  []ir.Param{{Name: "p", Type: intp}},
+		NumRegs: chain + 1,
+	}
+	blk := &ir.Block{Index: 0}
+	for i := 1; i <= chain; i++ {
+		blk.Ins = append(blk.Ins, ir.Instr{
+			Op: ir.OpMov, Dst: i, A: ir.Reg(i - 1), Ty: intp,
+		})
+	}
+	blk.Ins = append(blk.Ins, ir.Instr{Op: ir.OpRet, Dst: -1, A: ir.Const(0)})
+	fn.Blocks = []*ir.Block{blk}
+	prog := &ir.Program{Funcs: []*ir.Func{fn}}
+
+	fi := Analyze(fn)
+	// Each mov hop consumes one depth unit; from r8 the walk reaches the
+	// parameter at exactly the bound.
+	if ty := fi.PointeeType(prog, ir.Reg(8), 0); ty == nil || ty.Kind != ctypes.KindInt {
+		t.Errorf("PointeeType(r8, depth 8 chain) = %v, want int", ty)
+	}
+	if ty := fi.PointeeType(prog, ir.Reg(chain), 0); ty != nil {
+		t.Errorf("PointeeType(r%d, past cutoff) = %v, want nil", chain, ty)
+	}
+}
+
 func TestAnalyzeKeepsSSADefsUnderPromotion(t *testing.T) {
 	p := lowerPromoted(t, `
 int g;

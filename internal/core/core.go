@@ -73,7 +73,26 @@ type Config struct {
 
 	// SensitiveStructs lists struct tags to protect as sensitive data in
 	// addition to code pointers (§3.2.1's struct ucred example; CPI only).
+	// Annotated compilations skip points-to pruning entirely: the solver
+	// does not model annotation sensitivity, so the type classifier is the
+	// sound classification there.
 	SensitiveStructs []string
+
+	// NoPointsTo disables the whole-program points-to sensitivity analysis
+	// and compiles CPS/CPI with the local type-based classification alone.
+	// Pruning is the default; this switch exists for differential testing
+	// (pruned-vs-unpruned behavior and Table 2 accuracy deltas) and as an
+	// escape hatch.
+	NoPointsTo bool
+
+	// AuditSensitive enables the dynamic soundness oracle for the static
+	// classification: the VM tracks code-pointer provenance at runtime and
+	// traps (vm.TrapAuditSensitive) if a value with code provenance is
+	// ever loaded from or stored to memory through an uninstrumented
+	// operation. Audit machines route every load/store through the general
+	// handlers and disable fusion, so cycle counts are not comparable to
+	// normal runs.
+	AuditSensitive bool
 
 	// System-level defenses, composable with any Protect level (the RIPE
 	// baselines toggle these).
@@ -137,6 +156,18 @@ func Compile(src string, cfg Config) (*Program, error) {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
 
+	// Whole-program sensitivity propagation (points-to pruning) is on by
+	// default for CPS/CPI. Annotated-struct compilations fall back to the
+	// type classifier: annotation sensitivity is outside the solver's
+	// object model, and the paper treats annotations as always-protected.
+	var pt *analysis.PointsTo
+	if !cfg.NoPointsTo && len(cfg.SensitiveStructs) == 0 {
+		switch cfg.Protect {
+		case CPS, CPI:
+			pt = analysis.SolvePointsTo(p)
+		}
+	}
+
 	var stats analysis.Stats
 	switch cfg.Protect {
 	case Vanilla:
@@ -146,10 +177,12 @@ func Compile(src string, cfg Config) (*Program, error) {
 		stats = analysis.Collect(p)
 	case CPS:
 		instrument.SafeStack(p)
-		stats = instrument.CPS(p)
+		stats = instrument.CPSWith(p, instrument.Opts{PointsTo: pt})
 	case CPI:
 		instrument.SafeStack(p)
-		stats = instrument.CPIWith(p, instrument.Opts{SensitiveStructs: cfg.SensitiveStructs})
+		stats = instrument.CPIWith(p, instrument.Opts{
+			SensitiveStructs: cfg.SensitiveStructs, PointsTo: pt,
+		})
 	case SoftBound:
 		stats = instrument.SoftBound(p)
 	case CFI:
@@ -168,11 +201,19 @@ func Compile(src string, cfg Config) (*Program, error) {
 // on first use. It is safe for concurrent use; all machines of this program
 // share one result.
 func (p *Program) Predecoded() *vm.Code {
+	opt := vm.PredecodeOptions{}
+	if p.Cfg.AuditSensitive {
+		// The audit checks live in the general load/store paths only:
+		// force them (and disable fusion, whose executors inline memory
+		// accesses) so no access can bypass the oracle.
+		opt.AuditHooks = true
+		opt.NoFuse = true
+	}
 	if p.pre == nil {
 		// Program built by hand rather than Compile: predecode unshared.
-		return vm.Predecode(p.IR)
+		return vm.PredecodeWith(p.IR, opt)
 	}
-	p.pre.once.Do(func() { p.pre.code = vm.Predecode(p.IR) })
+	p.pre.once.Do(func() { p.pre.code = vm.PredecodeWith(p.IR, opt) })
 	return p.pre.code
 }
 
@@ -193,6 +234,7 @@ func (p *Program) VMConfig() vm.Config {
 		DebugDualStore: p.Cfg.DebugDualStore,
 		TemporalSafety: p.Cfg.TemporalSafety,
 		SweepEvery:     p.Cfg.SweepEvery,
+		AuditSensitive: p.Cfg.AuditSensitive,
 		Seed:           p.Cfg.Seed,
 		Input:          p.Cfg.Input,
 		MaxSteps:       p.Cfg.MaxSteps,

@@ -262,6 +262,7 @@ func TestPromotionFuzzEquivalence(t *testing.T) {
 	}
 	cfgs := []Config{
 		{DEP: true},
+		{Protect: CPS, DEP: true},
 		{Protect: CPI, DEP: true},
 	}
 	for seed := int64(0); seed < int64(n); seed++ {
@@ -300,6 +301,15 @@ func TestPromotionFuzzEquivalence(t *testing.T) {
 			if pr.Steps > ur.Steps {
 				t.Fatalf("seed %d/%v: promotion increased steps %d > %d\n%s",
 					seed, cfg.Protect, pr.Steps, ur.Steps, src)
+			}
+			// Predecoding and execution operate on mirror structures and
+			// must leave the verified IR — protection flags included —
+			// untouched.
+			if err := promotedProg.IR.Verify(); err != nil {
+				t.Fatalf("seed %d/%v: post-run verify: %v\n%s", seed, cfg.Protect, err, src)
+			}
+			if err := unpromotedProg.IR.Verify(); err != nil {
+				t.Fatalf("seed %d/%v: post-run verify (nopromote): %v\n%s", seed, cfg.Protect, err, src)
 			}
 		}
 	}

@@ -215,6 +215,122 @@ func TestCPSSubsetOfCPI(t *testing.T) {
 	}
 }
 
+func TestSensitiveMutuallyRecursiveStructs(t *testing.T) {
+	fptr := PointerTo(FuncOf(Void, nil, false))
+
+	// struct even { struct odd *peer; int x; };
+	// struct odd  { struct even *peer; int y; };
+	// A pure-data two-struct cycle: the classifier must terminate and
+	// report insensitive from either entry point.
+	even := &Struct{Name: "even"}
+	odd := &Struct{Name: "odd"}
+	even.Fields = []Field{{Name: "peer", Type: PointerTo(StructOf(odd))}, {Name: "x", Type: Int}}
+	odd.Fields = []Field{{Name: "peer", Type: PointerTo(StructOf(even))}, {Name: "y", Type: Int}}
+	for _, s := range []*Struct{even, odd} {
+		if Sensitive(StructOf(s)) {
+			t.Errorf("pure-data mutually recursive struct %s reported sensitive", s.Name)
+		}
+		if SensitivePtr(PointerTo(StructOf(s))) {
+			t.Errorf("pointer to pure-data mutually recursive struct %s reported sensitive", s.Name)
+		}
+	}
+
+	// Same shape, but one side of the cycle carries a code pointer: both
+	// structs must be sensitive, reached from either entry point.
+	ctx := &Struct{Name: "ctx"}
+	cb := &Struct{Name: "cb"}
+	ctx.Fields = []Field{{Name: "handlers", Type: PointerTo(StructOf(cb))}, {Name: "n", Type: Int}}
+	cb.Fields = []Field{{Name: "owner", Type: PointerTo(StructOf(ctx))}, {Name: "fn", Type: fptr}}
+	for _, s := range []*Struct{ctx, cb} {
+		if !Sensitive(StructOf(s)) {
+			t.Errorf("mutually recursive struct %s reaching a code pointer must be sensitive", s.Name)
+		}
+		if !SensitivePtr(PointerTo(StructOf(s))) {
+			t.Errorf("pointer into the %s/%s cycle must be sensitive", ctx.Name, cb.Name)
+		}
+	}
+
+	// Diamond: two paths converge on the same leaf struct. The visiting
+	// set must not suppress re-examination along the second path.
+	leaf := &Struct{Name: "leaf", Fields: []Field{{Name: "fn", Type: fptr}}}
+	l := &Struct{Name: "l", Fields: []Field{{Name: "x", Type: Int}}}
+	r := &Struct{Name: "r", Fields: []Field{{Name: "p", Type: PointerTo(StructOf(leaf))}}}
+	top := &Struct{Name: "top", Fields: []Field{
+		{Name: "l", Type: PointerTo(StructOf(l))},
+		{Name: "r", Type: PointerTo(StructOf(r))},
+	}}
+	if !Sensitive(StructOf(top)) {
+		t.Error("diamond reaching a code pointer through its second branch must be sensitive")
+	}
+}
+
+func TestSensitiveArrayOfStructsOfFuncPtrs(t *testing.T) {
+	fptr := PointerTo(FuncOf(Void, nil, false))
+	handler := &Struct{Name: "handler", Fields: []Field{
+		{Name: "id", Type: Int},
+		{Name: "fn", Type: fptr},
+	}}
+	plain := &Struct{Name: "plain", Fields: []Field{
+		{Name: "id", Type: Int},
+		{Name: "tag", Type: ArrayOf(Char, 4)},
+	}}
+	cases := []struct {
+		ty   *Type
+		want bool
+	}{
+		{ArrayOf(StructOf(handler), 8), true},             // handler table
+		{ArrayOf(ArrayOf(StructOf(handler), 2), 4), true}, // 2-D handler table
+		{ArrayOf(StructOf(plain), 8), false},              // data-only table
+		{PointerTo(ArrayOf(StructOf(handler), 8)), true},  // pointer to the table
+		{ArrayOf(PointerTo(StructOf(handler)), 8), true},  // table of object pointers
+		{ArrayOf(PointerTo(StructOf(plain)), 8), false},   // table of data pointers
+	}
+	for _, c := range cases {
+		if got := Sensitive(c.ty); got != c.want {
+			t.Errorf("Sensitive(%s) = %v, want %v", c.ty, got, c.want)
+		}
+	}
+	// A struct embedding the sensitive table inherits its sensitivity.
+	vt := &Struct{Name: "vt", Fields: []Field{
+		{Name: "slots", Type: ArrayOf(StructOf(handler), 4)},
+	}}
+	if !Sensitive(StructOf(vt)) {
+		t.Error("struct embedding an array of fptr-carrying structs must be sensitive")
+	}
+}
+
+func TestSensitiveDeepPointerChains(t *testing.T) {
+	deep := func(base *Type, levels int) *Type {
+		for i := 0; i < levels; i++ {
+			base = PointerTo(base)
+		}
+		return base
+	}
+	// int************: regular at every depth — the classifier recurses on
+	// the pointee, not on a bounded prefix of it.
+	if Sensitive(deep(Int, 12)) {
+		t.Error("deep chain of int pointers must stay insensitive")
+	}
+	if SensitivePtr(deep(Int, 12)) {
+		t.Error("SensitivePtr on a deep int pointer chain must be false")
+	}
+	// The same chain ending in a function type is a (deeply indirected)
+	// code pointer, and ending in void* a (deeply indirected) universal
+	// pointer: both sensitive from every level.
+	fnChain := deep(FuncOf(Void, nil, false), 12)
+	if !Sensitive(fnChain) || !SensitivePtr(fnChain) {
+		t.Error("deep chain ending in a function type must be sensitive")
+	}
+	voidChain := deep(Void, 12)
+	if !Sensitive(voidChain) || !SensitivePtr(voidChain) {
+		t.Error("deep chain ending in void must be sensitive")
+	}
+	charChain := deep(Char, 12) // char************; char* sits at the bottom
+	if !Sensitive(charChain) {
+		t.Error("deep chain bottoming out in char* must be sensitive (universal)")
+	}
+}
+
 // Property: Sensitive is monotone under pointer wrapping for non-char base:
 // if T is sensitive then T* is sensitive.
 func TestSensitiveMonotone(t *testing.T) {

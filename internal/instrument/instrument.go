@@ -42,13 +42,21 @@ func SafeStack(p *ir.Program) {
 	p.Protection = append(p.Protection, "safestack")
 }
 
-// Opts configures the CPI pass.
+// Opts configures the CPI/CPS passes.
 type Opts struct {
 	// SensitiveStructs lists struct tags the programmer marked sensitive
 	// (§3.2.1: "such as struct ucred used in the FreeBSD kernel to store
 	// process UIDs"). Accesses to values of or into these structs are
 	// protected like code pointers.
 	SensitiveStructs []string
+
+	// PointsTo, when non-nil and valid, prunes type-flagged operations
+	// whose abstract targets provably never hold code pointers (the
+	// whole-program sensitivity propagation refining the local type
+	// classifier). Annotated-struct compilations must not pass one: the
+	// solver does not model annotation sensitivity, and the caller is
+	// expected to fall back to pure type-based classification there.
+	PointsTo *analysis.PointsTo
 }
 
 // CPI runs the CPI instrumentation pass and returns its statistics.
@@ -57,13 +65,13 @@ func CPI(p *ir.Program) analysis.Stats {
 	return CPIWith(p, Opts{})
 }
 
-// CPIWith runs CPI with programmer annotations.
+// CPIWith runs CPI with programmer annotations and/or points-to pruning.
 func CPIWith(p *ir.Program, opts Opts) analysis.Stats {
 	annotated := annotSet{}
 	for _, n := range opts.SensitiveStructs {
 		annotated[n] = true
 	}
-	instrumentProgramAnnot(p, modeCPI, annotated)
+	instrumentProgramOpts(p, modeCPI, annotated, opts.PointsTo)
 	p.Protection = append(p.Protection, "cpi")
 	return analysis.Collect(p)
 }
@@ -96,7 +104,13 @@ func (a annotSet) covers(t *ctypes.Type) bool {
 
 // CPS runs the relaxed code-pointer-separation pass.
 func CPS(p *ir.Program) analysis.Stats {
-	instrumentProgram(p, modeCPS)
+	return CPSWith(p, Opts{})
+}
+
+// CPSWith runs CPS with points-to pruning (SensitiveStructs is ignored:
+// annotations are a CPI feature).
+func CPSWith(p *ir.Program, opts Opts) analysis.Stats {
+	instrumentProgramOpts(p, modeCPS, nil, opts.PointsTo)
 	p.Protection = append(p.Protection, "cps")
 	return analysis.Collect(p)
 }
@@ -131,15 +145,15 @@ const (
 )
 
 func instrumentProgram(p *ir.Program, md mode) {
-	instrumentProgramAnnot(p, md, nil)
+	instrumentProgramOpts(p, md, nil, nil)
 }
 
-func instrumentProgramAnnot(p *ir.Program, md mode, annotated annotSet) {
+func instrumentProgramOpts(p *ir.Program, md mode, annotated annotSet, pt *analysis.PointsTo) {
 	for _, f := range p.Funcs {
 		if f.External {
 			continue
 		}
-		instrumentFunc(p, f, md, annotated)
+		instrumentFunc(p, f, md, annotated, pt)
 	}
 	// Mark sensitive globals (informational; the loader seeds the safe
 	// pointer store from initializers either way) and annotated ones (the
@@ -154,7 +168,7 @@ func instrumentProgramAnnot(p *ir.Program, md mode, annotated annotSet) {
 	}
 }
 
-func instrumentFunc(p *ir.Program, f *ir.Func, md mode, annotated annotSet) {
+func instrumentFunc(p *ir.Program, f *ir.Func, md mode, annotated annotSet, pt *analysis.PointsTo) {
 	fi := analysis.Analyze(f)
 	uses := analysis.Uses(f)
 	for _, obj := range f.Frame {
@@ -167,10 +181,10 @@ func instrumentFunc(p *ir.Program, f *ir.Func, md mode, annotated annotSet) {
 			in := &b.Ins[i]
 			switch in.Op {
 			case ir.OpLoad, ir.OpStore:
-				flagMemOp(p, fi, uses, in, md, annotated)
+				flagMemOp(p, fi, uses, in, md, annotated, pt)
 			case ir.OpCall:
 				if in.Callee < 0 {
-					flagIntrinsic(p, fi, in, md)
+					flagIntrinsic(p, fi, in, md, pt)
 				}
 			}
 		}
@@ -185,7 +199,7 @@ func safeStackDirect(fi *analysis.FuncInfo, v ir.Value) bool {
 }
 
 // flagMemOp decides the instrumentation of one load/store.
-func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr, md mode, annotated annotSet) {
+func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr, md mode, annotated annotSet, pt *analysis.PointsTo) {
 	ty := in.Ty
 	if ty == nil {
 		return
@@ -215,9 +229,15 @@ func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, i
 		}
 		switch {
 		case ty.IsFuncPtr():
+			if pt.Prunable(fi.Fn, in.A) {
+				return // targets provably never hold code pointers
+			}
 			in.Flags |= ir.ProtCPS
 		case ty.IsUniversalPtr():
 			if stringHeuristic(fi, uses, in) {
+				return
+			}
+			if pt.Prunable(fi.Fn, in.A) {
 				return
 			}
 			in.Flags |= ir.ProtCPS | ir.ProtUniversal
@@ -240,6 +260,12 @@ func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, i
 			}
 		}
 		if !ctypes.SensitivePtr(ty) && !ctypes.Sensitive(ty) {
+			return
+		}
+		// Whole-program refinement: the type classifier says sensitive, but
+		// if every abstract target of the address is provably non-sensitive
+		// the safe store can hold nothing under it — leave it plain.
+		if pt.Prunable(fi.Fn, in.A) {
 			return
 		}
 		if ty.IsUniversalPtr() {
@@ -271,7 +297,13 @@ func stringHeuristic(fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Ins
 
 // flagIntrinsic classifies memory-manipulation intrinsics (§3.2.2) and
 // setjmp (implicit code pointers, §3.2.1).
-func flagIntrinsic(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, md mode) {
+func flagIntrinsic(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, md mode, pt *analysis.PointsTo) {
+	// prunedArg refines the type-based argument analysis: if every abstract
+	// object the argument may point to is non-sensitive, the region can
+	// hold no safe-store entries, so the plain variant is equivalent.
+	prunedArg := func(i int) bool {
+		return i < len(in.Args) && pt.Prunable(fi.Fn, in.Args[i])
+	}
 	switch in.Intr {
 	case builtins.Setjmp:
 		switch md {
@@ -281,6 +313,9 @@ func flagIntrinsic(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, md mode) 
 			in.Flags |= ir.ProtCPS
 		}
 	case builtins.Memcpy, builtins.Memmove:
+		if prunedArg(0) && prunedArg(1) {
+			return
+		}
 		if mayTouchSensitive(p, fi, in.Args, 0, md) || mayTouchSensitive(p, fi, in.Args, 1, md) {
 			in.Flags |= ir.ProtSafeIntr
 		}
@@ -290,6 +325,9 @@ func flagIntrinsic(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, md mode) 
 		// entries covering it (otherwise a dangling entry still validates
 		// when the allocator reuses the address). Regions statically proven
 		// insensitive keep the plain variants.
+		if prunedArg(0) {
+			return
+		}
 		if mayTouchSensitive(p, fi, in.Args, 0, md) {
 			in.Flags |= ir.ProtSafeIntr
 		}

@@ -23,6 +23,14 @@ func lower(t *testing.T, src string) *ir.Program {
 	if err != nil {
 		t.Fatalf("lower: %v", err)
 	}
+	// Re-verify once the test body — and with it every instrument pass the
+	// test ran — has finished: the passes must leave the program well-formed,
+	// protection flags included.
+	t.Cleanup(func() {
+		if err := p.Verify(); err != nil {
+			t.Errorf("post-instrumentation verify: %v", err)
+		}
+	})
 	return p
 }
 
@@ -205,6 +213,94 @@ int f(char **out) {
 				t.Errorf("string-heuristic miss: %s", in.String())
 			}
 		}
+	}
+}
+
+// TestStringHeuristicPromotionInvariant pins the §3.2.1 char* heuristic to
+// decide identically whether the source is lowered with register promotion
+// (copies become mov chains) or spill-everything (copies become frame-slot
+// load/store pairs). Historically the heuristic predated promotion and only
+// one of the two spellings fired, so the same program's instrumented set —
+// and with it the safe-store traffic — depended on a lowering flag.
+func TestStringHeuristicPromotionInvariant(t *testing.T) {
+	lowerOpt := func(src string, promote bool) *ir.Program {
+		t.Helper()
+		f, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := sema.Check(f); err != nil {
+			t.Fatalf("sema: %v", err)
+		}
+		p, err := irgen.LowerWith(f, irgen.Options{PromoteRegisters: promote})
+		if err != nil {
+			t.Fatalf("lower: %v", err)
+		}
+		return p
+	}
+	universal := func(p *ir.Program) int {
+		n := 0
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Ins {
+					if in := &b.Ins[i]; in.IsMemOp() && in.Flags&ir.ProtUniversal != 0 {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	cases := []struct {
+		name, src string
+		want      int // universal-flagged memops, in BOTH lowering modes
+	}{
+		{
+			// The stored value reaches the char** slot through two local
+			// copies; its string origin ("hello") and string use (strlen)
+			// are both only visible across the copy chain.
+			name: "copy-chain-string",
+			src: `
+int f(char **out, int which) {
+	char *s = "hello";
+	char *t = s;
+	char *u = t;
+	*out = u;
+	int n = strlen(u);
+	return n + which;
+}
+`,
+			want: 0,
+		},
+		{
+			// Unknown provenance, no string use anywhere: the store stays a
+			// universal-pointer access under either lowering.
+			name: "opaque-char-star",
+			src: `
+int g(char **out, char *raw) {
+	char *r = raw;
+	*out = r;
+	return 0;
+}
+`,
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, promote := range []bool{false, true} {
+				p := lowerOpt(tc.src, promote)
+				SafeStack(p)
+				CPI(p)
+				if got := universal(p); got != tc.want {
+					t.Errorf("promote=%v: %d universal-flagged memops, want %d",
+						promote, got, tc.want)
+				}
+				if err := p.Verify(); err != nil {
+					t.Errorf("promote=%v: verify: %v", promote, err)
+				}
+			}
+		})
 	}
 }
 

@@ -14,7 +14,13 @@ import "fmt"
 //     promote variables with a potentially uninitialized read);
 //   - branch targets, frame indices, global/string/function indices are in
 //     range;
-//   - load/store sizes are 1 or 8.
+//   - load/store sizes are 1 or 8;
+//   - protection flags sit only on instructions whose handlers honor them:
+//     CPI/CPS/SoftBound memory flags on loads and stores (plus the setjmp
+//     intrinsic, whose implicit code pointer they cover), ProtSafeIntr on
+//     intrinsic calls, ProtCFI on indirect calls — and, once the safe-stack
+//     pass has run, never on a direct access to a safe-stack-resident
+//     object, which the escape analysis already proved isolated.
 //
 // The passes rely on these invariants (notably single assignment, which the
 // safe-stack escape analysis uses to reason about address flow; promoted
@@ -54,6 +60,12 @@ func (p *Program) Verify() error {
 func (p *Program) verifyFunc(f *Func) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("no blocks")
+	}
+	safeStack := false
+	for _, pass := range p.Protection {
+		if pass == "safestack" {
+			safeStack = true
+		}
 	}
 	mutable := f.MutableRegSet()
 	for _, pv := range f.Promoted {
@@ -131,6 +143,9 @@ func (p *Program) verifyFunc(f *Func) error {
 					return fmt.Errorf("block .%d instr %d: %w", bi, ii, err)
 				}
 			}
+			if err := verifyFlags(f, in, safeStack); err != nil {
+				return fmt.Errorf("block .%d instr %d: %w", bi, ii, err)
+			}
 			switch in.Op {
 			case OpLoad, OpStore:
 				if in.Size != 1 && in.Size != 8 {
@@ -161,6 +176,51 @@ func (p *Program) verifyFunc(f *Func) error {
 	}
 	if len(f.Promoted) > 0 {
 		return f.verifyDefBeforeUse(mutable)
+	}
+	return nil
+}
+
+// memProt is every protection flag whose semantics attach to a memory
+// access (value/metadata routed through the safe pointer store, bounds
+// checks on the dereferenced address).
+const memProt = ProtCPIStore | ProtCPILoad | ProtCPICheck | ProtCPS |
+	ProtUniversal | ProtSB | ProtSBCheck | ProtAnnotated
+
+// verifyFlags enforces protection-flag well-formedness: every flag must sit
+// on an instruction whose execution handler honors it, or the protection it
+// promises silently never happens. Loads and stores take the memory flags;
+// intrinsic calls take ProtSafeIntr plus the store flags setjmp needs for
+// its implicit resume-address code pointer; indirect calls take ProtCFI.
+// After the safe-stack pass, a direct access to a safe-stack-resident
+// object must carry no flags at all — the escape analysis proved the slot
+// unreachable from unsafe code, and instrumenting it would both waste
+// cycles and double-count the object in the safe pointer store.
+func verifyFlags(f *Func, in *Instr, safeStack bool) error {
+	if in.Flags == 0 {
+		return nil
+	}
+	switch in.Op {
+	case OpLoad, OpStore:
+		if bad := in.Flags &^ memProt; bad != 0 {
+			return fmt.Errorf("memory op carries non-memory protection flags %#x", uint16(bad))
+		}
+		if safeStack && in.A.Kind == ValFrame && !f.Frame[in.A.Index].Unsafe {
+			return fmt.Errorf("direct safe-stack access to %s carries protection flags %#x",
+				f.Frame[in.A.Index].Name, uint16(in.Flags))
+		}
+	case OpCall:
+		if in.Callee >= 0 {
+			return fmt.Errorf("direct call carries protection flags %#x", uint16(in.Flags))
+		}
+		if bad := in.Flags &^ (ProtSafeIntr | ProtCPIStore | ProtCPS); bad != 0 {
+			return fmt.Errorf("intrinsic call carries unexpected protection flags %#x", uint16(bad))
+		}
+	case OpICall:
+		if bad := in.Flags &^ ProtCFI; bad != 0 {
+			return fmt.Errorf("indirect call carries unexpected protection flags %#x", uint16(bad))
+		}
+	default:
+		return fmt.Errorf("op %d carries protection flags %#x", in.Op, uint16(in.Flags))
 	}
 	return nil
 }

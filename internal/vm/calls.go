@@ -254,6 +254,11 @@ func (m *Machine) popFrame(f *frame, rv uint64, rm Meta) {
 		// common case on register-promoted frames) branch-only.
 		m.clearSafeMeta(f.safeBase, f.safeBase+f.safeSize)
 	}
+	if m.cfg.AuditSensitive {
+		// Audit hygiene: drop safe-store entries under the released frame so
+		// the next activation at this depth is not blamed for them (audit.go).
+		m.auditDropStack(f.regBase, int64(f.regSize))
+	}
 	m.sp += f.regSize
 	m.ssp += f.safeSize
 	m.frames = m.frames[:len(m.frames)-1]

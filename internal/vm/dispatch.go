@@ -24,8 +24,10 @@ import (
 type handler func(m *Machine, f *frame, in *PIns)
 
 // chooseHandler resolves the handler for one predecoded instruction from
-// its opcode and operand shapes.
-func chooseHandler(in *PIns) handler {
+// its opcode and operand shapes. audit (PredecodeOptions.AuditHooks) forces
+// loads/stores onto the general handlers so the AuditSensitive provenance
+// checks in loadInto/storeFrom see every access.
+func chooseHandler(in *PIns, audit bool) handler {
 	switch in.Op {
 	case ir.OpNop:
 		return hNop
@@ -72,7 +74,7 @@ func chooseHandler(in *PIns) handler {
 	case ir.OpCast:
 		return hCast
 	case ir.OpLoad:
-		plain := in.Flags&protMask == 0
+		plain := in.Flags&protMask == 0 && !audit
 		switch in.A.Kind {
 		case ir.ValReg:
 			if plain {
@@ -93,7 +95,7 @@ func chooseHandler(in *PIns) handler {
 		}
 		return hLoadGen
 	case ir.OpStore:
-		plain := in.Flags&protMask == 0
+		plain := in.Flags&protMask == 0 && !audit
 		switch in.A.Kind {
 		case ir.ValReg:
 			if plain {

@@ -392,6 +392,11 @@ func (m *Machine) free(addr uint64, safeVariant bool) {
 		}
 		return // lenient, like most allocators
 	}
+	if !safeVariant && (m.cfg.CPI || m.cfg.CPS) {
+		if !m.auditRange(addr, a.size, "free") {
+			return
+		}
+	}
 	a.freed = true
 	m.heapLive -= a.size
 	if lst := m.freeLst[a.size]; len(lst) < freeListCap {
@@ -423,6 +428,13 @@ func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
 	if n <= 0 {
 		return true
 	}
+	if !safeVariant && (m.cfg.CPI || m.cfg.CPS) {
+		// Plain variant: the instrumentation proved both ranges insensitive.
+		// The audit oracle verifies the proof against live entries.
+		if !m.auditRange(src, n, "memcpy source") || !m.auditRange(dst, n, "memcpy destination") {
+			return false
+		}
+	}
 	b, err := m.mem.ReadBytes(src, int(n))
 	if err != nil {
 		m.memFault(err)
@@ -451,6 +463,11 @@ func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
 func (m *Machine) memset(dst uint64, c byte, n int64, safeVariant bool) bool {
 	if n <= 0 {
 		return true
+	}
+	if !safeVariant && (m.cfg.CPI || m.cfg.CPS) {
+		if !m.auditRange(dst, n, "memset") {
+			return false
+		}
 	}
 	// Page-chunked in-place fill: no n-byte scratch slice per call.
 	if err := m.mem.Fill(dst, c, n); err != nil {

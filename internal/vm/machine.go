@@ -91,6 +91,12 @@ type Config struct {
 	// entries are validated against their CETS ids and stale ones dropped
 	// (see sweep.go). 0 disables the sweep (the default, like Levee).
 	SweepEvery int64
+	// AuditSensitive turns the run into a dynamic soundness oracle for the
+	// static sensitivity classification (see audit.go): every uninstrumented
+	// word-sized memory operation is checked against code-pointer provenance
+	// and the run traps with TrapAuditSensitive on a miss. Requires the
+	// predecoder's AuditHooks routing (core.Program.Predecoded sets it up).
+	AuditSensitive bool
 
 	// SPS selects the safe pointer store organisation: array (default),
 	// twolevel, hash.

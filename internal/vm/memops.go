@@ -88,6 +88,9 @@ func (m *Machine) checkTrapKind(fl ir.Prot) TrapKind {
 // (fusion.go) all funnel into this one implementation of the §3.2.2
 // semantics.
 func (m *Machine) loadInto(f *frame, addr uint64, ptrMeta Meta, onSafe, regAddr bool, dst int32, size uint8, flags ir.Prot) {
+	if m.cfg.AuditSensitive && !m.auditLoad(addr, onSafe, size, flags) {
+		return
+	}
 	if flags&protMask == 0 {
 		// Plain access: no flag can activate checks or the safe pointer
 		// store under any configuration. This is the overwhelmingly common
@@ -237,6 +240,9 @@ func (m *Machine) violationKind(cps bool) TrapKind {
 // storeFrom performs a store whose address and value operands have already
 // been resolved; regAddr and pc behaviour as in loadInto.
 func (m *Machine) storeFrom(f *frame, addr uint64, ptrMeta Meta, onSafe, regAddr bool, val uint64, valMeta Meta, size uint8, flags ir.Prot) {
+	if m.cfg.AuditSensitive && !m.auditStore(addr, onSafe, size, flags, valMeta) {
+		return
+	}
 	if flags&protMask == 0 {
 		// Plain tail, flattened as in loadInto.
 		space := m.mem

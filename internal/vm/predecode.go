@@ -214,6 +214,13 @@ type PredecodeOptions struct {
 	// loop. The calling-convention equivalence tests use this to check that
 	// the fast path is observationally identical.
 	NoRegConv bool
+
+	// AuditHooks routes every load/store through the general handlers
+	// (loadInto/storeFrom), where the Config.AuditSensitive provenance
+	// checks live, instead of the inlined plain fast paths that skip them.
+	// Callers must pair it with NoFuse: fusion executors also inline
+	// memory accesses.
+	AuditHooks bool
 }
 
 // Predecode lowers a program into its execution-ready form with the default
@@ -292,7 +299,7 @@ func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 						pi.Args[ai] = predecodeVal(p, fn, a)
 					}
 				}
-				pi.run = chooseHandler(&pi)
+				pi.run = chooseHandler(&pi, opt.AuditHooks)
 				fc.Ins = append(fc.Ins, pi)
 			}
 		}

@@ -124,6 +124,11 @@ func (m *Machine) longjmp(buf, val uint64) {
 	// files where needed.
 	m.frames = m.frames[:depth]
 	m.cur = target
+	if spW > m.sp {
+		// Audit hygiene: entries under the discarded stack region would
+		// otherwise be blamed on later frames reusing the addresses.
+		m.auditDropStack(m.sp, int64(spW-m.sp))
+	}
 	m.sp = spW
 	if sspW > m.ssp {
 		m.clearSafeMeta(m.ssp, sspW)

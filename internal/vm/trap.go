@@ -28,26 +28,33 @@ const (
 	TrapDivZero
 	TrapBadJump
 	TrapFortify
+	// TrapAuditSensitive is raised only under Config.AuditSensitive: a
+	// value with code-pointer provenance moved through an uninstrumented
+	// memory operation, i.e. the static sensitivity classification missed
+	// an operation the dynamic oracle proves sensitive.
+	TrapAuditSensitive
 )
 
 var trapNames = [...]string{
-	TrapNone:          "running",
-	TrapExit:          "exit",
-	TrapHijacked:      "control-flow hijacked",
-	TrapSegFault:      "segmentation fault",
-	TrapNXFault:       "NX fault (DEP)",
-	TrapCPIViolation:  "CPI violation",
-	TrapCPSViolation:  "CPS violation",
-	TrapSBViolation:   "SoftBound violation",
-	TrapCFIViolation:  "CFI violation",
-	TrapStackSmash:    "stack smashing detected",
-	TrapNullCall:      "call through null/unprotected pointer",
-	TrapMaxSteps:      "step budget exhausted",
-	TrapStackOverflow: "stack overflow",
-	TrapOOM:           "out of memory",
-	TrapAbort:         "abort",
-	TrapDivZero:       "division by zero",
-	TrapBadJump:       "jump to invalid location",
+	TrapNone:           "running",
+	TrapExit:           "exit",
+	TrapHijacked:       "control-flow hijacked",
+	TrapSegFault:       "segmentation fault",
+	TrapNXFault:        "NX fault (DEP)",
+	TrapCPIViolation:   "CPI violation",
+	TrapCPSViolation:   "CPS violation",
+	TrapSBViolation:    "SoftBound violation",
+	TrapCFIViolation:   "CFI violation",
+	TrapStackSmash:     "stack smashing detected",
+	TrapNullCall:       "call through null/unprotected pointer",
+	TrapMaxSteps:       "step budget exhausted",
+	TrapStackOverflow:  "stack overflow",
+	TrapOOM:            "out of memory",
+	TrapAbort:          "abort",
+	TrapDivZero:        "division by zero",
+	TrapBadJump:        "jump to invalid location",
+	TrapFortify:        "fortify check failed",
+	TrapAuditSensitive: "sensitivity audit: code pointer through unprotected memory",
 }
 
 // String names the trap kind.

@@ -23,7 +23,10 @@ func SpecC() []Workload {
 
 // 400.perlbench — interpreter with function-pointer opcode dispatch: "its
 // main execution loop calls these function pointers one after the other"
-// (§3.3). Code-pointer loads on every dispatched opcode.
+// (§3.3). Code-pointer loads on every dispatched opcode. Alongside the op
+// tree, scalar bodies travel behind void* through a lexical pad, as in the
+// real interpreter's SV tables — universal-pointer traffic the type
+// classifier must conservatively protect but that never holds code.
 const srcPerlbench = `
 struct interp {
 	int stack[32];
@@ -31,6 +34,31 @@ struct interp {
 	int acc;
 	char strbuf[64];
 };
+// Perl-style lexical pad: generic SV slots. Only scalar bodies (heap int
+// cells) ever live here; the void* typing is what the real interpreter
+// uses for every SV*, and is exactly what §3.2.1 calls a universal pointer.
+struct pad {
+	void *slot[16];
+	int fill;
+};
+void pad_store(struct pad *pd, int i, void *sv) {
+	if (pd->slot[i & 15] == (void *)0) pd->fill++;
+	pd->slot[i & 15] = sv;
+}
+void *pad_fetch(struct pad *pd, int i) {
+	return pd->slot[i & 15];
+}
+int pad_sum(struct pad *pd) {
+	int s = 0;
+	for (int i = 0; i < 16; i++) {
+		void *sv = pad_fetch(pd, i);
+		if (sv != (void *)0) {
+			int *body = (int *)sv;
+			s += *body;
+		}
+	}
+	return s;
+}
 // As in perl: the program is an op tree whose nodes embed their handler
 // ("ppaddr") function pointers; the runloop calls them one after another.
 struct op {
@@ -94,7 +122,10 @@ int runloop(struct interp *ip, struct op *start, int reps) {
 int main(void) {
 	struct interp *ip = (struct interp *)malloc(sizeof(struct interp));
 	struct op *ops = (struct op *)malloc(64 * sizeof(struct op));
+	struct pad *pd = (struct pad *)malloc(sizeof(struct pad));
 	int seed = 12345;
+	for (int i = 0; i < 16; i++) pd->slot[i] = (void *)0;
+	pd->fill = 0;
 	for (int i = 0; i < 64; i++) {
 		seed = seed * 1103515245 + 12345;
 		int k = ((seed >> 16) & 0x7fff) % 6;
@@ -102,10 +133,17 @@ int main(void) {
 		ops[i].arg = (seed >> 3) & 1023;
 		ops[i].op_next = i + 1 < 64 ? &ops[i + 1] : (struct op *)0;
 	}
+	for (int i = 0; i < 24; i++) {
+		int *sv = (int *)malloc(sizeof(int));
+		*sv = (ops[i].arg * 3 + i) & 255;
+		pad_store(pd, i, (void *)sv);
+	}
 	int sum = runloop(ip, ops, 180);
+	sum += pad_sum(pd) + pd->fill;
 	printf("perlbench checksum %d\n", sum & 0xffff);
 	free(ip);
 	free(ops);
+	free(pd);
 	return sum & 0xff;
 }
 `
@@ -358,10 +396,29 @@ int main(void) {
 `
 
 // 445.gobmk — Go board analysis: recursive flood fill for liberties over a
-// 19x19 board; recursion-heavy, arrays by reference.
+// 19x19 board; recursion-heavy, arrays by reference. Results are memoized
+// in a persistent read cache whose payloads travel behind void*, like the
+// real engine's cached partial board reads — universal-pointer data traffic
+// with no code pointers in it.
 const srcGobmk = `
 int board[361];
 int mark[361];
+
+// gobmk-style persistent read cache: heap result records stashed behind
+// generic pointers, keyed by position and color.
+int cache_key[64];
+void *cache_val[64];
+
+void cache_store(int key, void *val) {
+	int h = (key * 31 + 7) & 63;
+	cache_key[h] = key;
+	cache_val[h] = val;
+}
+void *cache_probe(int key) {
+	int h = (key * 31 + 7) & 63;
+	if (cache_key[h] == key) return cache_val[h];
+	return (void *)0;
+}
 
 int liberties(int pos, int color) {
 	if (pos < 0 || pos >= 361) return 0;
@@ -388,7 +445,19 @@ int main(void) {
 		for (int p = 0; p < 361; p += 7) {
 			if (board[p] == 0) continue;
 			for (int i = 0; i < 361; i++) mark[i] = 0;
-			acc += liberties(p, board[p]);
+			int libs = liberties(p, board[p]);
+			acc += libs;
+			int *rec = (int *)malloc(sizeof(int));
+			*rec = libs;
+			cache_store(rep * 512 + p, (void *)rec);
+		}
+		for (int p = 0; p < 361; p += 7) {
+			if (board[p] == 0) continue;
+			void *hit = cache_probe(rep * 512 + p);
+			if (hit != (void *)0) {
+				int *rec = (int *)hit;
+				acc += *rec & 7;
+			}
 		}
 		board[(rep * 31) % 361] = (rep % 3);
 	}
