@@ -15,9 +15,15 @@
 // measured under vanilla and cpi and the command fails if the cpi cycle
 // overhead exceeds N percent (CI runs this with N=15).
 //
+// With -regress N, any vanilla micro cell whose steps/sec dropped more than
+// N percent against the loaded baseline fails the run (the CI throughput
+// gate against the committed BENCH_vm.json). -noblocks measures with block
+// compilation disabled for paired A/B runs; the block column reports the
+// fraction of dispatches block-compiled segments absorbed.
+//
 // Usage:
 //
-//	go run ./cmd/vmbench [-out BENCH_vm.json] [-reps 3] [-gate403 15] [-cpuprofile cpu.pprof]
+//	go run ./cmd/vmbench [-out BENCH_vm.json] [-reps 3] [-gate403 15] [-regress 20] [-noblocks] [-cpuprofile cpu.pprof]
 package main
 
 import (
@@ -47,6 +53,12 @@ type Row struct {
 	// fusion pass absorbed (constituents executed without a dispatch-loop
 	// round trip) — the visibility metric of the cost-driven selector.
 	FusedFrac float64 `json:"fused_dispatch_frac"`
+
+	// BlockFrac is the fraction of dynamic dispatches block compilation
+	// absorbed: constituents that ran inside a compiled segment beyond each
+	// activation's single dispatch. FusedFrac + BlockFrac + Dispatches/Steps
+	// partition the executed constituents.
+	BlockFrac float64 `json:"block_dispatch_frac"`
 
 	// BaselineStepsPerSec and SpeedupX record the previous run's rate and
 	// the ratio against it, when a baseline file was present.
@@ -129,7 +141,7 @@ func measure(name, src, cfgName string, cfg core.Config, reps int) (Row, error) 
 		return Row{}, fmt.Errorf("%s/%s: compile: %w", name, cfgName, err)
 	}
 	var steps, cycles int64
-	var fused, best float64
+	var fused, blockf, best float64
 	for i := 0; i < reps; i++ {
 		m, err := prog.NewMachine()
 		if err != nil {
@@ -141,14 +153,15 @@ func measure(name, src, cfgName string, cfg core.Config, reps int) (Row, error) 
 		if r.Trap != vm.TrapExit {
 			return Row{}, fmt.Errorf("%s/%s: trap %v (%v)", name, cfgName, r.Trap, r.Err)
 		}
-		steps, cycles, fused = r.Steps, r.Cycles, r.FusedFrac()
+		steps, cycles, fused, blockf = r.Steps, r.Cycles, r.FusedFrac(), r.BlockFrac()
 		if best == 0 || wall < best {
 			best = wall
 		}
 	}
 	row := Row{
 		Workload: name, Config: cfgName,
-		Steps: steps, Cycles: cycles, WallSeconds: best, FusedFrac: fused,
+		Steps: steps, Cycles: cycles, WallSeconds: best,
+		FusedFrac: fused, BlockFrac: blockf,
 	}
 	if best > 0 {
 		row.StepsPerSec = float64(steps) / best
@@ -190,6 +203,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs (for dispatch tuning)")
 	statsOut := flag.String("statsout", "ANALYSIS_stats.json", "write per-workload Table 2 instrumentation statistics (cps/cpi, pruned and unpruned) to this JSON path (empty disables)")
 	noPromote := flag.Bool("nopromote", false, "compile without register promotion (for paired promoted-vs-unpromoted runs on the same machine; the cell names gain a -nopromote suffix)")
+	noBlocks := flag.Bool("noblocks", false, "predecode without block compilation (for paired A/B runs on the same machine; the cell names gain a -noblocks suffix)")
+	regress := flag.Float64("regress", 0, "fail if any vanilla micro cell's steps/sec regresses by more than this percentage against the baseline loaded from -out (0 disables; CI runs this against the committed BENCH_vm.json)")
 	flag.Parse()
 
 	var base map[string]Row
@@ -222,6 +237,12 @@ func main() {
 			cfgs[i].cfg.NoPromote = true
 		}
 	}
+	if *noBlocks {
+		for i := range cfgs {
+			cfgs[i].name += "-noblocks"
+			cfgs[i].cfg.NoBlockCompile = true
+		}
+	}
 	rep := Report{Reps: *reps}
 	bench := func(name, src string) []Row {
 		var rows []Row
@@ -247,14 +268,31 @@ func main() {
 			}
 			rep.Rows = append(rep.Rows, row)
 			rows = append(rows, row)
-			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step  %4.1f%% fused%s%s\n",
+			fmt.Printf("%-14s %-8s %12.0f steps/sec %8.2f ns/step  %4.1f%% fused %5.1f%% block%s%s\n",
 				row.Workload, row.Config, row.StepsPerSec, row.NsPerStep,
-				100*row.FusedFrac, ovh, delta)
+				100*row.FusedFrac, 100*row.BlockFrac, ovh, delta)
 		}
 		return rows
 	}
+	var microRows []Row
 	for _, w := range workloads.Micro() {
-		bench(w.Name, w.Src)
+		microRows = append(microRows, bench(w.Name, w.Src)...)
+	}
+	if *regress > 0 {
+		// Throughput regression gate: every vanilla micro cell must stay
+		// within the allowance of the committed baseline.
+		var bad []string
+		for _, row := range microRows {
+			if row.Config != "vanilla" || row.BaselineStepsPerSec <= 0 {
+				continue
+			}
+			if drop := 100 * (1 - row.StepsPerSec/row.BaselineStepsPerSec); drop > *regress {
+				bad = append(bad, fmt.Sprintf("%s/%s -%.1f%%", row.Workload, row.Config, drop))
+			}
+		}
+		if len(bad) > 0 {
+			fail(fmt.Errorf("regress gate: vanilla micro throughput dropped more than %.0f%% vs baseline: %v", *regress, bad))
+		}
 	}
 	if *gate403 > 0 {
 		w, ok := workloads.ByName(workloads.Spec(), "403.gcc")

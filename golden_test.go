@@ -54,6 +54,9 @@ var goldenCycles = map[string][3]int64{
 	"static-page": {1589580, 1637604, 1811876},
 	"micro.fib":   {1979501, 1979501, 1979501},
 	"micro.calls": {7732011, 7732011, 7732011},
+	// micro.sieve touches no code pointers (one global int array), so like
+	// the other micros its protected columns equal vanilla.
+	"micro.sieve": {2829691, 2829691, 2829691},
 }
 
 // goldenCyclesNoPromote pins the unpromoted reference column (the exact
@@ -63,6 +66,7 @@ var goldenCyclesNoPromote = map[string][3]int64{
 	"static-page": {2335514, 2383538, 2557810},
 	"micro.fib":   {2935167, 2935167, 2935167},
 	"micro.calls": {10948017, 10948017, 10948017},
+	"micro.sieve": {6685177, 6685177, 6685177},
 }
 
 // goldenSteps pins per-workload dynamic step counts: promoted and
@@ -73,6 +77,7 @@ var goldenSteps = map[string][2]int64{
 	"static-page": {526489, 893449},
 	"micro.fib":   {750862, 1228694},
 	"micro.calls": {2944007, 4552009},
+	"micro.sieve": {2495247, 4422929},
 }
 
 func goldenConfigs(name string, exit int64) []goldenRow {
@@ -106,6 +111,10 @@ func TestGoldenCycleTables(t *testing.T) {
 	if !ok {
 		t.Fatal("micro.calls missing")
 	}
+	sieve, ok := workloads.ByName(workloads.Micro(), "micro.sieve")
+	if !ok {
+		t.Fatal("micro.sieve missing")
+	}
 
 	cases := []struct {
 		name string
@@ -116,6 +125,7 @@ func TestGoldenCycleTables(t *testing.T) {
 		{web.Name, web.Src, goldenConfigs(web.Name, 184)},
 		{fib.Name, fib.Src, goldenConfigs(fib.Name, 19)},
 		{calls.Name, calls.Src, goldenConfigs(calls.Name, 167)},
+		{sieve.Name, sieve.Src, goldenConfigs(sieve.Name, 61)},
 	}
 
 	for _, tc := range cases {

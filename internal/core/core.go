@@ -85,6 +85,13 @@ type Config struct {
 	// escape hatch.
 	NoPointsTo bool
 
+	// NoBlockCompile disables the predecode block-compilation stage
+	// (vm/blocks.go): no basic block or straight-line trace executes as a
+	// single compiled segment. Block compilation is the default; this
+	// switch exists for the block differential suite and for paired A/B
+	// throughput runs (vmbench -noblocks).
+	NoBlockCompile bool
+
 	// AuditSensitive enables the dynamic soundness oracle for the static
 	// classification: the VM tracks code-pointer provenance at runtime and
 	// traps (vm.TrapAuditSensitive) if a value with code provenance is
@@ -201,11 +208,12 @@ func Compile(src string, cfg Config) (*Program, error) {
 // on first use. It is safe for concurrent use; all machines of this program
 // share one result.
 func (p *Program) Predecoded() *vm.Code {
-	opt := vm.PredecodeOptions{}
+	opt := vm.PredecodeOptions{NoBlockCompile: p.Cfg.NoBlockCompile}
 	if p.Cfg.AuditSensitive {
 		// The audit checks live in the general load/store paths only:
-		// force them (and disable fusion, whose executors inline memory
-		// accesses) so no access can bypass the oracle.
+		// force them (and disable fusion and block compilation, whose
+		// executors inline memory accesses) so no access can bypass the
+		// oracle.
 		opt.AuditHooks = true
 		opt.NoFuse = true
 	}

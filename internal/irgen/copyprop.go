@@ -1,0 +1,484 @@
+package irgen
+
+// This file implements the cross-block copy propagation pass that runs
+// after the block-local promotion cleanup. The local pass (propagateCopies)
+// forwards copies only inside a basic block, so every value that crosses a
+// block boundary through a register mov — a variable read in one block and
+// used in another, an assignment `b = a` consumed by both arms of a
+// branch — still pays a mov per boundary. This pass removes that traffic
+// with three dominator-aware transformations over the whole CFG:
+//
+//  1. available-copy substitution — a forward dataflow computes, for every
+//     block entry, the set of copy pairs (d, s) such that registers d and s
+//     are guaranteed to hold the same value (and, because the VM's mov
+//     handler copies register metadata together with the value, the same
+//     metadata) on every path from entry. The lattice is the map d→s;
+//     a register mov generates its pair, any write to either side kills
+//     it, and the meet at a join is set intersection. Uses of d rewrite to
+//     s wherever a pair is available. For a single-assignment source the
+//     pass additionally checks that the source's unique definition
+//     dominates the use block — the dataflow already implies it, but the
+//     dominator check keeps the rewrite locally auditable and guards the
+//     VM's must-defined register-clear elision;
+//  2. redundant-mov elimination — a mov whose (dst, src) pair is already
+//     available is a no-op (dst provably holds the value and metadata it
+//     is about to be assigned) and is deleted;
+//  3. mov sinking — a mov that feeds only one arm of a two-way branch is
+//     pushed off the other arm: if the mov sits immediately before the
+//     terminator, its destination is live into exactly one successor, and
+//     that successor has the branch block as its only predecessor, the mov
+//     moves to the successor's head and the untaken path stops paying for
+//     it. A mov whose destination is live into neither successor is
+//     path-dead and is deleted outright — stronger than the use-count
+//     elision, which only removes registers never read anywhere.
+//
+// setjmp is the same barrier it is for the local pass: the available-copy
+// transfer function clears its state at a setjmp call (a longjmp resumes
+// there with the frame's registers as the intervening code left them, so
+// no pair captured before the call survives it), and functions that call
+// setjmp skip sinking and liveness deletion entirely — a longjmp edge
+// re-enters the CFG mid-function, and the static liveness this file
+// computes does not model that.
+//
+// Every rewrite preserves the dynamic behavior of the program instruction
+// for instruction except for the movs it deletes or sinks, which is
+// exactly the point: the dynamic step stream gets shorter, so the golden
+// step/cycle tables are re-recorded deliberately in the same change that
+// touches this pass.
+
+import (
+	"repro/internal/ir"
+)
+
+// crossBlockCopyProp runs the available-copies dataflow and rewrites uses,
+// then deletes movs made redundant by the propagation. Returns true if the
+// function changed (so the caller can re-run dead-mov elision).
+func crossBlockCopyProp(fn *ir.Func) bool {
+	if len(fn.Blocks) < 2 {
+		return false // the block-local pass already saw everything
+	}
+	rpo := reversePostorder(fn)
+	preds := predLists(fn)
+	idom := immediateDominators(fn, rpo, preds)
+	defBlock := saDefBlocks(fn)
+
+	out := copyDataflow(fn, rpo, preds)
+
+	// Rebuild each reachable block's IN from its predecessors and rewrite.
+	changed := false
+	for _, bi := range rpo {
+		st := meetPreds(out, preds[bi], bi)
+		b := fn.Blocks[bi]
+		kept := b.Ins[:0]
+		for ii := range b.Ins {
+			in := &b.Ins[ii]
+			changed = substUses(in, st, idom, defBlock, bi) || changed
+			if in.Op == ir.OpMov && in.A.Kind == ir.ValReg {
+				if s, ok := st[in.Dst]; (ok && s == in.A.Reg) || in.Dst == in.A.Reg {
+					changed = true
+					continue // redundant: dst already holds this value
+				}
+			}
+			copyTransfer(in, st)
+			kept = append(kept, *in)
+		}
+		b.Ins = kept
+	}
+	return changed
+}
+
+// substUses rewrites the register uses of one instruction through the
+// available-copy map, chasing chains to their root. A single-assignment
+// replacement register must be defined in a block dominating the use.
+func substUses(in *ir.Instr, st map[int]int, idom []int, defBlock []int, bi int) bool {
+	changed := false
+	sub := func(v *ir.Value) {
+		if v.Kind != ir.ValReg {
+			return
+		}
+		r := v.Reg
+		// Chains are acyclic (generating (d,s) requires s live, and a
+		// write to s kills (d,s)), but bound the walk anyway.
+		for hops := 0; hops < len(idom)+8; hops++ {
+			s, ok := st[r]
+			if !ok {
+				break
+			}
+			if db := defBlock[s]; db >= 0 && db != bi && !dominates(idom, db, bi) {
+				break
+			}
+			r = s
+		}
+		if r != v.Reg {
+			v.Reg = r
+			changed = true
+		}
+	}
+	sub(&in.A)
+	sub(&in.B)
+	for ai := range in.Args {
+		sub(&in.Args[ai])
+	}
+	return changed
+}
+
+// copyTransfer applies one instruction to the available-copy state.
+func copyTransfer(in *ir.Instr, st map[int]int) {
+	if isSetjmpBarrier(in) {
+		clear(st)
+		return
+	}
+	d := in.Dst
+	if d < 0 {
+		return
+	}
+	delete(st, d)
+	for t, s := range st {
+		if s == d {
+			delete(st, t)
+		}
+	}
+	if in.Op == ir.OpMov && in.A.Kind == ir.ValReg && in.A.Reg != d {
+		st[d] = in.A.Reg
+	}
+}
+
+// copyDataflow computes each reachable block's OUT copy set by iterating
+// the transfer function over reverse postorder until fixpoint.
+func copyDataflow(fn *ir.Func, rpo []int, preds [][]int) []map[int]int {
+	out := make([]map[int]int, len(fn.Blocks))
+	for {
+		changed := false
+		for _, bi := range rpo {
+			st := meetPreds(out, preds[bi], bi)
+			for ii := range fn.Blocks[bi].Ins {
+				copyTransfer(&fn.Blocks[bi].Ins[ii], st)
+			}
+			// nil means ⊤ (never computed); an empty map is a real bottom
+			// OUT and must replace it even when the contents compare equal.
+			if out[bi] == nil || !copySetEq(out[bi], st) {
+				out[bi] = st
+				changed = true
+			}
+		}
+		if !changed {
+			return out
+		}
+	}
+}
+
+// meetPreds intersects the predecessors' OUT sets (entry and blocks whose
+// predecessors are all unprocessed start empty — the conservative bottom).
+func meetPreds(out []map[int]int, preds []int, bi int) map[int]int {
+	if bi == 0 {
+		return map[int]int{}
+	}
+	var acc map[int]int
+	for _, p := range preds {
+		po := out[p]
+		if po == nil {
+			continue // unprocessed on this sweep: ⊤, identity for ∩
+		}
+		if acc == nil {
+			acc = make(map[int]int, len(po))
+			for d, s := range po {
+				acc[d] = s
+			}
+			continue
+		}
+		for d, s := range acc {
+			if ps, ok := po[d]; !ok || ps != s {
+				delete(acc, d)
+			}
+		}
+	}
+	if acc == nil {
+		acc = map[int]int{}
+	}
+	return acc
+}
+
+func copySetEq(a, b map[int]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d, s := range a {
+		if bs, ok := b[d]; !ok || bs != s {
+			return false
+		}
+	}
+	return true
+}
+
+// sinkMovs pushes movs that feed only one arm of a conditional branch into
+// that arm, and deletes movs live into neither arm. Functions that call
+// setjmp are skipped: a longjmp re-enters the CFG at the setjmp site, which
+// static liveness does not model.
+func sinkMovs(fn *ir.Func) bool {
+	if len(fn.Blocks) < 2 || callsSetjmp(fn) {
+		return false
+	}
+	preds := predLists(fn)
+	changed := false
+	for {
+		liveIn := livenessIn(fn)
+		moved := false
+		for bi, b := range fn.Blocks {
+			for len(b.Ins) >= 2 {
+				term := b.Ins[len(b.Ins)-1]
+				if term.Op != ir.OpCondBr || term.Blk0 == term.Blk1 {
+					break
+				}
+				mv := b.Ins[len(b.Ins)-2]
+				if mv.Op != ir.OpMov || mv.Dst < 0 {
+					break
+				}
+				if term.A.Kind == ir.ValReg && term.A.Reg == mv.Dst {
+					break // the mov feeds the branch condition
+				}
+				l0 := liveIn[term.Blk0][mv.Dst]
+				l1 := liveIn[term.Blk1][mv.Dst]
+				if !l0 && !l1 { // path-dead: no successor reads it
+					b.Ins = append(b.Ins[:len(b.Ins)-2], term)
+					moved, changed = true, true
+					// Deleting only removed a use inside this block, so the
+					// successors' live-in sets are still exact: keep going.
+					continue
+				}
+				target := -1
+				// The entry block (0) never qualifies: sinking into it would
+				// execute the mov on function entry.
+				if l0 && !l1 && len(preds[term.Blk0]) == 1 &&
+					term.Blk0 != bi && term.Blk0 != 0 {
+					target = term.Blk0
+				} else if l1 && !l0 && len(preds[term.Blk1]) == 1 &&
+					term.Blk1 != bi && term.Blk1 != 0 {
+					target = term.Blk1
+				}
+				if target < 0 {
+					break
+				}
+				tb := fn.Blocks[target]
+				tb.Ins = append([]ir.Instr{mv}, tb.Ins...)
+				b.Ins = append(b.Ins[:len(b.Ins)-2], term)
+				moved, changed = true, true
+				// The target's live-in set is now stale (it gained the mov's
+				// source): recompute liveness before any further decision.
+				break
+			}
+		}
+		if !moved {
+			return changed
+		}
+	}
+}
+
+// livenessIn computes per-block register live-in sets (backward dataflow).
+func livenessIn(fn *ir.Func) [][]bool {
+	nb, nr := len(fn.Blocks), fn.NumRegs
+	liveIn := make([][]bool, nb)
+	for i := range liveIn {
+		liveIn[i] = make([]bool, nr)
+	}
+	for {
+		changed := false
+		for bi := nb - 1; bi >= 0; bi-- {
+			b := fn.Blocks[bi]
+			live := make([]bool, nr)
+			term := &b.Ins[len(b.Ins)-1]
+			switch term.Op {
+			case ir.OpBr:
+				copy(live, liveIn[term.Blk0])
+			case ir.OpCondBr:
+				copy(live, liveIn[term.Blk0])
+				for r, l := range liveIn[term.Blk1] {
+					live[r] = live[r] || l
+				}
+			}
+			use := func(v ir.Value) {
+				if v.Kind == ir.ValReg && v.Reg >= 0 && v.Reg < nr {
+					live[v.Reg] = true
+				}
+			}
+			for ii := len(b.Ins) - 1; ii >= 0; ii-- {
+				in := &b.Ins[ii]
+				if d := in.Dst; d >= 0 && d < nr {
+					live[d] = false
+				}
+				use(in.A)
+				use(in.B)
+				for _, a := range in.Args {
+					use(a)
+				}
+			}
+			for r := range live {
+				if live[r] && !liveIn[bi][r] {
+					liveIn[bi][r] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return liveIn
+		}
+	}
+}
+
+func callsSetjmp(fn *ir.Func) bool {
+	for _, b := range fn.Blocks {
+		for ii := range b.Ins {
+			if isSetjmpBarrier(&b.Ins[ii]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- CFG scaffolding ----
+
+// predLists returns each block's predecessor list (reachability-agnostic:
+// an edge counts whether or not its source is reachable).
+func predLists(fn *ir.Func) [][]int {
+	preds := make([][]int, len(fn.Blocks))
+	for bi, b := range fn.Blocks {
+		term := &b.Ins[len(b.Ins)-1]
+		switch term.Op {
+		case ir.OpBr:
+			preds[term.Blk0] = append(preds[term.Blk0], bi)
+		case ir.OpCondBr:
+			preds[term.Blk0] = append(preds[term.Blk0], bi)
+			if term.Blk1 != term.Blk0 {
+				preds[term.Blk1] = append(preds[term.Blk1], bi)
+			}
+		}
+	}
+	return preds
+}
+
+// reversePostorder returns the reachable blocks in reverse postorder of a
+// DFS from entry (the canonical forward-dataflow iteration order).
+func reversePostorder(fn *ir.Func) []int {
+	seen := make([]bool, len(fn.Blocks))
+	post := make([]int, 0, len(fn.Blocks))
+	var walk func(int)
+	walk = func(bi int) {
+		seen[bi] = true
+		term := &fn.Blocks[bi].Ins[len(fn.Blocks[bi].Ins)-1]
+		switch term.Op {
+		case ir.OpBr:
+			if !seen[term.Blk0] {
+				walk(term.Blk0)
+			}
+		case ir.OpCondBr:
+			if !seen[term.Blk0] {
+				walk(term.Blk0)
+			}
+			if !seen[term.Blk1] {
+				walk(term.Blk1)
+			}
+		}
+		post = append(post, bi)
+	}
+	walk(0)
+	rpo := make([]int, len(post))
+	for i, bi := range post {
+		rpo[len(post)-1-i] = bi
+	}
+	return rpo
+}
+
+// immediateDominators computes each reachable block's immediate dominator
+// with the Cooper-Harvey-Kennedy iterative algorithm over reverse
+// postorder. Unreachable blocks get idom -1; the entry is its own idom.
+func immediateDominators(fn *ir.Func, rpo []int, preds [][]int) []int {
+	nb := len(fn.Blocks)
+	rpoNum := make([]int, nb)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, bi := range rpo {
+		rpoNum[bi] = i
+	}
+	idom := make([]int, nb)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for {
+		changed := false
+		for _, bi := range rpo[1:] {
+			newIdom := -1
+			for _, p := range preds[bi] {
+				if idom[p] < 0 {
+					continue // unreachable or unprocessed predecessor
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[bi] != newIdom {
+				idom[bi] = newIdom
+				changed = true
+			}
+		}
+		if !changed {
+			return idom
+		}
+	}
+}
+
+// dominates reports whether block a dominates block b (by walking b's
+// idom chain up to the entry).
+func dominates(idom []int, a, b int) bool {
+	if a == b {
+		return true
+	}
+	for b != 0 {
+		b = idom[b]
+		if b < 0 {
+			return false
+		}
+		if b == a {
+			return true
+		}
+	}
+	return a == 0
+}
+
+// saDefBlocks maps each single-assignment register to its defining block
+// (-1 for parameters, which every block may read, and for promoted
+// registers, whose validity the dataflow alone establishes).
+func saDefBlocks(fn *ir.Func) []int {
+	db := make([]int, fn.NumRegs)
+	for i := range db {
+		db[i] = -1
+	}
+	mutable := fn.MutableRegSet()
+	for bi, b := range fn.Blocks {
+		for ii := range b.Ins {
+			if d := b.Ins[ii].Dst; d >= 0 && d < len(db) && !mutable[d] {
+				db[d] = bi
+			}
+		}
+	}
+	for i := range fn.Params {
+		if i < len(db) {
+			db[i] = -1
+		}
+	}
+	return db
+}

@@ -97,6 +97,15 @@ func promoteFunc(fn *ir.Func) {
 	propagateCopies(fn)
 	foldMovIntoDef(fn)
 	elideDeadMovs(fn)
+	// Cross-block cleanup (copyprop.go): propagate copies through the CFG,
+	// drop movs the propagation made redundant, then sink branch-feeding
+	// movs off the arms that never read them.
+	if crossBlockCopyProp(fn) {
+		elideDeadMovs(fn)
+	}
+	if sinkMovs(fn) {
+		elideDeadMovs(fn)
+	}
 	compactFrame(fn, cand)
 }
 

@@ -26,10 +26,13 @@ func (m *Machine) Run(entry string) *Result {
 	// The dispatch loop: one step of bookkeeping, then one indirect call
 	// through the handler resolved at predecode time (dispatch.go). Fused
 	// superinstructions count their second constituent themselves
-	// (fusedTick), so m.steps is always the constituent step count, while
-	// disp counts loop round trips — the difference is the dispatches the
-	// fusion pass eliminated (Result.Dispatches). The budget is hoisted to
-	// a local — it never changes during a run.
+	// (fusedTick), and block-compiled segments count theirs in the segment
+	// runner (blocks.go), so m.steps is always the constituent step count,
+	// while disp counts loop round trips. Segment trampoline hops are
+	// dispatches the loop never sees (m.extraDisp); the total is what
+	// Result.Dispatches reports, so a segment activation costs exactly one
+	// dispatch however it was entered. The budget is hoisted to a local —
+	// it never changes during a run.
 	budget := m.stepBudget
 	disp := int64(0)
 	for m.trap == nil {
@@ -43,7 +46,7 @@ func (m *Machine) Run(entry string) *Result {
 		in := &f.ins[f.pc]
 		in.run(m, f, in)
 	}
-	m.dispatches = disp
+	m.dispatches = disp + m.extraDisp
 	return m.finish(m.trap)
 }
 
@@ -61,6 +64,8 @@ func (m *Machine) finish(t *Trap) *Result {
 		Cycles:         m.cycles,
 		Steps:          m.steps,
 		Dispatches:     m.dispatches,
+		BlockSteps:     m.blockSteps,
+		BlockEntries:   m.blockEntries,
 		Output:         m.out.String(),
 		DoubleFrees:    m.freeDouble,
 		UntrackedFrees: m.freeUntracked,
@@ -296,7 +301,14 @@ func (m *Machine) finishPush(f *frame, fi int, retAddr uint64) {
 	if fn.NeedsUnsafeFrame {
 		m.cycles += m.cfg.Cost.UnsafeFrame
 	}
-	m.frames = append(m.frames, f)
+	if n := len(m.frames); n < cap(m.frames) && m.frames[:cap(m.frames)][n] == f {
+		// Recycled frame record (newFrame): extend the slice without
+		// re-storing the pointer, sparing the GC write barrier on the
+		// hottest push path.
+		m.frames = m.frames[:n+1]
+	} else {
+		m.frames = append(m.frames, f)
+	}
 	m.cur = f
 	m.notePushPeaks(m.sp, m.ssp)
 }

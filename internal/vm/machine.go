@@ -275,6 +275,13 @@ type Machine struct {
 	// dispatches counts dispatch-loop round trips; steps-dispatches is the
 	// number of constituent executions superinstruction fusion absorbed.
 	dispatches int64
+	// Block-compilation accounting (blocks.go): constituents executed
+	// inside compiled segments, segment activations (each activation pays
+	// exactly one dispatch), and trampoline hops — dispatches charged by
+	// the segment runner itself rather than the loop.
+	blockSteps   int64
+	blockEntries int64
+	extraDisp    int64
 	out        bytes.Buffer
 	rng        uint64
 

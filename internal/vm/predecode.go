@@ -55,6 +55,10 @@ type Code struct {
 	// rewrote (0 when predecoded with NoFuse).
 	FusedPairs int
 
+	// BlockSegs counts the block-compiled segments installed (0 when
+	// predecoded with NoBlockCompile or AuditHooks; see blocks.go).
+	BlockSegs int
+
 	// RegConvSites counts the direct call sites predecoded with a
 	// register-convention argument plan (see regArgPlan).
 	RegConvSites int
@@ -73,6 +77,15 @@ type FuncCode struct {
 	// their pooled register files must be re-zeroed per activation. Most
 	// functions are proven clean and skip the per-call clear entirely.
 	NeedsRegClear bool
+	// Segs maps a pc to the block-compiled segment anchored there (a
+	// zero-length ref for non-entry slots; see blocks.go), as an
+	// offset/length window into SegOps. Allocated whenever block
+	// compilation ran, even if no segment qualified — the segment
+	// trampoline indexes it for every function a run can enter. SegOps
+	// pools every segment's flattened micro-ops contiguously so the
+	// segment runner streams one dense array per function.
+	Segs   []segRef
+	SegOps []segOp
 }
 
 // PIns is one predecoded instruction. Hot fields are resolved copies of the
@@ -215,11 +228,19 @@ type PredecodeOptions struct {
 	// the fast path is observationally identical.
 	NoRegConv bool
 
+	// NoBlockCompile disables the block-compilation stage (blocks.go):
+	// no basic block or trace is compiled into a segment, so every
+	// instruction (fused or not) dispatches through the loop. The block
+	// differential tests use this to check that block-compiled execution
+	// is observationally identical (Output, Cycles, Steps, traps).
+	NoBlockCompile bool
+
 	// AuditHooks routes every load/store through the general handlers
 	// (loadInto/storeFrom), where the Config.AuditSensitive provenance
 	// checks live, instead of the inlined plain fast paths that skip them.
 	// Callers must pair it with NoFuse: fusion executors also inline
-	// memory accesses.
+	// memory accesses. It also disables block compilation — segment
+	// bodies inline the same plain fast paths.
 	AuditHooks bool
 }
 
@@ -307,6 +328,14 @@ func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 			c.FusedPairs += fuse(fc)
 		}
 		fc.NeedsRegClear = !regsDefBeforeUse(fn)
+	}
+	// Block compilation runs after every function is predecoded: traces
+	// inline direct-call continuations, so buildTrace reads callee
+	// instruction streams across function boundaries.
+	if !opt.NoBlockCompile && !opt.AuditHooks {
+		for fi := range c.Funcs {
+			c.BlockSegs += compileBlocks(c, &c.Funcs[fi])
+		}
 	}
 	c.NumRetSites = int(retOrd)
 	c.NumJmpSites = int(jmpOrd)

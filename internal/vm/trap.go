@@ -106,11 +106,18 @@ type Result struct {
 	ExitCode int64
 	Cycles   int64
 	Steps    int64
-	// Dispatches is the number of dispatch-loop round trips the run took;
-	// Steps counts executed constituents, so 1 - Dispatches/Steps is the
-	// fraction of dynamic dispatches superinstruction fusion eliminated.
+	// Dispatches is the number of dispatch round trips the run took — loop
+	// iterations plus segment trampoline hops, so a block-compiled segment
+	// activation counts once however it was entered. Steps counts executed
+	// constituents; the gap is split between superinstruction fusion
+	// (FusedFrac) and block compilation (BlockFrac).
 	Dispatches int64
-	Output     string
+	// BlockSteps and BlockEntries are the constituents executed inside
+	// block-compiled segments and the number of segment activations; their
+	// difference is the dispatches block compilation absorbed.
+	BlockSteps   int64
+	BlockEntries int64
+	Output       string
 
 	// Hijack details when Trap == TrapHijacked.
 	HijackTarget uint64
@@ -142,14 +149,25 @@ type Result struct {
 // Ok reports whether the program exited normally.
 func (r *Result) Ok() bool { return r.Trap == TrapExit }
 
-// FusedFrac returns the fraction of dynamic dispatches that superinstruction
-// fusion absorbed: executed constituents that did not pay a dispatch-loop
-// round trip. 0 when nothing ran (or nothing fused).
+// FusedFrac returns the fraction of executed constituents whose dispatch
+// superinstruction fusion absorbed — constituents that paid neither a
+// dispatch round trip nor rode inside a block-compiled segment. 0 when
+// nothing ran (or nothing fused).
 func (r *Result) FusedFrac() float64 {
 	if r.Steps == 0 {
 		return 0
 	}
-	return 1 - float64(r.Dispatches)/float64(r.Steps)
+	return float64(r.Steps-r.Dispatches-(r.BlockSteps-r.BlockEntries)) / float64(r.Steps)
+}
+
+// BlockFrac returns the fraction of executed constituents whose dispatch
+// block compilation absorbed: constituents that ran inside a compiled
+// segment beyond each activation's single dispatch. 0 when nothing ran.
+func (r *Result) BlockFrac() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.BlockSteps-r.BlockEntries) / float64(r.Steps)
 }
 
 // MemStats records peak memory consumption by category (bytes).

@@ -10,8 +10,47 @@ func Micro() []Workload {
 		{Name: "micro.fib", Lang: C, Src: srcFib},
 		{Name: "micro.calls", Lang: C, Src: srcCalls},
 		{Name: "micro.qsort", Lang: C, Src: srcQsort},
+		{Name: "micro.sieve", Lang: C, Src: srcSieve},
 	}
 }
+
+// micro.sieve — sieve of Eratosthenes over a global flag array: the
+// branch-dense counterpoint to the call-heavy micros. Almost every dynamic
+// step sits in one of three loops (initialization, the prime scan with its
+// per-element conditional, and the composite-marking inner loop), so this
+// workload measures straight-line and branchy loop execution — fusion
+// windows and block-compiled traces — with almost no call traffic at all.
+const srcSieve = `
+int flags[2048];
+
+int sieve(int n) {
+	int i;
+	int j;
+	int count = 0;
+	for (i = 0; i < n; i++) {
+		flags[i] = 1;
+	}
+	for (i = 2; i < n; i++) {
+		if (flags[i]) {
+			count++;
+			for (j = i + i; j < n; j += i) {
+				flags[j] = 0;
+			}
+		}
+	}
+	return count;
+}
+
+int main() {
+	int r;
+	int acc = 0;
+	for (r = 0; r < 40; r++) {
+		acc += sieve(2048);
+	}
+	// 309 primes below 2048, 40 rounds: 12360 % 251 = 61.
+	return acc % 251;
+}
+`
 
 // micro.calls — mutual recursion with near-empty bodies: the purest
 // call-convention stress. Where fib interleaves an add and two loads of the
