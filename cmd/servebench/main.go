@@ -1,0 +1,304 @@
+// Command servebench measures request-serving behavior: thousands of
+// concurrent tenants issue requests against shared predecoded programs,
+// each request served by a pooled machine (core.Program.NewPool) that is
+// Reset between requests instead of rebuilt. It reports per-request wall
+// latency percentiles (p50/p99/p999) and aggregate interpreter throughput
+// per protection level, and writes the results as JSON — the BENCH
+// trajectory record CI keeps next to vmbench's so serving-path latency
+// regressions are visible per commit.
+//
+// The scenario is the Table 4 web stack in serving form
+// (workloads.WebServe): each request executes one page's worth of work on
+// its own machine, drawn per tenant from a weighted static/wsgi/dynamic
+// mix. The page choice comes from a per-tenant deterministic generator, so
+// every protection level serves the identical request sequence and the
+// simulated-cycle overhead against vanilla is exact, printed per row like
+// vmbench.
+//
+// Concurrency is closed-loop by default — every tenant keeps one request
+// in flight — with -conc capping simultaneously executing requests and
+// -rate pacing aggregate arrivals (requests/sec; 0 = unpaced).
+//
+// Usage:
+//
+//	go run ./cmd/servebench [-tenants 2000] [-reqs 5] [-conc 0] [-rate 0]
+//	    [-mix static=70,wsgi=25,dynamic=5] [-protections vanilla,cps,cpi]
+//	    [-out BENCH_serve.json] [-smoke]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Row is one measured protection level: the full tenant fleet's latency
+// distribution and throughput under that protection.
+type Row struct {
+	Config   string `json:"config"`
+	Tenants  int    `json:"tenants"`
+	Requests int64  `json:"requests"`
+
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	Steps       int64   `json:"steps"`
+	Cycles      int64   `json:"cycles"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+
+	// Pool effectiveness: how many requests reused a reset machine vs
+	// paying full construction.
+	PoolReuses int64 `json:"pool_reuses"`
+	PoolNews   int64 `json:"pool_news"`
+
+	// OverheadPct is this protection's simulated-cycle overhead over the
+	// vanilla row of the same run (the request sequence is identical).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	Tenants int    `json:"tenants"`
+	Reqs    int    `json:"reqs_per_tenant"`
+	Mix     string `json:"mix"`
+	Rows    []Row  `json:"rows"`
+}
+
+// mixEntry is one weighted page of the scenario mix.
+type mixEntry struct {
+	name   string
+	weight int
+}
+
+// parseMix parses "static=70,wsgi=25,dynamic=5" against the serving page
+// set. Weights are relative (any positive total).
+func parseMix(s string, pages []workloads.WebPage) ([]mixEntry, error) {
+	short := map[string]bool{}
+	for _, p := range pages {
+		short[strings.TrimPrefix(p.Name, "serve-")] = true
+	}
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		if !short[name] {
+			return nil, fmt.Errorf("mix entry %q: unknown page (want static, wsgi, dynamic)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: bad weight", part)
+		}
+		if w > 0 {
+			mix = append(mix, mixEntry{name: name, weight: w})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix %q selects no pages", s)
+	}
+	return mix, nil
+}
+
+// pickPage draws a page index from the mix with the given xorshift state,
+// returning the new state. Deterministic per tenant, independent of the
+// protection level, so all protections serve the same request sequence.
+func pickPage(mix []mixEntry, total int, state uint64) (int, uint64) {
+	state ^= state << 13
+	state ^= state >> 7
+	state ^= state << 17
+	r := int(state % uint64(total))
+	for i, m := range mix {
+		if r < m.weight {
+			return i, state
+		}
+		r -= m.weight
+	}
+	return len(mix) - 1, state
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	tenants := flag.Int("tenants", 2000, "concurrent tenants (each runs its own request loop)")
+	reqs := flag.Int("reqs", 5, "sequential requests per tenant")
+	conc := flag.Int("conc", 0, "cap on simultaneously executing requests (0 = one per tenant)")
+	rate := flag.Float64("rate", 0, "aggregate arrival rate in requests/sec (0 = closed loop, unpaced)")
+	mixFlag := flag.String("mix", "static=70,wsgi=25,dynamic=5", "weighted page mix per request")
+	prots := flag.String("protections", "vanilla,cps,cpi", "comma-separated protection levels to measure")
+	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+	smoke := flag.Bool("smoke", false, "CI smoke sizing: 1000 tenants, 2 requests each")
+	flag.Parse()
+
+	if *smoke {
+		*tenants, *reqs = 1000, 2
+	}
+	if *tenants < 1 || *reqs < 1 {
+		fail(fmt.Errorf("need at least one tenant and one request"))
+	}
+
+	pages := workloads.WebServe()
+	mix, err := parseMix(*mixFlag, pages)
+	if err != nil {
+		fail(err)
+	}
+	mixTotal := 0
+	for _, m := range mix {
+		mixTotal += m.weight
+	}
+	pageByShort := map[string]workloads.WebPage{}
+	for _, p := range pages {
+		pageByShort[strings.TrimPrefix(p.Name, "serve-")] = p
+	}
+
+	rep := Report{Tenants: *tenants, Reqs: *reqs, Mix: *mixFlag}
+	var vanCycles int64
+	for _, pname := range strings.Split(*prots, ",") {
+		pname = strings.TrimSpace(pname)
+		prot, err := core.ParseProtection(pname)
+		if err != nil {
+			fail(err)
+		}
+		cfg := core.Config{Protect: prot, DEP: true}
+
+		// One compiled program and one machine pool per page of the mix,
+		// shared by every tenant: the pool is where predecode sharing and
+		// machine recycling pay off.
+		pools := make([]*vm.Pool, len(mix))
+		for i, m := range mix {
+			prog, err := core.Compile(pageByShort[m.name].Src, cfg)
+			if err != nil {
+				fail(fmt.Errorf("%s/%s: compile: %w", m.name, pname, err))
+			}
+			pools[i] = prog.NewPool()
+		}
+
+		total := int64(*tenants) * int64(*reqs)
+		lats := make([]time.Duration, total)
+		var steps, cycles atomic.Int64
+		var sem chan struct{}
+		if *conc > 0 {
+			sem = make(chan struct{}, *conc)
+		}
+		var pace <-chan time.Time
+		if *rate > 0 {
+			t := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+			defer t.Stop()
+			pace = t.C
+		}
+		var paceMu sync.Mutex
+
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		start := time.Now()
+		for t := 0; t < *tenants; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				// Per-tenant deterministic page sequence (never zero state).
+				state := uint64(t)*0x9E3779B97F4A7C15 + 0x5EB0_E151
+				for r := 0; r < *reqs; r++ {
+					var pi int
+					pi, state = pickPage(mix, mixTotal, state)
+					if pace != nil {
+						paceMu.Lock()
+						<-pace
+						paceMu.Unlock()
+					}
+					if sem != nil {
+						sem <- struct{}{}
+					}
+					reqStart := time.Now()
+					res, err := pools[pi].Serve("main")
+					lat := time.Since(reqStart)
+					if sem != nil {
+						<-sem
+					}
+					if err == nil && res.Trap != vm.TrapExit {
+						err = fmt.Errorf("trap %v (%v)", res.Trap, res.Err)
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("%s tenant %d req %d: %w",
+							pname, t, r, err))
+						return
+					}
+					lats[int64(t)*int64(*reqs)+int64(r)] = lat
+					steps.Add(res.Steps)
+					cycles.Add(res.Cycles)
+				}
+			}(t)
+		}
+		wg.Wait()
+		wall := time.Since(start).Seconds()
+		if e := firstErr.Load(); e != nil {
+			fail(e.(error))
+		}
+
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(total-1))
+			return float64(lats[i]) / float64(time.Microsecond)
+		}
+		reuses, news := int64(0), int64(0)
+		for _, pl := range pools {
+			r, n := pl.Stats()
+			reuses += r
+			news += n
+		}
+		row := Row{
+			Config: pname, Tenants: *tenants, Requests: total,
+			P50us: pct(0.50), P99us: pct(0.99), P999us: pct(0.999),
+			MaxUs:       float64(lats[total-1]) / float64(time.Microsecond),
+			WallSeconds: wall, Steps: steps.Load(), Cycles: cycles.Load(),
+			PoolReuses: reuses, PoolNews: news,
+		}
+		if wall > 0 {
+			row.StepsPerSec = float64(row.Steps) / wall
+			row.ReqPerSec = float64(total) / wall
+		}
+		ovh := ""
+		if prot == core.Vanilla {
+			vanCycles = row.Cycles
+		} else if vanCycles > 0 {
+			row.OverheadPct = 100 * float64(row.Cycles-vanCycles) / float64(vanCycles)
+			ovh = fmt.Sprintf("  ovh %+5.1f%%", row.OverheadPct)
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-8s %5d tenants %7d reqs  p50 %7.1fus p99 %7.1fus p999 %7.1fus  %11.0f steps/sec %8.0f req/sec  pool %d/%d reused%s\n",
+			row.Config, row.Tenants, row.Requests,
+			row.P50us, row.P99us, row.P999us,
+			row.StepsPerSec, row.ReqPerSec, row.PoolReuses, row.PoolReuses+row.PoolNews, ovh)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+	} else {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -271,6 +271,13 @@ func (p *Program) NewMachine() (*vm.Machine, error) {
 	return vm.NewShared(p.IR, p.Predecoded(), p.VMConfig())
 }
 
+// NewPool builds a machine pool for request serving: machines are recycled
+// via Reset between runs instead of rebuilt, all sharing the program's
+// predecoded instruction streams (see vm.Pool).
+func (p *Program) NewPool() *vm.Pool {
+	return vm.NewPool(p.IR, p.Predecoded(), p.VMConfig())
+}
+
 // Run executes main() on a fresh machine.
 func (p *Program) Run() (*vm.Result, error) {
 	m, err := p.NewMachine()

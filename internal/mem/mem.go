@@ -93,14 +93,28 @@ type Memory struct {
 	pages map[uint64]*page
 
 	// cache is a tiny direct-mapped translation cache in front of the page
-	// map — the simulator's TLB. Pages are never unmapped and permission
-	// changes go through the cached *page itself, so entries never go
-	// stale and no invalidation is needed.
+	// map — the simulator's TLB. Pages are never unmapped during a run and
+	// permission changes go through the cached *page itself, so entries
+	// never go stale and no invalidation is needed; Reset (the only bulk
+	// unmap) flushes it.
 	cache [cacheWays]struct {
 		pn uint64
 		pg *page
 	}
+
+	// free recycles page frames across Reset (cleared at harvest time), so
+	// a pooled machine's working set materializes without allocation.
+	free []*page
+
+	// scratch stages Move's snapshot copy, reused across calls (and across
+	// Reset) so the memcpy intrinsic allocates nothing in steady state.
+	scratch []byte
 }
+
+// pageFreeCap bounds the recycled-page pool: a machine's touched working
+// set is a few hundred pages, and retaining more than this (4 MiB of
+// backing arrays) would just pin a pathological run's footprint forever.
+const pageFreeCap = 1024
 
 // New returns an empty address space.
 func New() *Memory {
@@ -121,7 +135,13 @@ func (m *Memory) page(addr uint64) *page {
 		if !ok {
 			return nil
 		}
-		pg = &page{perm: perm}
+		if n := len(m.free); n > 0 {
+			pg = m.free[n-1]
+			m.free = m.free[:n-1]
+			pg.perm = perm
+		} else {
+			pg = &page{perm: perm}
+		}
 		m.pages[pn] = pg
 	}
 	c.pn, c.pg = pn, pg
@@ -143,6 +163,28 @@ func (m *Memory) Map(addr, size uint64, perm Perm) {
 		if pg, ok := m.pages[pn]; ok {
 			pg.perm = perm
 		}
+	}
+}
+
+// Reset returns the address space to empty — every mapping dropped, every
+// page's contents discarded — while recycling the materialized page frames
+// (zeroed here, at harvest time) and the map buckets, so a pooled machine's
+// reload repopulates both without allocating. Semantically identical to
+// *m = *New(): an address mapped only before Reset faults exactly as it
+// would in a fresh Memory.
+func (m *Memory) Reset() {
+	for _, pg := range m.pages {
+		pg.data = [PageSize]byte{}
+		pg.perm = 0
+		if len(m.free) < pageFreeCap {
+			m.free = append(m.free, pg)
+		}
+	}
+	clear(m.pages)
+	clear(m.perms)
+	for i := range m.cache {
+		m.cache[i].pn = 0
+		m.cache[i].pg = nil
 	}
 }
 
@@ -338,6 +380,39 @@ func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
 	return out, nil
 }
 
+// Move copies n bytes from src to dst with snapshot (memmove) semantics:
+// the source range is read in full before any destination byte is written,
+// so overlapping ranges behave as if staged through a temporary buffer —
+// because they are, through an internal scratch buffer reused across calls.
+// Faults are detected on the read side before the destination is touched.
+func (m *Memory) Move(dst, src uint64, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if cap(m.scratch) < n {
+		m.scratch = make([]byte, n)
+	}
+	buf := m.scratch[:n]
+	for i := 0; i < n; {
+		a := src + uint64(i)
+		pg := m.page(a)
+		if pg == nil {
+			return &Fault{Addr: a, Kind: FaultUnmapped}
+		}
+		if pg.perm&R == 0 {
+			return &Fault{Addr: a, Kind: FaultNoRead}
+		}
+		off := a & offMask
+		chunk := int(PageSize - off)
+		if chunk > n-i {
+			chunk = n - i
+		}
+		copy(buf[i:i+chunk], pg.data[off:off+uint64(chunk)])
+		i += chunk
+	}
+	return m.WriteBytes(dst, buf)
+}
+
 // WriteBytes writes b starting at addr, page-chunked like ReadBytes.
 func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 	for i := 0; i < len(b); {
@@ -413,6 +488,20 @@ func (m *Memory) ForceWrite(addr uint64, b []byte) error {
 			return &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
 		}
 		pg.data[(addr+uint64(i))&offMask] = c
+	}
+	return nil
+}
+
+// ForceWriteString is ForceWrite from a string source, avoiding the
+// []byte conversion allocation — the loader writes every string literal on
+// each machine load/reset.
+func (m *Memory) ForceWriteString(addr uint64, s string) error {
+	for i := 0; i < len(s); i++ {
+		pg := m.page(addr + uint64(i))
+		if pg == nil {
+			return &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		pg.data[(addr+uint64(i))&offMask] = s[i]
 	}
 	return nil
 }

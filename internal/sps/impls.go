@@ -19,6 +19,31 @@ type Array struct {
 	// cachedSortedKeys.
 	pns  []uint64
 	live int
+	// freeBlks recycles shadow blocks unreserved by DropPages or Reset
+	// (zeroed at harvest), so steady-state reserve/drop cycles — a pooled
+	// machine's malloc/free traffic — allocate no new 16 KiB blocks.
+	freeBlks []*[pageWords]Entry
+}
+
+// arrayFreeCap bounds the recycled-block pool (64 × 16 KiB = 1 MiB).
+const arrayFreeCap = 64
+
+// newBlk pops a recycled shadow block or allocates a fresh one.
+func (a *Array) newBlk() *[pageWords]Entry {
+	if n := len(a.freeBlks); n > 0 {
+		blk := a.freeBlks[n-1]
+		a.freeBlks = a.freeBlks[:n-1]
+		return blk
+	}
+	return new([pageWords]Entry)
+}
+
+// retireBlk zeroes an unreserved block and keeps it for reuse.
+func (a *Array) retireBlk(blk *[pageWords]Entry) {
+	if len(a.freeBlks) < arrayFreeCap {
+		*blk = [pageWords]Entry{}
+		a.freeBlks = append(a.freeBlks, blk)
+	}
 }
 
 // NewArray returns an empty array-organised store.
@@ -31,7 +56,7 @@ func (a *Array) slot(addr uint64, alloc bool) *Entry {
 		if !alloc {
 			return nil
 		}
-		blk = new([pageWords]Entry)
+		blk = a.newBlk()
 		a.blocks[pn] = blk
 		a.pns = nil // key set changed
 	}
@@ -88,9 +113,14 @@ func (a *Array) StoreCost() int64 { return 4 }
 // Name implements Store.
 func (a *Array) Name() string { return "array" }
 
-// Reset implements Store.
+// Reset implements Store, retiring reserved blocks into the recycle pool
+// and keeping the map's buckets, so a pooled machine's next run reserves
+// its shadow pages without allocating.
 func (a *Array) Reset() {
-	a.blocks = map[uint64]*[pageWords]Entry{}
+	for _, blk := range a.blocks {
+		a.retireBlk(blk)
+	}
+	clear(a.blocks)
 	a.pns = nil
 	a.live = 0
 }
@@ -181,7 +211,7 @@ func (a *Array) CopyRange(dst, src uint64, words int) {
 			continue
 		}
 		if dBlk == nil {
-			dBlk = new([pageWords]Entry)
+			dBlk = a.newBlk()
 			a.blocks[dPN] = dBlk
 			a.pns = nil // key set changed
 		}
@@ -243,6 +273,7 @@ func (a *Array) DropPages(base uint64, words int) int {
 				}
 			}
 			delete(a.blocks, pn)
+			a.retireBlk(blk)
 			a.pns = nil // key set changed
 			continue
 		}
@@ -423,9 +454,11 @@ func (t *TwoLevel) StoreCost() int64 { return 7 }
 // Name implements Store.
 func (t *TwoLevel) Name() string { return "twolevel" }
 
-// Reset implements Store.
+// Reset implements Store. The directory map keeps its buckets; the
+// second-level tables are dropped whole (their maps shrink to nothing
+// useful once cleared, and the directory rebuild re-creates few of them).
 func (t *TwoLevel) Reset() {
-	t.dir = map[uint64]*l2tbl{}
+	clear(t.dir)
 	t.his = nil
 	t.live = 0
 }
@@ -587,8 +620,8 @@ func (h *Hash) StoreCost() int64 { return 12 }
 // Name implements Store.
 func (h *Hash) Name() string { return "hash" }
 
-// Reset implements Store.
-func (h *Hash) Reset() { h.m = map[uint64]Entry{}; h.keys = nil }
+// Reset implements Store, keeping the table's buckets for reuse.
+func (h *Hash) Reset() { clear(h.m); h.keys = nil }
 
 // Scan implements Store: iterate the cached sorted index, rebuilding it
 // only when the key set has changed since the last build.

@@ -96,9 +96,11 @@ func (a *Attacker) GadgetAddr() uint64 {
 
 // RetSiteAddr returns some valid return-site address other than excl —
 // the building block of the coarse-CFI-compatible attacks [19, 15, 9].
+// Outcomes are ordinal-order independent (any valid site works), so the
+// first non-excluded ordinal is as good as the old map-order pick.
 func (a *Attacker) RetSiteAddr(excl uint64) (uint64, bool) {
-	for addr := range a.m.retSites {
-		if addr != excl {
+	for k := 0; k < a.m.code.NumRetSites; k++ {
+		if addr := a.m.retSiteAddr(int32(k)); addr != excl {
 			return a.guess(addr), true
 		}
 	}

@@ -920,7 +920,7 @@ func (m *Machine) segCall(f *frame, op *segOp, pc int, tm bool, cyc int64) int64
 	cost := &m.cfg.Cost
 	cyc += cost.Call
 	callee := int(op.aReg)
-	retAddr := m.retSiteAddrs[op.imm]
+	retAddr := m.retSiteAddr(int32(op.imm))
 	n := len(m.frames)
 	var f2 *frame
 	var info *frameInfo

@@ -17,10 +17,10 @@ const (
 )
 
 func (m *Machine) classifyTarget(addr uint64) targetClass {
-	if _, ok := m.funcByAddr[addr]; ok {
+	if _, ok := m.funcIndexAt(addr); ok {
 		return targetFuncEntry
 	}
-	if _, ok := m.retSites[addr]; ok {
+	if m.isRetSite(addr) {
 		return targetRetSite
 	}
 	lo := uint64(codeBase) + m.slideCode
@@ -77,7 +77,7 @@ func (m *Machine) execCallPlan(f *frame, in *PIns, dst int32) {
 	}
 	m.cycles += m.cfg.Cost.Call
 	m.pushFrameReg(int(in.Callee), f, f.code.Plans[in.PlanIdx],
-		m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
+		m.retSiteAddr(in.SiteOrd), f.pc+1, int(dst))
 }
 
 // execCallWith dispatches a direct call or intrinsic. dst is the caller
@@ -98,10 +98,10 @@ func (m *Machine) execCallWith(f *frame, in *PIns, dst int32, flags ir.Prot) {
 	if in.PlanIdx >= 0 {
 		// Register calling convention: the predecoded plan moves the
 		// arguments straight into the callee's register file.
-		m.pushFrameReg(callee, f, f.code.Plans[in.PlanIdx], m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
+		m.pushFrameReg(callee, f, f.code.Plans[in.PlanIdx], m.retSiteAddr(in.SiteOrd), f.pc+1, int(dst))
 		return
 	}
-	m.pushFrame(callee, f, in.Args, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(dst))
+	m.pushFrame(callee, f, in.Args, m.retSiteAddr(in.SiteOrd), f.pc+1, int(dst))
 }
 
 func (m *Machine) execICall(f *frame, in *PIns) {
@@ -136,7 +136,7 @@ func (m *Machine) execICall(f *frame, in *PIns) {
 		return
 	}
 
-	fi, ok := m.funcByAddr[target]
+	fi, ok := m.funcIndexAt(target)
 	if !ok {
 		// Not a function entry: attacker-controlled transfer.
 		m.hijackTransfer(target, ViaICall)
@@ -147,7 +147,7 @@ func (m *Machine) execICall(f *frame, in *PIns) {
 		return
 	}
 
-	m.pushFrame(fi, f, in.Args, m.retSiteAddrs[in.SiteOrd], f.pc+1, int(in.Dst))
+	m.pushFrame(fi, f, in.Args, m.retSiteAddr(in.SiteOrd), f.pc+1, int(in.Dst))
 }
 
 func (m *Machine) execRet(f *frame, in *PIns) {
@@ -202,7 +202,7 @@ func (m *Machine) retFinish(f *frame, rv uint64, rm Meta) {
 		// Corrupted return address.
 		if m.cfg.CFI {
 			m.cycles += m.cfg.Cost.CFICheck
-			if _, ok := m.retSites[retWord]; !ok {
+			if !m.isRetSite(retWord) {
 				m.trapf(TrapCFIViolation, retWord, ViaReturn,
 					"return target %#x outside valid set", retWord)
 				return

@@ -347,15 +347,15 @@ func (m *Machine) evalP(f *frame, v *PVal) (uint64, Meta) {
 			Kind: sps.KindData, Lower: addr, Upper: addr + uint64(v.Size),
 		}
 	case ir.ValGlobal:
-		gb := m.globalAddrs[v.Index]
+		gb := m.globalAddr(int(v.Index))
 		return gb + v.Imm, Meta{
 			Kind: sps.KindData, Lower: gb, Upper: gb + uint64(v.Size),
 		}
 	case ir.ValFunc:
-		a := m.funcAddrs[v.Index]
+		a := m.funcAddr(int(v.Index))
 		return a, Meta{Kind: sps.KindCode, Lower: a, Upper: a}
 	case ir.ValString:
-		sb := m.strAddrs[v.Index]
+		sb := m.strAddr(int(v.Index))
 		return sb + v.Imm, Meta{
 			Kind: sps.KindData, Lower: sb, Upper: sb + uint64(v.Size),
 		}

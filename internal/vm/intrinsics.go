@@ -250,7 +250,7 @@ func (m *Machine) execIntrinsic(f *frame, pin *PIns, dst int32, flags ir.Prot) {
 		m.trapf(TrapAbort, 0, ViaNone, "abort() called")
 
 	case builtins.Setjmp:
-		m.setjmp(f, dst, flags, m.jmpSiteAddrs[pin.SiteOrd], arg(0))
+		m.setjmp(f, dst, flags, m.jmpSiteAddr(pin.SiteOrd), arg(0))
 
 	case builtins.Longjmp:
 		m.longjmp(arg(0), arg(1))
@@ -347,7 +347,17 @@ func (m *Machine) malloc(n int64) (uint64, bool) {
 	}
 	m.mem.Map(addr, uint64(n), dataPerm)
 	m.heapBrk = end
-	m.allocs[addr] = &allocation{addr: addr, size: n, id: m.nextID}
+	var a *allocation
+	if p := len(m.allocPool); p > 0 {
+		// Recycled record from a previous pooled run (Reset harvests them;
+		// free cannot — freed records stay in allocs for temporal checks).
+		a = m.allocPool[p-1]
+		m.allocPool = m.allocPool[:p-1]
+	} else {
+		a = &allocation{}
+	}
+	*a = allocation{addr: addr, size: n, id: m.nextID}
+	m.allocs[addr] = a
 	m.heapLive += n
 	m.updateMemPeaks()
 	return addr, true
@@ -435,12 +445,7 @@ func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
 			return false
 		}
 	}
-	b, err := m.mem.ReadBytes(src, int(n))
-	if err != nil {
-		m.memFault(err)
-		return false
-	}
-	if err := m.mem.WriteBytes(dst, b); err != nil {
+	if err := m.mem.Move(dst, src, int(n)); err != nil {
 		m.memFault(err)
 		return false
 	}

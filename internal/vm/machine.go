@@ -146,14 +146,6 @@ type frameInfo struct {
 	retOnSafe    bool   // the return address lives on the safe stack
 }
 
-// site is a resume point in the program.
-type site struct {
-	fn  int
-	blk int
-	ip  int // instruction index to resume at
-	dst int // destination register (setjmp sites)
-}
-
 // allocation tracks one heap object.
 type allocation struct {
 	addr  uint64
@@ -285,24 +277,20 @@ type Machine struct {
 	out        bytes.Buffer
 	rng        uint64
 
-	// Layout.
-	slideCode    uint64
-	slideData    uint64
-	slideStack   uint64
-	slideHeap    uint64
-	funcAddrs    []uint64
-	funcByAddr   map[uint64]int
-	globalAddrs  []uint64
-	strAddrs     []uint64
-	finfo        []frameInfo         // per-function frame layout under this config
-	stackFloor   uint64              // lowest valid regular stack address
-	retSites     map[uint64]struct{} // membership set: valid return-site addresses
-	jmpSites     map[uint64]site
-	retSiteAddrs []uint64 // call-site ordinal → return-site code address
-	jmpSiteAddrs []uint64 // builtin-site ordinal → setjmp-site code address
-	canary       uint64
-	ptrGuard     uint64 // PTR_MANGLE secret
-	safeBaseSec  uint64 // secret safe-region base (info hiding)
+	// Layout. Function entries, return sites, setjmp sites, globals and
+	// strings all have addresses of the form base + slide + f(ordinal), with
+	// the ordinal tables shared in Code, so the per-machine state is just the
+	// four slides (see funcAddr/retSiteAddr/jmpSiteAddr/globalAddr/strAddr
+	// and their reverses).
+	slideCode   uint64
+	slideData   uint64
+	slideStack  uint64
+	slideHeap   uint64
+	finfo       []frameInfo // per-function frame layout under this config
+	stackFloor  uint64      // lowest valid regular stack address
+	canary      uint64
+	ptrGuard    uint64 // PTR_MANGLE secret
+	safeBaseSec uint64 // secret safe-region base (info hiding)
 
 	sp  uint64 // regular stack pointer
 	ssp uint64 // safe stack pointer
@@ -311,6 +299,10 @@ type Machine struct {
 	allocs  map[uint64]*allocation // by address
 	nextID  uint64
 	freeLst map[int64][]uint64 // size -> addresses (enables reuse/UAF)
+	// allocPool recycles allocation records across Reset: a pooled machine's
+	// malloc pops here instead of allocating (free keeps records in allocs
+	// for temporal checks, so within-run recycling is impossible).
+	allocPool []*allocation
 
 	// Heap-misuse counters (double frees / untracked-address frees seen at
 	// free sites under the protected configurations) and temporal-sweep
@@ -383,9 +375,6 @@ func NewShared(p *ir.Program, code *Code, cfg Config) (*Machine, error) {
 		mem:            mem.New(),
 		safe:           mem.New(),
 		sps:            sps.New(cfg.SPS),
-		funcByAddr:     map[uint64]int{},
-		retSites:       map[uint64]struct{}{},
-		jmpSites:       map[uint64]site{},
 		allocs:         map[uint64]*allocation{},
 		freeLst:        map[int64][]uint64{},
 		rng:            uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
@@ -431,50 +420,19 @@ func (m *Machine) load() error {
 
 	// Code segment: function entries, return sites, setjmp sites. Pages
 	// are read-execute; the threat model (§2) guarantees code immutability.
+	// Their addresses are pure ordinal arithmetic over the shared Code
+	// tables, so no per-machine table is built.
 	m.mem.Map(codeBase+m.slideCode, codeSize, mem.R|mem.X)
-	m.funcAddrs = make([]uint64, len(m.prog.Funcs))
-	for i := range m.prog.Funcs {
-		a := codeBase + m.slideCode + uint64(i)*funcStride
-		m.funcAddrs[i] = a
-		m.funcByAddr[a] = i
-	}
-	// Return sites: one address per static call site, registered in the
-	// same program order Predecode assigned site ordinals, so ordinal k's
-	// address is retSiteAddrs[k] (the O(1) reverse of the retSites map).
-	m.retSiteAddrs = make([]uint64, 0, m.code.NumRetSites)
-	m.jmpSiteAddrs = make([]uint64, 0, m.code.NumJmpSites)
-	for fi, f := range m.prog.Funcs {
-		for bi, b := range f.Blocks {
-			for ii := range b.Ins {
-				in := &b.Ins[ii]
-				if in.Op == ir.OpCall && in.Callee >= 0 || in.Op == ir.OpICall {
-					addr := codeBase + m.slideCode + retSiteOff + uint64(len(m.retSiteAddrs))*16
-					m.retSites[addr] = struct{}{}
-					m.retSiteAddrs = append(m.retSiteAddrs, addr)
-				}
-				if in.Op == ir.OpCall && in.Callee < 0 {
-					// setjmp sites get stable addresses too.
-					addr := codeBase + m.slideCode + jmpSiteOff + uint64(len(m.jmpSiteAddrs))*16
-					m.jmpSites[addr] = site{fn: fi, blk: bi, ip: ii + 1, dst: in.Dst}
-					m.jmpSiteAddrs = append(m.jmpSiteAddrs, addr)
-				}
-			}
-		}
-	}
 
-	// Read-only data: string literals.
-	m.strAddrs = make([]uint64, len(m.prog.Strings))
-	saddr := uint64(rodataBase) + m.slideData
-	var rodataEnd uint64 = saddr
-	for i, s := range m.prog.Strings {
-		m.strAddrs[i] = saddr
-		rodataEnd = saddr + uint64(len(s)) + 1
-		saddr = align8(rodataEnd)
-	}
+	// Read-only data: string literals at their predecoded offsets.
 	if len(m.prog.Strings) > 0 {
-		m.mem.Map(rodataBase+m.slideData, rodataEnd-(rodataBase+m.slideData), mem.R)
+		m.mem.Map(rodataBase+m.slideData, m.code.RodataBytes, mem.R)
 		for i, s := range m.prog.Strings {
-			if err := m.mem.ForceWrite(m.strAddrs[i], append([]byte(s), 0)); err != nil {
+			addr := m.strAddr(i)
+			if err := m.mem.ForceWriteString(addr, s); err != nil {
+				return err
+			}
+			if err := m.mem.ForceStore(addr+uint64(len(s)), 1, 0); err != nil {
 				return err
 			}
 		}
@@ -482,18 +440,10 @@ func (m *Machine) load() error {
 
 	// Globals: contiguous, natural alignment (overflows between adjacent
 	// globals are possible, as on a real ELF data/bss segment).
-	m.globalAddrs = make([]uint64, len(m.prog.Globals))
-	gaddr := uint64(globalBase) + m.slideData
-	for i, g := range m.prog.Globals {
-		a := uint64(g.Type.Align())
-		gaddr = (gaddr + a - 1) &^ (a - 1)
-		m.globalAddrs[i] = gaddr
-		gaddr += uint64(g.Size)
-	}
 	if len(m.prog.Globals) > 0 {
-		m.mem.Map(globalBase+m.slideData, gaddr-(globalBase+m.slideData)+8, dataPerm)
+		m.mem.Map(globalBase+m.slideData, uint64(m.code.GlobalsBytes)+8, dataPerm)
 	}
-	m.memStats.Globals = int64(gaddr - (globalBase + m.slideData))
+	m.memStats.Globals = m.code.GlobalsBytes
 	if err := m.initGlobals(); err != nil {
 		return err
 	}
@@ -513,7 +463,11 @@ func (m *Machine) load() error {
 	m.minSsp = m.ssp
 	m.safe.Map(m.ssp-stackMax, stackMax, mem.R|mem.W)
 
-	// Frame layouts; see DESIGN.md §4 and pushFrame.
+	// Frame layouts; see DESIGN.md §4 and pushFrame. Config-derived and
+	// slide-independent, so a Reset keeps the table.
+	if m.finfo != nil {
+		return nil
+	}
 	m.finfo = make([]frameInfo, len(m.prog.Funcs))
 	for i, fn := range m.prog.Funcs {
 		fi := &m.finfo[i]
@@ -539,12 +493,69 @@ func (m *Machine) load() error {
 
 func align8(v uint64) uint64 { return (v + 7) &^ 7 }
 
+// funcAddr returns the code address of function index i.
+func (m *Machine) funcAddr(i int) uint64 {
+	return codeBase + m.slideCode + uint64(i)*funcStride
+}
+
+// funcIndexAt is the O(1) reverse of funcAddr: the function whose entry
+// address is addr, if any. Return/setjmp-site offsets are ≥ retSiteOff,
+// far above len(Funcs)*funcStride, so the index bound also rejects them.
+func (m *Machine) funcIndexAt(addr uint64) (int, bool) {
+	off := addr - (codeBase + m.slideCode) // wraps huge when addr < base
+	if off%funcStride != 0 {
+		return 0, false
+	}
+	i := off / funcStride
+	if i >= uint64(len(m.prog.Funcs)) {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// retSiteAddr returns the return-site code address of call-site ordinal k.
+func (m *Machine) retSiteAddr(k int32) uint64 {
+	return codeBase + m.slideCode + retSiteOff + uint64(k)*16
+}
+
+// isRetSite reports whether addr is a valid return-site address — the
+// membership test coarse CFI and hijack classification use.
+func (m *Machine) isRetSite(addr uint64) bool {
+	off := addr - (codeBase + m.slideCode + retSiteOff)
+	return off%16 == 0 && off/16 < uint64(m.code.NumRetSites)
+}
+
+// jmpSiteAddr returns the code address of setjmp-site ordinal k.
+func (m *Machine) jmpSiteAddr(k int32) uint64 {
+	return codeBase + m.slideCode + jmpSiteOff + uint64(k)*16
+}
+
+// jmpSiteAt resolves a setjmp-site address back to its resume point in the
+// shared table; ok=false means addr names no registered site.
+func (m *Machine) jmpSiteAt(addr uint64) (JmpSite, bool) {
+	off := addr - (codeBase + m.slideCode + jmpSiteOff)
+	if off%16 != 0 || off/16 >= uint64(len(m.code.JmpSites)) {
+		return JmpSite{}, false
+	}
+	return m.code.JmpSites[off/16], true
+}
+
+// globalAddr returns the data address of global index i.
+func (m *Machine) globalAddr(i int) uint64 {
+	return globalBase + m.slideData + m.code.GlobalOff[i]
+}
+
+// strAddr returns the rodata address of string literal i.
+func (m *Machine) strAddr(i int) uint64 {
+	return rodataBase + m.slideData + m.code.StrOff[i]
+}
+
 // initGlobals applies init items and pre-populates the safe pointer store
 // for protected pointer-valued initializers (the loader is trusted, §2).
 func (m *Machine) initGlobals() error {
 	protecting := m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound
 	for gi, g := range m.prog.Globals {
-		base := m.globalAddrs[gi]
+		base := m.globalAddr(gi)
 		for _, it := range g.Init {
 			var v uint64
 			var entry sps.Entry
@@ -553,17 +564,17 @@ func (m *Machine) initGlobals() error {
 			case ir.InitConst:
 				v = uint64(it.Val)
 			case ir.InitFuncAddr:
-				v = m.funcAddrs[it.Index]
+				v = m.funcAddr(it.Index)
 				entry = sps.Entry{Value: v, Lower: v, Upper: v, Kind: sps.KindCode}
 				hasEntry = true
 			case ir.InitGlobalAddr:
-				tb := m.globalAddrs[it.Index]
+				tb := m.globalAddr(it.Index)
 				v = tb + uint64(it.Val)
 				entry = sps.Entry{Value: v, Lower: tb,
 					Upper: tb + uint64(m.prog.Globals[it.Index].Size), Kind: sps.KindData}
 				hasEntry = true
 			case ir.InitStringAddr:
-				tb := m.strAddrs[it.Index]
+				tb := m.strAddr(it.Index)
 				v = tb + uint64(it.Val)
 				entry = sps.Entry{Value: v, Lower: tb,
 					Upper: tb + uint64(len(m.prog.Strings[it.Index])+1), Kind: sps.KindData}
@@ -588,7 +599,7 @@ func (m *Machine) initGlobals() error {
 func (m *Machine) FuncAddr(name string) (uint64, bool) {
 	for i, f := range m.prog.Funcs {
 		if f.Name == name {
-			return m.funcAddrs[i], true
+			return m.funcAddr(i), true
 		}
 	}
 	return 0, false
@@ -598,7 +609,7 @@ func (m *Machine) FuncAddr(name string) (uint64, bool) {
 func (m *Machine) GlobalAddr(name string) (uint64, bool) {
 	for i, g := range m.prog.Globals {
 		if g.Name == name {
-			return m.globalAddrs[i], true
+			return m.globalAddr(i), true
 		}
 	}
 	return 0, false
@@ -637,11 +648,6 @@ func (m *Machine) pcString() string {
 	}
 	in := &f.code.Ins[f.pc]
 	return fmt.Sprintf("%s.%d:%d", f.fn.Name, in.Blk, in.IP)
-}
-
-// sitePC converts a resume site to its flat pc in the site's function.
-func (m *Machine) sitePC(s site) int {
-	return int(m.code.Funcs[s.fn].BlockPC[s.blk]) + s.ip
 }
 
 // updateMemPeaks refreshes peak memory statistics. Stack peaks are kept as

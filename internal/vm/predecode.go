@@ -47,9 +47,26 @@ type Code struct {
 	Funcs []FuncCode
 
 	// NumRetSites and NumJmpSites are the static call-site counts; the
-	// machine sizes its ordinal→address tables from them.
+	// machine derives site addresses from the ordinals by arithmetic.
 	NumRetSites int
 	NumJmpSites int
+
+	// JmpSites is the setjmp-site table: ordinal → resume point. Like the
+	// ordinal counts it is program-derived layout computed once here and
+	// shared by every machine; slides are applied per machine
+	// (Machine.jmpSiteAddr / jmpSiteAt).
+	JmpSites []JmpSite
+
+	// Slide-independent data layout, computed once here instead of per
+	// machine: byte offsets of each string literal within rodata and of
+	// each global within the data segment, plus the segment extents. The
+	// bases are aligned beyond any type alignment and ASLR slides are page
+	// multiples, so base+slide+offset reproduces the per-machine addresses
+	// bit for bit.
+	StrOff       []uint64
+	RodataBytes  uint64
+	GlobalOff    []uint64
+	GlobalsBytes int64
 
 	// FusedPairs counts the superinstruction heads the fusion pass
 	// rewrote (0 when predecoded with NoFuse).
@@ -138,6 +155,15 @@ type PIns struct {
 	C, D PVal   // fused trailing constituent's operands
 	Args []PVal // predecoded call/intrinsic argument list
 	In   *ir.Instr
+}
+
+// JmpSite is one setjmp call site: the resume point longjmp transfers to
+// and the register receiving setjmp's second return value. PC is the flat
+// predecoded index of the instruction after the setjmp call.
+type JmpSite struct {
+	Fn  int32
+	PC  int32
+	Dst int32
 }
 
 // PArg is one argument of the register calling convention: a caller register
@@ -308,6 +334,9 @@ func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 					} else {
 						pi.SiteOrd = jmpOrd
 						jmpOrd++
+						c.JmpSites = append(c.JmpSites, JmpSite{
+							Fn: int32(fi), PC: fc.BlockPC[bi] + int32(ii) + 1, Dst: int32(in.Dst),
+						})
 					}
 				case ir.OpICall:
 					pi.Callee = -1
@@ -339,6 +368,27 @@ func PredecodeWith(p *ir.Program, opt PredecodeOptions) *Code {
 	}
 	c.NumRetSites = int(retOrd)
 	c.NumJmpSites = int(jmpOrd)
+
+	// Data layout. Offsets are computed against the absolute (unslid) bases
+	// so alignment rounds exactly as the loader's address arithmetic did,
+	// then rebased; any page-multiple slide preserves the result.
+	c.StrOff = make([]uint64, len(p.Strings))
+	saddr := uint64(rodataBase)
+	for i, s := range p.Strings {
+		c.StrOff[i] = saddr - rodataBase
+		end := saddr + uint64(len(s)) + 1
+		c.RodataBytes = end - rodataBase
+		saddr = align8(end)
+	}
+	c.GlobalOff = make([]uint64, len(p.Globals))
+	gaddr := uint64(globalBase)
+	for i, g := range p.Globals {
+		a := uint64(g.Type.Align())
+		gaddr = (gaddr + a - 1) &^ (a - 1)
+		c.GlobalOff[i] = gaddr - globalBase
+		gaddr += uint64(g.Size)
+	}
+	c.GlobalsBytes = int64(gaddr - globalBase)
 	return c
 }
 

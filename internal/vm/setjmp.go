@@ -79,7 +79,7 @@ func (m *Machine) longjmp(buf, val uint64) {
 		}
 	}
 
-	st, ok := m.jmpSites[resume]
+	st, ok := m.jmpSiteAt(resume)
 	if !ok {
 		// Corrupted resume address: attacker-chosen control transfer.
 		m.hijackTransfer(resume, ViaLongjmp)
@@ -109,7 +109,7 @@ func (m *Machine) longjmp(buf, val uint64) {
 		return
 	}
 	target := m.frames[depth-1]
-	if target.fidx != st.fn {
+	if target.fidx != int(st.Fn) {
 		// Depth word corrupted to point at a frame that does not match the
 		// setjmp site: treated as a diversion attempt.
 		m.hijackTransfer(resume, ViaLongjmp)
@@ -134,13 +134,13 @@ func (m *Machine) longjmp(buf, val uint64) {
 		m.clearSafeMeta(m.ssp, sspW)
 	}
 	m.ssp = sspW
-	target.pc = m.sitePC(st)
-	if st.dst >= 0 {
+	target.pc = int(st.PC)
+	if st.Dst >= 0 {
 		if val == 0 {
 			val = 1 // longjmp(buf, 0) resumes setjmp returning 1, per C
 		}
-		target.regs[st.dst] = val
-		target.meta[st.dst] = invalidMeta
+		target.regs[st.Dst] = val
+		target.meta[st.Dst] = invalidMeta
 	}
 	m.cycles += m.cfg.Cost.Ret
 }

@@ -29,6 +29,21 @@ func WebStack() []WebPage {
 	}
 }
 
+// WebServe returns the serving-mode variants of the three pages: the same
+// three-tier stack, but sized as ONE request of work per run (plus a short
+// burst for static, whose single dispatch would vanish under stack_init)
+// rather than a steady-state measurement loop. cmd/servebench runs these on
+// pooled machines — thousands of tenants, one program execution per request
+// — so the per-run latency IS the per-request latency, and the pool's Reset
+// path, not the loop, amortizes setup.
+func WebServe() []WebPage {
+	return []WebPage{
+		{Name: "serve-static", Src: webPrelude + webServeStaticMain},
+		{Name: "serve-wsgi", Src: webPrelude + webServeWsgiMain},
+		{Name: "serve-dynamic", Src: webPrelude + webServeDynamicMain},
+	}
+}
+
 // webPrelude is the shared stack: file cache, key/value store, Python-like
 // object interpreter, template engine, request dispatcher.
 const webPrelude = `
@@ -232,6 +247,38 @@ int main(void) {
 	stack_init();
 	int bytes = 0;
 	for (int r = 0; r < 600; r++) bytes += dispatch("/app/list", r);
+	printf("dynamic served %d\n", bytes & 0xffff);
+	return bytes & 0xff;
+}
+`
+
+// Serving-mode mains: one request's worth of page work per execution.
+
+const webServeStaticMain = `
+int main(void) {
+	stack_init();
+	int bytes = 0;
+	for (int r = 0; r < 60; r++) bytes += dispatch("/static/x.css", r);
+	printf("static served %d\n", bytes & 0xffff);
+	return bytes & 0xff;
+}
+`
+
+const webServeWsgiMain = `
+int main(void) {
+	stack_init();
+	int bytes = 0;
+	for (int r = 0; r < 20; r++) bytes += dispatch("/wsgi/ping", r);
+	printf("wsgi served %d\n", bytes & 0xffff);
+	return bytes & 0xff;
+}
+`
+
+const webServeDynamicMain = `
+int main(void) {
+	stack_init();
+	int bytes = 0;
+	for (int r = 0; r < 6; r++) bytes += dispatch("/app/list", r);
 	printf("dynamic served %d\n", bytes & 0xffff);
 	return bytes & 0xff;
 }
