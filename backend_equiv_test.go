@@ -1,0 +1,198 @@
+package repro
+
+// Refactor-equivalence differential suite for the backend seam: the
+// pluggable-backend instrumentation path (instrument.WithBackend, routed
+// through core.Compile) must be bit-identical to the frozen pre-refactor
+// mode-based passes (instrument.ReferenceCPS/ReferenceCPI) on every
+// workload — identical per-instruction flags, identical Table 2 stats, and
+// identical runs in every pinned observable (cycles, steps, output, trap,
+// exit code, memory peaks, heap/globals hash). The reference passes are a
+// fixed point: they are never extended when backends are added, so this
+// suite proves the refactor did not move existing behavior, without any
+// golden re-recording.
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/sema"
+)
+
+// referenceCompile is core.Compile with the instrumentation stage replaced
+// by the frozen mode-based passes: same parse/sema/lower front, same
+// points-to ordering (solved before SafeStack, skipped for annotated
+// compilations), different flag-emission code path.
+func referenceCompile(t *testing.T, src string, cfg core.Config) *core.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("reference parse: %v", err)
+	}
+	if err := sema.Check(f); err != nil {
+		t.Fatalf("reference typecheck: %v", err)
+	}
+	p, err := irgen.LowerWith(f, irgen.Options{PromoteRegisters: !cfg.NoPromote})
+	if err != nil {
+		t.Fatalf("reference lower: %v", err)
+	}
+
+	var pt *analysis.PointsTo
+	if cfg.Protect != core.Vanilla && !cfg.NoPointsTo && len(cfg.SensitiveStructs) == 0 {
+		pt = analysis.SolvePointsTo(p)
+	}
+	var stats analysis.Stats
+	opts := instrument.Opts{SensitiveStructs: cfg.SensitiveStructs, PointsTo: pt}
+	switch cfg.Protect {
+	case core.Vanilla:
+		stats = analysis.Collect(p)
+	case core.CPS:
+		instrument.SafeStack(p)
+		stats = instrument.ReferenceCPS(p, opts)
+	case core.CPI:
+		instrument.SafeStack(p)
+		stats = instrument.ReferenceCPI(p, opts)
+	default:
+		t.Fatalf("no reference pass for %v", cfg.Protect)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("reference verify: %v", err)
+	}
+	return &core.Program{IR: p, Cfg: cfg, Stats: stats}
+}
+
+// diffIR compares the instrumentation-visible surface of two compilations
+// of the same source in lockstep: frame safety bits, per-instruction flags,
+// and global markings.
+func diffIR(t *testing.T, label string, ref, got *ir.Program) {
+	t.Helper()
+	if len(ref.Funcs) != len(got.Funcs) {
+		t.Fatalf("%s: func count %d vs %d", label, len(ref.Funcs), len(got.Funcs))
+	}
+	for fi := range ref.Funcs {
+		rf, gf := ref.Funcs[fi], got.Funcs[fi]
+		if len(rf.Frame) != len(gf.Frame) || len(rf.Blocks) != len(gf.Blocks) {
+			t.Fatalf("%s/%s: shape mismatch (frame %d vs %d, blocks %d vs %d)",
+				label, rf.Name, len(rf.Frame), len(gf.Frame), len(rf.Blocks), len(gf.Blocks))
+		}
+		for oi := range rf.Frame {
+			if rf.Frame[oi].Unsafe != gf.Frame[oi].Unsafe ||
+				rf.Frame[oi].Sensitive != gf.Frame[oi].Sensitive {
+				t.Errorf("%s/%s: frame obj %s unsafe/sensitive diverged",
+					label, rf.Name, rf.Frame[oi].Name)
+			}
+		}
+		for bi := range rf.Blocks {
+			rb, gb := rf.Blocks[bi], gf.Blocks[bi]
+			if len(rb.Ins) != len(gb.Ins) {
+				t.Fatalf("%s/%s: block %d length %d vs %d",
+					label, rf.Name, bi, len(rb.Ins), len(gb.Ins))
+			}
+			for ii := range rb.Ins {
+				if rb.Ins[ii].Flags != gb.Ins[ii].Flags {
+					t.Errorf("%s/%s: block %d ins %d (%v): flags %#x (reference) vs %#x (seam)",
+						label, rf.Name, bi, ii, rb.Ins[ii].Op,
+						rb.Ins[ii].Flags, gb.Ins[ii].Flags)
+				}
+			}
+		}
+	}
+	if len(ref.Globals) != len(got.Globals) {
+		t.Fatalf("%s: global count %d vs %d", label, len(ref.Globals), len(got.Globals))
+	}
+	for gi := range ref.Globals {
+		if ref.Globals[gi].Sensitive != got.Globals[gi].Sensitive ||
+			ref.Globals[gi].Annotated != got.Globals[gi].Annotated {
+			t.Errorf("%s: global %s sensitive/annotated diverged", label, ref.Globals[gi].Name)
+		}
+	}
+}
+
+// compareSeam compiles src both ways under cfg and pins flags + stats, and
+// (when run is set) the full-run observable key.
+func compareSeam(t *testing.T, label, src string, cfg core.Config, run bool) {
+	t.Helper()
+	ref := referenceCompile(t, src, cfg)
+	seam, err := core.Compile(src, cfg)
+	if err != nil {
+		t.Fatalf("%s: seam compile: %v", label, err)
+	}
+	if ref.Stats != seam.Stats {
+		t.Errorf("%s: stats diverged:\nreference: %+v\nseam:      %+v", label, ref.Stats, seam.Stats)
+	}
+	diffIR(t, label, ref.IR, seam.IR)
+	if !run {
+		return
+	}
+	mr, err := ref.NewMachine()
+	if err != nil {
+		t.Fatalf("%s: reference machine: %v", label, err)
+	}
+	ms, err := seam.NewMachine()
+	if err != nil {
+		t.Fatalf("%s: seam machine: %v", label, err)
+	}
+	rk, sk := keyOf(mr.Run("main"), mr), keyOf(ms.Run("main"), ms)
+	if rk != sk {
+		t.Errorf("%s: run diverged:\nreference: %+v\nseam:      %+v", label, rk, sk)
+	}
+}
+
+// TestBackendSeamEquivalenceAllWorkloads is the refactor pin: every
+// workload × vanilla/cps/cpi, promoted (flags + stats + full run) and
+// unpromoted (flags + stats; the unpromoted golden tables pin those runs
+// through the seam already).
+func TestBackendSeamEquivalenceAllWorkloads(t *testing.T) {
+	for _, w := range allWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, pc := range promotionConfigs() { // vanilla, cps, cpi
+				compareSeam(t, pc.name, w.Src, pc.cfg, true)
+				ucfg := pc.cfg
+				ucfg.NoPromote = true
+				compareSeam(t, pc.name+"/nopromote", w.Src, ucfg, false)
+			}
+		})
+	}
+}
+
+// TestBackendSeamAnnotatedEquivalence pins the annotation path (§3.2.1
+// ClassAnnotated): a sensitive-struct compilation must emit identical flags
+// and runs through the seam, with points-to pruning skipped on both sides.
+func TestBackendSeamAnnotatedEquivalence(t *testing.T) {
+	const src = `
+struct ucred { int uid; int gid; };
+struct ucred cred = { 1000, 1000 };
+int helper(int x) { return x + 1; }
+int (*fp)(int) = helper;
+int main(void) {
+	cred.uid = cred.uid + cred.gid;
+	int r = fp(cred.uid);
+	if (r == 2001) {
+		puts("ok");
+		return 0;
+	}
+	return 1;
+}
+`
+	cfg := core.Config{Protect: core.CPI, DEP: true, SensitiveStructs: []string{"ucred"}}
+	compareSeam(t, "cpi/annotated", src, cfg, true)
+}
+
+// TestBackendSeamPrunedEquivalence pins the pruning interaction: the
+// NoPointsTo escape hatch must behave identically through the seam too (the
+// default pruned form is covered by the main suite).
+func TestBackendSeamPrunedEquivalence(t *testing.T) {
+	for _, w := range allWorkloads()[:4] {
+		for _, pc := range promotionConfigs()[1:] { // cps, cpi
+			cfg := pc.cfg
+			cfg.NoPointsTo = true
+			compareSeam(t, w.Name+"/"+pc.name+"/nopt", w.Src, cfg, true)
+		}
+	}
+}

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	defense := flag.String("defense", "", "run a single defense (none, dep, aslr, cookies, dep+aslr+cookies, modern, cfi, safestack, cps, cpi)")
+	defense := flag.String("defense", "", "run a single defense (none, dep, aslr, cookies, dep+aslr+cookies, modern, cfi, safestack, cps, cpi, pac)")
 	matrix := flag.Bool("matrix", false, "print the Fig. 5-style defense matrix")
 	seeds := flag.Int("seeds", 1, "number of layout seeds to aggregate (ranges, as in §5.1)")
 	verbose := flag.Bool("v", false, "list each attack outcome")

@@ -22,7 +22,7 @@
 // Usage:
 //
 //	go run ./cmd/servebench [-tenants 2000] [-reqs 5] [-conc 0] [-rate 0]
-//	    [-mix static=70,wsgi=25,dynamic=5] [-protections vanilla,cps,cpi]
+//	    [-mix static=70,wsgi=25,dynamic=5] [-protections vanilla,cps,cpi,pac]
 //	    [-out BENCH_serve.json] [-smoke]
 package main
 
@@ -143,7 +143,7 @@ func main() {
 	conc := flag.Int("conc", 0, "cap on simultaneously executing requests (0 = one per tenant)")
 	rate := flag.Float64("rate", 0, "aggregate arrival rate in requests/sec (0 = closed loop, unpaced)")
 	mixFlag := flag.String("mix", "static=70,wsgi=25,dynamic=5", "weighted page mix per request")
-	prots := flag.String("protections", "vanilla,cps,cpi", "comma-separated protection levels to measure")
+	prots := flag.String("protections", "vanilla,cps,cpi,pac", "comma-separated protection levels or backend names to measure")
 	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke sizing: 1000 tenants, 2 requests each")
 	flag.Parse()
@@ -173,11 +173,11 @@ func main() {
 	var vanCycles int64
 	for _, pname := range strings.Split(*prots, ",") {
 		pname = strings.TrimSpace(pname)
-		prot, err := core.ParseProtection(pname)
+		cfg, err := core.ConfigForName(pname)
 		if err != nil {
 			fail(err)
 		}
-		cfg := core.Config{Protect: prot, DEP: true}
+		cfg.DEP = true
 
 		// One compiled program and one machine pool per page of the mix,
 		// shared by every tenant: the pool is where predecode sharing and
@@ -275,7 +275,7 @@ func main() {
 			row.ReqPerSec = float64(total) / wall
 		}
 		ovh := ""
-		if prot == core.Vanilla {
+		if pname == "vanilla" {
 			vanCycles = row.Cycles
 		} else if vanCycles > 0 {
 			row.OverheadPct = 100 * float64(row.Cycles-vanCycles) / float64(vanCycles)

@@ -12,8 +12,9 @@
 // the same workload's vanilla row — the paper's actual metric — so a cost
 // regression is visible even when interpreter throughput is unchanged.
 // With -gate403 N, the scaled 403.gcc steady-state workload is also
-// measured under vanilla and cpi and the command fails if the cpi cycle
-// overhead exceeds N percent (CI runs this with N=15).
+// measured under every benchmarked config (vanilla, cpi, pac) and the
+// command fails if the cpi cycle overhead exceeds N percent (CI runs this
+// with N=15).
 //
 // With -regress N, any vanilla micro cell whose steps/sec dropped more than
 // N percent against the loaded baseline fails the run (the CI throughput
@@ -81,7 +82,7 @@ type Report struct {
 // at compile time, with and without the whole-program points-to pruning.
 type StatRow struct {
 	Workload       string  `json:"workload"`
-	Config         string  `json:"config"`    // cps | cpi
+	Config         string  `json:"config"`    // a registered backend name (cps, cpi, pac, ...)
 	PointsTo       bool    `json:"points_to"` // whole-program pruning applied?
 	Funcs          int     `json:"funcs"`
 	FNUStackPct    float64 `json:"fnustack_pct"`
@@ -98,9 +99,9 @@ type StatsReport struct {
 	Rows []StatRow `json:"rows"`
 }
 
-// collectStats compiles every workload under cps and cpi, pruned and
-// unpruned, and returns the Table 2 columns per cell. Compile-only: no
-// execution, so the full matrix is cheap.
+// collectStats compiles every workload under every registered backend,
+// pruned and unpruned, and returns the Table 2 columns per cell.
+// Compile-only: no execution, so the full matrix is cheap.
 func collectStats() (StatsReport, error) {
 	set := append([]workloads.Workload{}, workloads.Micro()...)
 	set = append(set, workloads.Spec()...)
@@ -110,20 +111,21 @@ func collectStats() (StatsReport, error) {
 	}
 	var rep StatsReport
 	for _, w := range set {
-		for _, c := range []struct {
-			name string
-			prot core.Protection
-		}{{"cps", core.CPS}, {"cpi", core.CPI}} {
+		for _, name := range core.Backends() {
+			cfg, err := core.ConfigForName(name)
+			if err != nil {
+				return rep, err
+			}
+			cfg.DEP = true
 			for _, pruned := range []bool{false, true} {
-				prog, err := core.Compile(w.Src, core.Config{
-					Protect: c.prot, DEP: true, NoPointsTo: !pruned,
-				})
+				cfg.NoPointsTo = !pruned
+				prog, err := core.Compile(w.Src, cfg)
 				if err != nil {
-					return rep, fmt.Errorf("%s/%s: compile: %w", w.Name, c.name, err)
+					return rep, fmt.Errorf("%s/%s: compile: %w", w.Name, name, err)
 				}
 				s := prog.Stats
 				rep.Rows = append(rep.Rows, StatRow{
-					Workload: w.Name, Config: c.name, PointsTo: pruned,
+					Workload: w.Name, Config: name, PointsTo: pruned,
 					Funcs: s.Funcs, FNUStackPct: s.FNUStackPct(),
 					MemOps: s.MemOps, Instrumented: s.Instrumented,
 					MOPct: s.MOPct(), Checks: s.Checks,
@@ -201,7 +203,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per cell (best wall time wins)")
 	gate403 := flag.Float64("gate403", 0, "also measure the scaled 403.gcc steady-state workload and fail if cpi cycle overhead exceeds this percentage (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs (for dispatch tuning)")
-	statsOut := flag.String("statsout", "ANALYSIS_stats.json", "write per-workload Table 2 instrumentation statistics (cps/cpi, pruned and unpruned) to this JSON path (empty disables)")
+	statsOut := flag.String("statsout", "ANALYSIS_stats.json", "write per-workload Table 2 instrumentation statistics (every registered backend, pruned and unpruned) to this JSON path (empty disables)")
 	noPromote := flag.Bool("nopromote", false, "compile without register promotion (for paired promoted-vs-unpromoted runs on the same machine; the cell names gain a -nopromote suffix)")
 	noBlocks := flag.Bool("noblocks", false, "predecode without block compilation (for paired A/B runs on the same machine; the cell names gain a -noblocks suffix)")
 	regress := flag.Float64("regress", 0, "fail if any vanilla micro cell's steps/sec regresses by more than this percentage against the baseline loaded from -out (0 disables; CI runs this against the committed BENCH_vm.json)")
@@ -230,6 +232,7 @@ func main() {
 	}{
 		{"vanilla", core.Config{DEP: true}},
 		{"cpi", core.Config{Protect: core.CPI, DEP: true}},
+		{"pac", core.Config{Backend: "pac", DEP: true}},
 	}
 	if *noPromote {
 		for i := range cfgs {
@@ -260,7 +263,7 @@ func main() {
 					100*(row.SpeedupX-1), row.SpeedupX)
 			}
 			ovh := ""
-			if c.cfg.Protect == core.Vanilla {
+			if c.cfg.Protect == core.Vanilla && c.cfg.Backend == "" {
 				vanCycles = row.Cycles
 			} else if vanCycles > 0 {
 				row.OverheadPct = 100 * float64(row.Cycles-vanCycles) / float64(vanCycles)

@@ -20,9 +20,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/backend"
 	"repro/internal/instrument"
 	"repro/internal/ir"
 	"repro/internal/irgen"
@@ -62,6 +64,20 @@ func ParseProtection(s string) (Protection, error) {
 // Config selects protection and runtime parameters for a compilation.
 type Config struct {
 	Protect Protection
+
+	// Backend selects the pointer-integrity enforcement backend by
+	// registered name ("cps", "cpi", "pac", ...). Empty means derive it
+	// from Protect: CPS and CPI map to the safe-region backends of the
+	// same name, everything else compiles without a backend. Setting both
+	// Backend and a conflicting Protect is an error; Backend "cps"/"cpi"
+	// with Protect Vanilla is exactly equivalent to Protect CPS/CPI.
+	Backend string
+
+	// PacBits is the modeled MAC width of the pac backend (bits 47..62 of
+	// the signed pointer word hold the MAC field). 0 means the default 16;
+	// smaller widths exist for the forgery-probability tests. Ignored by
+	// other backends.
+	PacBits int
 
 	// NoPromote disables the irgen register promotion pass (mem2reg) and
 	// compiles with the spill-everything baseline lowering. Promotion is
@@ -128,6 +144,73 @@ type Config struct {
 	Cost     vm.CostModel
 }
 
+// backendName resolves the enforcement backend of the configuration: an
+// explicit Backend wins, otherwise Protect CPS/CPI map to the safe-region
+// backends of the same name. Empty means no backend (vanilla, safestack,
+// and the softbound/cfi baselines).
+func (c Config) backendName() (string, error) {
+	fromProt := ""
+	switch c.Protect {
+	case CPS:
+		fromProt = "cps"
+	case CPI:
+		fromProt = "cpi"
+	}
+	if c.Backend == "" {
+		return fromProt, nil
+	}
+	if fromProt != "" && fromProt != c.Backend {
+		return "", fmt.Errorf("conflicting Protect %s and Backend %q", c.Protect, c.Backend)
+	}
+	if fromProt == "" && c.Protect != Vanilla {
+		return "", fmt.Errorf("Backend %q cannot compose with Protect %s", c.Backend, c.Protect)
+	}
+	return c.Backend, nil
+}
+
+// backend resolves the configuration's backend against the registry (nil
+// when the configuration uses none).
+func (c Config) backend() (backend.Backend, error) {
+	name, err := c.backendName()
+	if err != nil || name == "" {
+		return nil, err
+	}
+	bk, ok := backend.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q (registered: %s)",
+			name, strings.Join(backend.Sorted(), ", "))
+	}
+	return bk, nil
+}
+
+// Backends returns the registered backend names in registration order —
+// the column set of the cross-backend evaluation tables.
+func Backends() []string { return backend.Names() }
+
+// BackendFootprint describes the named backend's runtime metadata for the
+// comparison tables ("" for unknown names).
+func BackendFootprint(name string) string {
+	if bk, ok := backend.Get(name); ok {
+		return bk.MetadataFootprint()
+	}
+	return ""
+}
+
+// ConfigForName maps an evaluation column name — a Protection level or a
+// registered backend name — onto its compile Config. Protection names win
+// (so "cps"/"cpi" yield the Protect form both halves of the registry agree
+// on); backend-only names like "pac" select the backend directly.
+func ConfigForName(name string) (Config, error) {
+	if p, err := ParseProtection(name); err == nil {
+		return Config{Protect: p}, nil
+	}
+	if _, ok := backend.Get(name); ok {
+		return Config{Backend: name}, nil
+	}
+	return Config{}, fmt.Errorf("unknown protection or backend %q (backends: %s)",
+		name, strings.Join(backend.Sorted(), ", "))
+}
+
 // Program is a compiled, instrumented program ready to run.
 type Program struct {
 	IR    *ir.Program
@@ -163,40 +246,45 @@ func Compile(src string, cfg Config) (*Program, error) {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
 
+	bk, err := cfg.backend()
+	if err != nil {
+		return nil, err
+	}
+
 	// Whole-program sensitivity propagation (points-to pruning) is on by
-	// default for CPS/CPI. Annotated-struct compilations fall back to the
+	// default for every backend compilation (the classification front is
+	// backend-independent). Annotated-struct compilations fall back to the
 	// type classifier: annotation sensitivity is outside the solver's
 	// object model, and the paper treats annotations as always-protected.
 	var pt *analysis.PointsTo
-	if !cfg.NoPointsTo && len(cfg.SensitiveStructs) == 0 {
-		switch cfg.Protect {
-		case CPS, CPI:
-			pt = analysis.SolvePointsTo(p)
-		}
+	if bk != nil && !cfg.NoPointsTo && len(cfg.SensitiveStructs) == 0 {
+		pt = analysis.SolvePointsTo(p)
 	}
 
 	var stats analysis.Stats
-	switch cfg.Protect {
-	case Vanilla:
-		stats = analysis.Collect(p)
-	case SafeStack:
-		instrument.SafeStack(p)
-		stats = analysis.Collect(p)
-	case CPS:
-		instrument.SafeStack(p)
-		stats = instrument.CPSWith(p, instrument.Opts{PointsTo: pt})
-	case CPI:
-		instrument.SafeStack(p)
-		stats = instrument.CPIWith(p, instrument.Opts{
+	switch {
+	case bk != nil:
+		if bk.SafeStack() {
+			instrument.SafeStack(p)
+		}
+		stats = instrument.WithBackend(p, bk, instrument.Opts{
 			SensitiveStructs: cfg.SensitiveStructs, PointsTo: pt,
 		})
-	case SoftBound:
-		stats = instrument.SoftBound(p)
-	case CFI:
-		instrument.CFI(p)
-		stats = analysis.Collect(p)
 	default:
-		return nil, fmt.Errorf("unknown protection %d", cfg.Protect)
+		switch cfg.Protect {
+		case Vanilla:
+			stats = analysis.Collect(p)
+		case SafeStack:
+			instrument.SafeStack(p)
+			stats = analysis.Collect(p)
+		case SoftBound:
+			stats = instrument.SoftBound(p)
+		case CFI:
+			instrument.CFI(p)
+			stats = analysis.Collect(p)
+		default:
+			return nil, fmt.Errorf("unknown protection %d", cfg.Protect)
+		}
 	}
 	if err := p.Verify(); err != nil {
 		return nil, fmt.Errorf("post-instrumentation verify: %w", err)
@@ -248,19 +336,35 @@ func (p *Program) VMConfig() vm.Config {
 		MaxSteps:       p.Cfg.MaxSteps,
 		Cost:           p.Cfg.Cost,
 	}
-	switch p.Cfg.Protect {
-	case SafeStack:
-		c.SafeStack = true
-	case CPS:
+	name, _ := p.Cfg.backendName() // Compile already validated
+	switch name {
+	case "cps":
+		// The safe-region backends map onto the VM's native CPS/CPI
+		// enforcement switches (the safe-region enforcer is the VM default,
+		// so Config.Backend stays empty and the runtime paths are
+		// bit-identical to the pre-seam machine).
 		c.SafeStack = true
 		c.CPS = true
-	case CPI:
+	case "cpi":
 		c.SafeStack = true
 		c.CPI = true
-	case SoftBound:
-		c.SoftBound = true
-	case CFI:
-		c.CFI = true
+	case "":
+		switch p.Cfg.Protect {
+		case SafeStack:
+			c.SafeStack = true
+		case SoftBound:
+			c.SoftBound = true
+		case CFI:
+			c.CFI = true
+		}
+	default:
+		// A runtime-pluggable backend (pac): the VM selects its enforcer by
+		// name. Every current backend composes with the safe stack.
+		if bk, ok := backend.Get(name); ok && bk.SafeStack() {
+			c.SafeStack = true
+		}
+		c.Backend = name
+		c.PacBits = p.Cfg.PacBits
 	}
 	return c
 }

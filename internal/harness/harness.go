@@ -21,15 +21,30 @@ type NamedConfig struct {
 	Cfg  core.Config
 }
 
-// SpecConfigs are the Fig. 3 configurations (vanilla baseline plus the
-// three protection levels of the paper).
+// SpecConfigs are the Fig. 3 configurations: the vanilla baseline, the
+// safe stack alone, and one column per registered enforcement backend —
+// the comparison set tracks the backend registry rather than hard-coding
+// cps/cpi, so a new backend lands in every table automatically.
 func SpecConfigs() []NamedConfig {
-	return []NamedConfig{
+	out := []NamedConfig{
 		{"vanilla", core.Config{DEP: true}},
 		{"safestack", core.Config{Protect: core.SafeStack, DEP: true}},
-		{"cps", core.Config{Protect: core.CPS, DEP: true}},
-		{"cpi", core.Config{Protect: core.CPI, DEP: true}},
 	}
+	for _, name := range core.Backends() {
+		cfg, err := core.ConfigForName(name)
+		if err != nil {
+			panic(err) // registered names always resolve
+		}
+		cfg.DEP = true
+		out = append(out, NamedConfig{name, cfg})
+	}
+	return out
+}
+
+// ProtColumns is the protection column list the comparison tables render:
+// the safe stack plus every registered backend, in SpecConfigs order.
+func ProtColumns() []string {
+	return append([]string{"safestack"}, core.Backends()...)
 }
 
 // Result holds one workload's measurements across configurations.

@@ -13,13 +13,19 @@ import (
 // WriteTable1 renders the Table 1 summary (SPEC overhead statistics) from a
 // SPEC suite run.
 func WriteTable1(w io.Writer, results []*Result) {
+	cols := ProtColumns()
 	fmt.Fprintln(w, "Table 1: Summary of SPEC CPU2006 performance overheads (%)")
-	fmt.Fprintf(w, "%-22s %12s %12s %12s\n", "", "Safe Stack", "CPS", "CPI")
+	fmt.Fprintf(w, "%-22s", "")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
 	row := func(label string, lang int, stat func(Summary) float64) {
-		fmt.Fprintf(w, "%-22s %11.1f%% %11.1f%% %11.1f%%\n", label,
-			stat(Summarize(results, "safestack", lang)),
-			stat(Summarize(results, "cps", lang)),
-			stat(Summarize(results, "cpi", lang)))
+		fmt.Fprintf(w, "%-22s", label)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %11.1f%%", stat(Summarize(results, c, lang)))
+		}
+		fmt.Fprintln(w)
 	}
 	avg := func(s Summary) float64 { return s.Avg }
 	med := func(s Summary) float64 { return s.Median }
@@ -34,14 +40,20 @@ func WriteTable1(w io.Writer, results []*Result) {
 
 // WriteFig3 renders the Fig. 3 per-benchmark overhead series as text bars.
 func WriteFig3(w io.Writer, results []*Result) {
+	cols := ProtColumns()
 	fmt.Fprintln(w, "Figure 3: Levee performance for SPEC CPU2006 (overhead vs vanilla, %)")
-	fmt.Fprintf(w, "%-16s %5s %10s %8s %8s  %s\n",
-		"benchmark", "lang", "safestack", "cps", "cpi", "cpi bar")
+	fmt.Fprintf(w, "%-16s %5s", "benchmark", "lang")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintf(w, "  %s\n", "cpi bar")
 	for _, r := range results {
 		bar := strings.Repeat("#", int(r.Overhead("cpi")/2+0.5))
-		fmt.Fprintf(w, "%-16s %5s %9.1f%% %7.1f%% %7.1f%%  %s\n",
-			r.Name, r.Lang, r.Overhead("safestack"), r.Overhead("cps"),
-			r.Overhead("cpi"), bar)
+		fmt.Fprintf(w, "%-16s %5s", r.Name, r.Lang)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %9.1f%%", r.Overhead(c))
+		}
+		fmt.Fprintf(w, "  %s\n", bar)
 	}
 }
 
@@ -107,12 +119,19 @@ func WriteTable3Opt(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
+	cols := append(ProtColumns(), "softbound")
 	fmt.Fprintln(w, "Table 3: Overhead of Levee and SoftBound (%)")
-	fmt.Fprintf(w, "%-16s %10s %8s %8s %10s\n", "benchmark", "safestack", "cps", "cpi", "softbound")
+	fmt.Fprintf(w, "%-16s", "benchmark")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintln(w)
 	for _, r := range results {
-		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%% %9.1f%%\n", r.Name,
-			r.Overhead("safestack"), r.Overhead("cps"), r.Overhead("cpi"),
-			r.Overhead("softbound"))
+		fmt.Fprintf(w, "%-16s", r.Name)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %9.1f%%", r.Overhead(c))
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }
@@ -120,10 +139,24 @@ func WriteTable3Opt(w io.Writer, opt Options) error {
 // WriteFig4 renders the Phoronix-style system suite overheads.
 func WriteFig4(w io.Writer, results []*Result) {
 	fmt.Fprintln(w, "Figure 4: Performance overheads on the system suite (Phoronix-style, %)")
-	fmt.Fprintf(w, "%-16s %10s %8s %8s\n", "benchmark", "safestack", "cps", "cpi")
+	writeOverheadRows(w, results)
+}
+
+// writeOverheadRows renders one benchmark-per-row overhead listing with a
+// column per registered protection (the shared body of Fig. 4 / Table 4).
+func writeOverheadRows(w io.Writer, results []*Result) {
+	cols := ProtColumns()
+	fmt.Fprintf(w, "%-16s", "benchmark")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintln(w)
 	for _, r := range results {
-		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%%\n", r.Name,
-			r.Overhead("safestack"), r.Overhead("cps"), r.Overhead("cpi"))
+		fmt.Fprintf(w, "%-16s", r.Name)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %9.1f%%", r.Overhead(c))
+		}
+		fmt.Fprintln(w)
 	}
 }
 
@@ -144,11 +177,7 @@ func WriteTable4Opt(w io.Writer, opt Options) error {
 		return err
 	}
 	fmt.Fprintln(w, "Table 4: Throughput benchmark for web server stack (overhead %)")
-	fmt.Fprintf(w, "%-16s %10s %8s %8s\n", "benchmark", "safestack", "cps", "cpi")
-	for _, r := range results {
-		fmt.Fprintf(w, "%-16s %9.1f%% %7.1f%% %7.1f%%\n", r.Name,
-			r.Overhead("safestack"), r.Overhead("cps"), r.Overhead("cpi"))
-	}
+	writeOverheadRows(w, results)
 	return nil
 }
 

@@ -21,6 +21,7 @@ package instrument
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/backend"
 	"repro/internal/ctypes"
 	"repro/internal/ir"
 	"repro/internal/minic/builtins"
@@ -66,14 +67,43 @@ func CPI(p *ir.Program) analysis.Stats {
 }
 
 // CPIWith runs CPI with programmer annotations and/or points-to pruning.
+// It routes through the backend seam (the registered "cpi" backend).
 func CPIWith(p *ir.Program, opts Opts) analysis.Stats {
+	return WithBackend(p, mustBackend("cpi"), opts)
+}
+
+// WithBackend runs the protection instrumentation for one registered
+// backend: the shared classification front (safe-stack skip, type
+// classifier, string heuristic, points-to pruning) decides which
+// operations are sensitive, and the backend decides how each surviving
+// operation is flagged. SafeStack must have run first when the backend
+// composes with it (bk.SafeStack()).
+func WithBackend(p *ir.Program, bk backend.Backend, opts Opts) analysis.Stats {
 	annotated := annotSet{}
-	for _, n := range opts.SensitiveStructs {
-		annotated[n] = true
+	if bk.Scope() == backend.ScopeFull {
+		// Annotations are a full-scope feature; code-scope backends ignore
+		// SensitiveStructs entirely (as CPS always has).
+		for _, n := range opts.SensitiveStructs {
+			annotated[n] = true
+		}
 	}
-	instrumentProgramOpts(p, modeCPI, annotated, opts.PointsTo)
-	p.Protection = append(p.Protection, "cpi")
+	for _, f := range p.Funcs {
+		if f.External {
+			continue
+		}
+		instrumentFuncBackend(p, f, bk, annotated, opts.PointsTo)
+	}
+	markGlobals(p, annotated)
+	p.Protection = append(p.Protection, bk.Name())
 	return analysis.Collect(p)
+}
+
+func mustBackend(name string) backend.Backend {
+	bk, ok := backend.Get(name)
+	if !ok {
+		panic("instrument: backend " + name + " not registered")
+	}
+	return bk
 }
 
 // annotSet holds the sensitive-struct tags of one CPIWith run. It is
@@ -108,10 +138,32 @@ func CPS(p *ir.Program) analysis.Stats {
 }
 
 // CPSWith runs CPS with points-to pruning (SensitiveStructs is ignored:
-// annotations are a CPI feature).
+// annotations are a CPI feature, and code-scope backends never see the
+// annotated class). It routes through the backend seam.
 func CPSWith(p *ir.Program, opts Opts) analysis.Stats {
+	return WithBackend(p, mustBackend("cps"), opts)
+}
+
+// ReferenceCPS and ReferenceCPI run the frozen pre-refactor mode-based
+// passes. They are not used by any compilation path; the refactor-
+// equivalence differential suite compiles every workload through both this
+// reference and the backend seam and requires bit-identical flags and runs.
+// Do not extend these when adding backends — they are the fixed point the
+// seam is measured against.
+func ReferenceCPS(p *ir.Program, opts Opts) analysis.Stats {
 	instrumentProgramOpts(p, modeCPS, nil, opts.PointsTo)
 	p.Protection = append(p.Protection, "cps")
+	return analysis.Collect(p)
+}
+
+// ReferenceCPI is the frozen mode-based CPI pass; see ReferenceCPS.
+func ReferenceCPI(p *ir.Program, opts Opts) analysis.Stats {
+	annotated := annotSet{}
+	for _, n := range opts.SensitiveStructs {
+		annotated[n] = true
+	}
+	instrumentProgramOpts(p, modeCPI, annotated, opts.PointsTo)
+	p.Protection = append(p.Protection, "cpi")
 	return analysis.Collect(p)
 }
 
@@ -155,15 +207,45 @@ func instrumentProgramOpts(p *ir.Program, md mode, annotated annotSet, pt *analy
 		}
 		instrumentFunc(p, f, md, annotated, pt)
 	}
-	// Mark sensitive globals (informational; the loader seeds the safe
-	// pointer store from initializers either way) and annotated ones (the
-	// loader must seed their initial values into the safe store).
+	markGlobals(p, annotated)
+}
+
+// markGlobals marks sensitive globals (informational; the loader seeds the
+// backend's metadata from initializers either way) and annotated ones (the
+// loader must seed their initial values).
+func markGlobals(p *ir.Program, annotated annotSet) {
 	for _, g := range p.Globals {
 		if ctypes.Sensitive(g.Type) {
 			g.Sensitive = true
 		}
 		if annotated.covers(g.Type) {
 			g.Annotated = true
+		}
+	}
+}
+
+// instrumentFuncBackend is the backend-seam counterpart of instrumentFunc:
+// the same per-function analyses and walk order, with flag decisions
+// delegated to the backend.
+func instrumentFuncBackend(p *ir.Program, f *ir.Func, bk backend.Backend, annotated annotSet, pt *analysis.PointsTo) {
+	fi := analysis.Analyze(f)
+	uses := analysis.Uses(f)
+	for _, obj := range f.Frame {
+		if ctypes.Sensitive(obj.Type) {
+			obj.Sensitive = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				flagMemOpBackend(p, fi, uses, in, bk, annotated, pt)
+			case ir.OpCall:
+				if in.Callee < 0 {
+					flagIntrinsicBackend(p, fi, in, bk, pt)
+				}
+			}
 		}
 	}
 }
@@ -282,6 +364,69 @@ func flagMemOp(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, i
 	}
 }
 
+// flagMemOpBackend decides the instrumentation of one load/store through
+// the backend seam. The classification front — safe-stack skip, annotation
+// covers, type classifier, points-to pruning, string heuristic — is shared
+// verbatim with the frozen reference passes; only the emitted flags come
+// from the backend.
+func flagMemOpBackend(p *ir.Program, fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr, bk backend.Backend, annotated annotSet, pt *analysis.PointsTo) {
+	ty := in.Ty
+	if ty == nil {
+		return
+	}
+	if safeStackDirect(fi, in.A) {
+		return
+	}
+	regAddr := in.A.Kind == ir.ValReg
+
+	switch bk.Scope() {
+	case backend.ScopeCode:
+		// Code pointers and universal pointers only (§3.3).
+		switch {
+		case ty.IsFuncPtr():
+			if pt.Prunable(fi.Fn, in.A) {
+				return // targets provably never hold code pointers
+			}
+			in.Flags |= bk.MemOp(backend.ClassFuncPtr, regAddr)
+		case ty.IsUniversalPtr():
+			if stringHeuristic(fi, uses, in) {
+				return
+			}
+			if pt.Prunable(fi.Fn, in.A) {
+				return
+			}
+			in.Flags |= bk.MemOp(backend.ClassUniversal, regAddr)
+		}
+
+	case backend.ScopeFull:
+		// Programmer-annotated data (§3.2.1): protect the value itself,
+		// whatever its type.
+		if len(annotated) > 0 && in.Size == 8 {
+			if t := fi.PointeeType(p, in.A, 0); t != nil && annotated.covers(t) {
+				in.Flags |= bk.MemOp(backend.ClassAnnotated, regAddr)
+				return
+			}
+		}
+		if !ctypes.SensitivePtr(ty) && !ctypes.Sensitive(ty) {
+			return
+		}
+		// Whole-program refinement: the type classifier says sensitive, but
+		// if every abstract target of the address is provably non-sensitive
+		// the backend can protect nothing under it — leave it plain.
+		if pt.Prunable(fi.Fn, in.A) {
+			return
+		}
+		if ty.IsUniversalPtr() {
+			if stringHeuristic(fi, uses, in) {
+				return
+			}
+			in.Flags |= bk.MemOp(backend.ClassUniversal, regAddr)
+		} else {
+			in.Flags |= bk.MemOp(backend.ClassSensitive, regAddr)
+		}
+	}
+}
+
 // stringHeuristic applies the §3.2.1 char* refinement: char* values that
 // are manifestly strings are not treated as universal pointers.
 func stringHeuristic(fi *analysis.FuncInfo, uses map[int][]*ir.Instr, in *ir.Instr) bool {
@@ -332,6 +477,53 @@ func flagIntrinsic(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, md mode, 
 			in.Flags |= ir.ProtSafeIntr
 		}
 	}
+}
+
+// flagIntrinsicBackend classifies intrinsics through the backend seam: the
+// argument analysis and pruning are shared with the reference passes, the
+// flags come from the backend.
+func flagIntrinsicBackend(p *ir.Program, fi *analysis.FuncInfo, in *ir.Instr, bk backend.Backend, pt *analysis.PointsTo) {
+	prunedArg := func(i int) bool {
+		return i < len(in.Args) && pt.Prunable(fi.Fn, in.Args[i])
+	}
+	mayTouch := func(i int) bool {
+		return mayTouchScope(p, fi, in.Args, i, bk.Scope())
+	}
+	switch in.Intr {
+	case builtins.Setjmp:
+		in.Flags |= bk.SetjmpFlags()
+	case builtins.Memcpy, builtins.Memmove:
+		if prunedArg(0) && prunedArg(1) {
+			return
+		}
+		if mayTouch(0) || mayTouch(1) {
+			in.Flags |= bk.SafeIntrFlags()
+		}
+	case builtins.Memset, builtins.Free:
+		if prunedArg(0) {
+			return
+		}
+		if mayTouch(0) {
+			in.Flags |= bk.SafeIntrFlags()
+		}
+	}
+}
+
+// mayTouchScope is mayTouchSensitive keyed by backend scope instead of
+// pass mode: code-scope backends care about code-pointer-carrying regions,
+// full-scope backends about the whole sensitive closure.
+func mayTouchScope(p *ir.Program, fi *analysis.FuncInfo, args []ir.Value, i int, sc backend.Scope) bool {
+	if i >= len(args) {
+		return false
+	}
+	t := fi.PointeeType(p, args[i], 0)
+	if t == nil {
+		return true // unknown: conservative
+	}
+	if sc == backend.ScopeCode {
+		return containsCodePtr(t, map[*ctypes.Struct]bool{})
+	}
+	return ctypes.Sensitive(t)
 }
 
 // mayTouchSensitive reports whether the i-th pointer argument may point to

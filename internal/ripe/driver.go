@@ -29,6 +29,7 @@ func Defenses() []Defense {
 		{"safestack", core.Config{Protect: core.SafeStack, DEP: true}},
 		{"cps", core.Config{Protect: core.CPS, DEP: true}},
 		{"cpi", core.Config{Protect: core.CPI, DEP: true}},
+		{"pac", core.Config{Backend: "pac", DEP: true}},
 	}
 }
 
@@ -281,9 +282,9 @@ func run(a Attack, d Defense, seed int64, promote bool) (Result, error) {
 		strings.Contains(r.Output, "PWNED"):
 		res.Outcome = Success
 	case r.Trap == vm.TrapCPIViolation, r.Trap == vm.TrapCPSViolation,
-		r.Trap == vm.TrapSBViolation, r.Trap == vm.TrapCFIViolation,
-		r.Trap == vm.TrapStackSmash, r.Trap == vm.TrapNXFault,
-		r.Trap == vm.TrapFortify:
+		r.Trap == vm.TrapPacViolation, r.Trap == vm.TrapSBViolation,
+		r.Trap == vm.TrapCFIViolation, r.Trap == vm.TrapStackSmash,
+		r.Trap == vm.TrapNXFault, r.Trap == vm.TrapFortify:
 		res.Outcome = Prevented
 	case a.Technique == Indirect && lay.tgtSafe:
 		res.Outcome = Prevented // target unreachable in the safe region

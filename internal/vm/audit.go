@@ -42,7 +42,11 @@ func (m *Machine) auditLoad(addr uint64, onSafe bool, size uint8, flags ir.Prot)
 	if useSPS, _, _, _ := m.protActive(flags); useSPS {
 		return true // instrumented: goes through the safe store
 	}
-	if e, ok := m.sps.Get(addr); ok && e.Valid() && e.Kind == sps.KindCode {
+	st := m.spsStore()
+	if st == nil {
+		return true // the oracle audits the safe-region backend only
+	}
+	if e, ok := st.Get(addr); ok && e.Valid() && e.Kind == sps.KindCode {
 		m.trapf(TrapAuditSensitive, addr, ViaNone,
 			"uninstrumented load of protected code pointer at %#x", addr)
 		return false
@@ -63,7 +67,11 @@ func (m *Machine) auditStore(addr uint64, onSafe bool, size uint8, flags ir.Prot
 			"uninstrumented store of code-provenance value to %#x", addr)
 		return false
 	}
-	if e, ok := m.sps.Get(addr); ok && e.Valid() && e.Kind == sps.KindCode {
+	st := m.spsStore()
+	if st == nil {
+		return true
+	}
+	if e, ok := st.Get(addr); ok && e.Valid() && e.Kind == sps.KindCode {
 		// Overwriting a protected code-pointer slot through an
 		// uninstrumented store leaves the stale protected entry shadowing
 		// the regular value: a kept load would resurrect the old pointer.
@@ -81,9 +89,13 @@ func (m *Machine) auditRange(base uint64, n int64, what string) bool {
 	if !m.cfg.AuditSensitive || n <= 0 {
 		return true
 	}
+	st := m.spsStore()
+	if st == nil {
+		return true
+	}
 	bad := uint64(0)
 	found := false
-	m.sps.ScanRange(base, base+uint64(n), func(addr uint64, e sps.Entry) bool {
+	st.ScanRange(base, base+uint64(n), func(addr uint64, e sps.Entry) bool {
 		if e.Valid() && e.Kind == sps.KindCode {
 			bad, found = addr, true
 			return false
@@ -105,5 +117,7 @@ func (m *Machine) auditDropStack(base uint64, bytes int64) {
 	if !m.cfg.AuditSensitive || bytes <= 0 {
 		return
 	}
-	m.sps.DeleteRange(base, int(bytes/8))
+	if st := m.spsStore(); st != nil {
+		st.DeleteRange(base, int(bytes/8))
+	}
 }

@@ -1,0 +1,243 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sps"
+)
+
+// The runtime half of the pointer-integrity backend abstraction. Every
+// machine owns one enforcer; the check paths (memops.go, setjmp.go,
+// intrinsics.go, calls.go) dispatch protected accesses through it instead
+// of assuming the safe-region idiom. Config.Backend selects it by name:
+// the empty default is the safe-region enforcer (the paper's mechanism,
+// shared by CPI/CPS/SoftBound and backing the audit oracle and temporal
+// sweep), "pac" is the MAC-authenticate-in-place enforcer.
+
+// enforcer is the per-backend runtime hook set. Hooks are only invoked on
+// operations the instrumentation flagged and the configuration activated
+// (protActive), so the plain fast paths never pay for the indirection.
+type enforcer interface {
+	// seed draws per-machine secrets from the layout PRNG. load() calls it
+	// after the canary/pointer-guard/safe-base draws, so backends needing
+	// no secret leave the pre-existing draw stream untouched.
+	seed(m *Machine)
+	// loadProt handles a flagged word-sized load from the regular region
+	// (the caller resolved addr and guarded size==8 && !onSafe). It fills
+	// f.regs[dst]/f.meta[dst] and returns false if the machine trapped.
+	loadProt(m *Machine, f *frame, space *mem.Memory, addr uint64, dst int32, universal, cps bool) bool
+	// storeProt handles the metadata half of a flagged word-sized store
+	// and returns the word the regular region should hold (the pac
+	// enforcer transforms it; the safe-region one stores metadata aside
+	// and returns it unchanged).
+	storeProt(m *Machine, addr, val uint64, valMeta Meta, flags ir.Prot, universal, cps bool) uint64
+	// setjmpSave protects the resume address of a flagged setjmp after
+	// the raw jmp_buf words have been written.
+	setjmpSave(m *Machine, buf, siteAddr uint64)
+	// longjmpResume recovers the protected resume address of a jmp_buf;
+	// ok=false means the machine trapped.
+	longjmpResume(m *Machine, buf uint64) (resume uint64, ok bool)
+	// violation is the trap kind for a control transfer through a value
+	// without code provenance under this backend.
+	violation(m *Machine) TrapKind
+	// initEntry seeds protection state for one pointer-valued global
+	// initializer word (the loader is trusted, §2).
+	initEntry(m *Machine, addr uint64, e sps.Entry)
+	// copyRange, clearRange and dropRange are the safe-variant intrinsic
+	// hooks: metadata migration for memcpy/memmove, invalidation for
+	// memset, and free()-time bulk invalidation of a deallocated region.
+	copyRange(m *Machine, dst, src uint64, words int)
+	clearRange(m *Machine, base uint64, words int)
+	dropRange(m *Machine, base uint64, words int)
+	// sampleMem folds the backend's metadata footprint into the peak
+	// memory statistics (§5.2).
+	sampleMem(ms *MemStats)
+	// finishStats surfaces backend counters in the Result.
+	finishStats(r *Result)
+	// reset returns the enforcer to its freshly constructed state (pooled
+	// serving; secrets are redrawn by the load() that follows).
+	reset()
+}
+
+// newEnforcer builds the enforcer for a configuration.
+func newEnforcer(cfg Config) (enforcer, error) {
+	switch cfg.Backend {
+	case "":
+		return &srEnforcer{sps: sps.New(cfg.SPS)}, nil
+	case "pac":
+		bits := cfg.PacBits
+		if bits == 0 {
+			bits = pacDefaultBits
+		}
+		if bits < 1 || bits > pacMaxBits {
+			return nil, fmt.Errorf("vm: PacBits %d out of range [1,%d]", bits, pacMaxBits)
+		}
+		return &pacEnforcer{bits: uint(bits), mask: uint64(1)<<bits - 1}, nil
+	}
+	return nil, fmt.Errorf("vm: unknown backend %q", cfg.Backend)
+}
+
+// spsStore returns the safe pointer store when the safe-region enforcer is
+// active and nil otherwise. The safe-region-only subsystems — the audit
+// oracle, the temporal sweep, the white-box tests — reach the store through
+// it; backend-generic code must go through the enforcer hooks instead.
+func (m *Machine) spsStore() sps.Store {
+	if s, ok := m.enf.(*srEnforcer); ok {
+		return s.sps
+	}
+	return nil
+}
+
+// ---- safe-region enforcer (§3.2.2) ----
+
+// srEnforcer owns the safe pointer store: the isolated map from a
+// sensitive pointer's regular-region address to its protected value and
+// based-on metadata. It is the enforcer of every non-backend configuration
+// too (vanilla machines simply never invoke its hooks), which keeps the
+// audit oracle and white-box tests working unchanged.
+type srEnforcer struct {
+	sps sps.Store
+}
+
+func (s *srEnforcer) seed(*Machine) {}
+
+func (s *srEnforcer) loadProt(m *Machine, f *frame, space *mem.Memory, addr uint64, dst int32, universal, cps bool) bool {
+	m.cycles += s.sps.LoadCost()
+	e, ok := s.sps.Get(addr)
+	switch {
+	case ok && e.Valid():
+		if m.cfg.DebugDualStore {
+			raw, err := space.Load(addr, 8)
+			if err == nil && raw != e.Value {
+				m.trapf(m.violationKind(cps), addr, ViaNone,
+					"dual-store mismatch: regular %#x vs safe %#x", raw, e.Value)
+				return false
+			}
+			m.cycles += m.cfg.Cost.Load
+		}
+		f.regs[dst] = e.Value
+		f.meta[dst] = metaFromEntry(e)
+	case universal:
+		// Universal pointer without a valid safe entry: regular load
+		// (§3.2.2), invalid metadata.
+		v, err := space.Load(addr, 8)
+		if err != nil {
+			m.memFault(err)
+			return false
+		}
+		m.cycles += m.cfg.Cost.Load
+		f.regs[dst] = v
+		f.meta[dst] = invalidMeta
+	default:
+		// A sensitive pointer location that no instrumented store ever
+		// wrote: yields an unusable value, so corruption planted by
+		// non-instrumented writes is "silently prevented" (§3.2.2).
+		f.regs[dst] = 0
+		f.meta[dst] = invalidMeta
+	}
+	return true
+}
+
+func (s *srEnforcer) storeProt(m *Machine, addr, val uint64, valMeta Meta, flags ir.Prot, universal, cps bool) uint64 {
+	m.cycles += s.sps.StoreCost()
+	m.spsDirty = true
+	switch {
+	case cps:
+		// CPS: only values with code provenance enter the safe store
+		// (§3.3 guarantee (i): code pointers can only be stored by
+		// code pointer stores, and only from legitimate code values).
+		if valMeta.Kind == sps.KindCode {
+			s.sps.Set(addr, entryFromMeta(val, valMeta))
+		} else if universal {
+			s.sps.Delete(addr)
+		} else {
+			// Storing a forged (non-code) value through a code-pointer
+			// store invalidates the slot rather than laundering it.
+			s.sps.Delete(addr)
+		}
+	case valMeta.Kind != sps.KindInvalid:
+		s.sps.Set(addr, entryFromMeta(val, valMeta))
+	case flags&ir.ProtAnnotated != 0:
+		// Programmer-annotated sensitive data (§3.2.1): the value
+		// itself is protected; bounds degenerate to "any" since the
+		// value is not used as a pointer.
+		s.sps.Set(addr, sps.Entry{Value: val, Upper: ^uint64(0), Kind: sps.KindData})
+	case universal:
+		// Universal pointer holding a regular value: regular region
+		// only; stale safe entries must not survive (§3.2.2 invalid
+		// metadata rule).
+		s.sps.Delete(addr)
+	default:
+		// Sensitive pointer store of a value with invalid metadata
+		// (e.g. forged from an integer): record invalid entry so later
+		// loads see an unusable pointer rather than attacker data.
+		s.sps.Delete(addr)
+	}
+	return val
+}
+
+func (s *srEnforcer) setjmpSave(m *Machine, buf, siteAddr uint64) {
+	m.cycles += s.sps.StoreCost()
+	m.spsDirty = true
+	s.sps.Set(buf, sps.Entry{Value: siteAddr, Lower: siteAddr,
+		Upper: siteAddr, Kind: sps.KindCode})
+}
+
+func (s *srEnforcer) longjmpResume(m *Machine, buf uint64) (uint64, bool) {
+	m.cycles += s.sps.LoadCost()
+	e, ok := s.sps.Get(buf)
+	if !ok || e.Kind != sps.KindCode {
+		m.trapf(m.violationKind(m.cfg.CPS), buf, ViaLongjmp,
+			"longjmp buffer without protected resume address")
+		return 0, false
+	}
+	return e.Value, true
+}
+
+func (s *srEnforcer) violation(m *Machine) TrapKind { return m.violationKind(m.cfg.CPS) }
+
+func (s *srEnforcer) initEntry(m *Machine, addr uint64, e sps.Entry) {
+	s.sps.Set(addr, e)
+}
+
+func (s *srEnforcer) copyRange(m *Machine, dst, src uint64, words int) {
+	// Each covered word pays the probe of the source slot (a safe-store
+	// load) and the Set/Delete of the destination slot (a safe-store
+	// store), on top of the per-word bookkeeping.
+	m.cycles += int64(words) * (m.cfg.Cost.SafeIntrWord + s.sps.LoadCost() + s.sps.StoreCost())
+	m.spsDirty = true
+	// The store-level bulk move is overlap-safe (snapshot-equivalent),
+	// matching the memmove-safe byte copy the caller already performed,
+	// and large protected copies stop going word-by-word through the
+	// generic Get/Set.
+	s.sps.CopyRange(dst, src, words)
+}
+
+func (s *srEnforcer) clearRange(m *Machine, base uint64, words int) {
+	// memset performs no source probe, but every covered word's Delete
+	// is a safe-store write and is charged as one.
+	m.cycles += int64(words) * (m.cfg.Cost.SafeIntrWord + s.sps.StoreCost())
+	m.spsDirty = true
+	s.sps.DeleteRange(base, words)
+}
+
+func (s *srEnforcer) dropRange(m *Machine, base uint64, words int) {
+	units := s.sps.DropPages(base, words)
+	m.cycles += m.cfg.Cost.DropBase + int64(units)*(m.cfg.Cost.DropUnit+s.sps.StoreCost())
+	m.spsDirty = true
+}
+
+func (s *srEnforcer) sampleMem(ms *MemStats) {
+	if b := s.sps.FootprintBytes(); b > ms.SPSBytes {
+		ms.SPSBytes = b
+	}
+	if n := int64(s.sps.Len()); n > ms.SPSEntries {
+		ms.SPSEntries = n
+	}
+}
+
+func (s *srEnforcer) finishStats(*Result) {}
+
+func (s *srEnforcer) reset() { s.sps.Reset() }

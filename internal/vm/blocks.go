@@ -56,17 +56,17 @@ const (
 	skBinRC         // reg ⊗ const
 	skMovR
 	skMovC
-	skGEPRR         // base reg + index reg (aux = scale, imm = offset)
-	skGEPRC         // base reg + constant (imm = whole precomputed offset)
-	skLoadRegW8     // plain word load, register address
-	skLoadFrameW8   // plain word load, safe-eligible frame object
-	skLoadFrameUW8  // plain word load, unsafe-stack frame object
+	skGEPRR        // base reg + index reg (aux = scale, imm = offset)
+	skGEPRC        // base reg + constant (imm = whole precomputed offset)
+	skLoadRegW8    // plain word load, register address
+	skLoadFrameW8  // plain word load, safe-eligible frame object
+	skLoadFrameUW8 // plain word load, unsafe-stack frame object
 	skStoreRegW8
 	skStoreFrameW8
 	skStoreFrameUW8
-	skBr       // trace-extending unconditional branch (target is the next op)
-	skCondBrR  // terminal two-way branch on a register
-	skCondBrX  // trace-extending branch: fall-through arm is the next op,
+	skBr      // trace-extending unconditional branch (target is the next op)
+	skCondBrR // terminal two-way branch on a register
+	skCondBrX // trace-extending branch: fall-through arm is the next op,
 	// taken arm exits the activation early (imm = taken, aux = fall-through)
 	skRet      // terminal return (retFinish invoked directly)
 	skCallPlan // register-convention direct call; mid-trace when the
@@ -77,9 +77,9 @@ const (
 	// second slot, halving loop and switch traffic on the hottest adjacent
 	// shapes. The second segOp stays in place unmodified; the merged body
 	// reads its fields directly.
-	skPairCmpRCBrX // reg-const compare feeding a trace-extending branch
-	skPairCmpRCBr  // reg-const compare feeding a terminal branch
-	skPairCmpRRBrX // reg-reg compare feeding a trace-extending branch
+	skPairCmpRCBrX  // reg-const compare feeding a trace-extending branch
+	skPairCmpRCBr   // reg-const compare feeding a terminal branch
+	skPairCmpRRBrX  // reg-reg compare feeding a trace-extending branch
 	skPairBinRCCall // add/sub reg-const feeding a direct call
 	skPairBinRCRet  // add/sub reg-const whose fresh result is returned
 	skPairBinRRRet  // add/sub reg-reg whose fresh result is returned
@@ -386,8 +386,9 @@ func (m *Machine) runSegment(f *frame) {
 	sfi := m.cfg.Isolation == IsoSFI
 	softBound := m.cfg.SoftBound
 	tm := safeStack || softBound || m.cfg.CPI || m.cfg.CPS || m.cfg.CFI ||
-		m.cfg.Fortify || m.cfg.PtrMangle || m.cfg.TemporalSafety ||
-		m.cfg.DebugDualStore || m.cfg.AuditSensitive || m.hooks != nil
+		m.cfg.Backend != "" || m.cfg.Fortify || m.cfg.PtrMangle ||
+		m.cfg.TemporalSafety || m.cfg.DebugDualStore ||
+		m.cfg.AuditSensitive || m.hooks != nil
 	budget := m.stepBudget
 	steps0 := m.steps
 	steps := steps0

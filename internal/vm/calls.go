@@ -120,12 +120,12 @@ func (m *Machine) execICall(f *frame, in *PIns) {
 		}
 	}
 
-	if m.cfg.CPI || m.cfg.CPS {
-		// The function pointer was loaded via the safe store; a value
-		// without code provenance means it was never a legitimately
-		// stored code pointer.
+	if m.cfg.CPI || m.cfg.CPS || m.cfg.Backend != "" {
+		// The function pointer was loaded through the enforcement backend
+		// (safe store or in-place authentication); a value without code
+		// provenance means it was never a legitimately stored code pointer.
 		if meta.Kind != sps.KindCode {
-			m.trapf(m.violationKind(m.cfg.CPS), target, ViaICall,
+			m.trapf(m.enf.violation(m), target, ViaICall,
 				"indirect call through unprotected pointer %#x", target)
 			return
 		}

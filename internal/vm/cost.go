@@ -73,6 +73,15 @@ type CostModel struct {
 	SweepAlloc int64
 	SweepEntry int64
 
+	// PacSign and PacAuth price one MAC computation of the pac backend: a
+	// sign on a protected store (and setjmp), an authenticate on a
+	// protected load (and longjmp). Modeled on the ~4-cycle latency of an
+	// ARMv8.3 PAC instruction; the pac backend charges these *instead of*
+	// the safe-pointer-store access, which is where its different overhead
+	// shape comes from.
+	PacSign int64
+	PacAuth int64
+
 	// SFIMask is the per-store masking cost under SFI isolation (§3.2.3:
 	// "as small as a single and operation"; measured <5% total extra).
 	// Only stores are masked — store-only sandboxing suffices to keep the
@@ -112,6 +121,8 @@ func DefaultCosts() CostModel {
 		DropUnit:     30,
 		SweepAlloc:   2,
 		SweepEntry:   2,
+		PacSign:      4,
+		PacAuth:      4,
 		SFIMask:      1,
 	}
 }

@@ -75,6 +75,7 @@ func (m *Machine) finish(t *Trap) *Result {
 		Mem:            m.memStats,
 		Err:            t,
 	}
+	m.enf.finishStats(r)
 	if t.Kind == TrapHijacked {
 		r.HijackTarget = t.Target
 		r.HijackVia = t.Via

@@ -393,7 +393,7 @@ func (m *Machine) free(addr uint64, safeVariant bool) {
 	}
 	a := m.allocs[addr]
 	if a == nil || a.freed {
-		if m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound {
+		if m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound || m.cfg.Backend != "" {
 			if a == nil {
 				m.freeUntracked++
 			} else {
@@ -412,10 +412,8 @@ func (m *Machine) free(addr uint64, safeVariant bool) {
 	if lst := m.freeLst[a.size]; len(lst) < freeListCap {
 		m.freeLst[a.size] = append(lst, addr)
 	}
-	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
-		units := m.sps.DropPages(addr, int(a.size/8))
-		m.cycles += m.cfg.Cost.DropBase + int64(units)*(m.cfg.Cost.DropUnit+m.sps.StoreCost())
-		m.spsDirty = true
+	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound || m.cfg.Backend != "") {
+		m.enf.dropRange(m, addr, int(a.size/8))
 	}
 }
 
@@ -450,17 +448,8 @@ func (m *Machine) memcpy(dst, src uint64, n int64, safeVariant bool) bool {
 		return false
 	}
 	m.cycles += (n/8 + 1) * m.cfg.Cost.IntrByte
-	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
-		// Each covered word pays the probe of the source slot (a safe-store
-		// load) and the Set/Delete of the destination slot (a safe-store
-		// store), on top of the per-word bookkeeping.
-		words := int(n / 8)
-		m.cycles += int64(words) * (m.cfg.Cost.SafeIntrWord + m.sps.LoadCost() + m.sps.StoreCost())
-		m.spsDirty = true
-		// The store-level bulk move is overlap-safe (snapshot-equivalent),
-		// matching the memmove-safe byte copy above, and large protected
-		// copies stop going word-by-word through the generic Get/Set.
-		m.sps.CopyRange(dst, src, words)
+	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound || m.cfg.Backend != "") {
+		m.enf.copyRange(m, dst, src, int(n/8))
 	}
 	return true
 }
@@ -480,13 +469,8 @@ func (m *Machine) memset(dst uint64, c byte, n int64, safeVariant bool) bool {
 		return false
 	}
 	m.cycles += (n/8 + 1) * m.cfg.Cost.IntrByte
-	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound) {
-		// memset performs no source probe, but every covered word's Delete
-		// is a safe-store write and is charged as one.
-		words := n / 8
-		m.cycles += words * (m.cfg.Cost.SafeIntrWord + m.sps.StoreCost())
-		m.spsDirty = true
-		m.sps.DeleteRange(dst, int(words))
+	if safeVariant && (m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound || m.cfg.Backend != "") {
+		m.enf.clearRange(m, dst, int(n/8))
 	}
 	return true
 }

@@ -26,7 +26,7 @@ func TestSafeMemcpyOverlapMigratesEntries(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		a := base + uint64(i)*8
 		v := uint64(100 + i)
-		m.sps.Set(a, sps.Entry{Value: v, Lower: a, Upper: a + 8, Kind: sps.KindData})
+		m.spsStore().Set(a, sps.Entry{Value: v, Lower: a, Upper: a + 8, Kind: sps.KindData})
 		if err := m.mem.Store(a, 8, v); err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +42,7 @@ func TestSafeMemcpyOverlapMigratesEntries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, ok := m.sps.Get(a)
+		e, ok := m.spsStore().Get(a)
 		if !ok {
 			t.Fatalf("word %d: safe-store entry missing", i)
 		}

@@ -98,6 +98,16 @@ type Config struct {
 	// predecoder's AuditHooks routing (core.Program.Predecoded sets it up).
 	AuditSensitive bool
 
+	// Backend selects the runtime enforcement backend by name. Empty is
+	// the safe-region enforcer that all pre-existing configurations use
+	// (CPI/CPS/SoftBound metadata in the isolated safe pointer store);
+	// "pac" signs code pointers in place with a keyed MAC and
+	// authenticates them on load (see pac.go).
+	Backend string
+	// PacBits is the MAC field width for the pac backend (0 = default 16).
+	// The modeled forgery probability is 2^-PacBits.
+	PacBits int
+
 	// SPS selects the safe pointer store organisation: array (default),
 	// twolevel, hash.
 	SPS string
@@ -256,7 +266,7 @@ type Machine struct {
 
 	mem  *mem.Memory // regular region (+code, rodata)
 	safe *mem.Memory // safe region (safe stacks)
-	sps  sps.Store
+	enf  enforcer    // runtime enforcement backend (cfg.Backend)
 
 	frames []*frame
 	// cur caches frames[len(frames)-1]: the dispatch loop reads the top
@@ -274,8 +284,8 @@ type Machine struct {
 	blockSteps   int64
 	blockEntries int64
 	extraDisp    int64
-	out        bytes.Buffer
-	rng        uint64
+	out          bytes.Buffer
+	rng          uint64
 
 	// Layout. Function entries, return sites, setjmp sites, globals and
 	// strings all have addresses of the form base + slide + f(ordinal), with
@@ -368,13 +378,17 @@ func NewShared(p *ir.Program, code *Code, cfg Config) (*Machine, error) {
 	if cfg.MaxCallDepth == 0 {
 		cfg.MaxCallDepth = 4096
 	}
+	enf, err := newEnforcer(cfg)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
 		cfg:            cfg,
 		prog:           p,
 		code:           code,
 		mem:            mem.New(),
 		safe:           mem.New(),
-		sps:            sps.New(cfg.SPS),
+		enf:            enf,
 		allocs:         map[uint64]*allocation{},
 		freeLst:        map[int64][]uint64{},
 		rng:            uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x7263_6970,
@@ -412,6 +426,9 @@ func (m *Machine) load() error {
 	m.canary = m.nextRand() | 1 // never zero
 	m.ptrGuard = m.nextRand() | 1
 	m.safeBaseSec = (m.nextRand() % (1 << 46)) &^ (mem.PageSize - 1)
+	// Backend secrets draw last so that backends needing none (the
+	// safe-region default) leave the established draw stream untouched.
+	m.enf.seed(m)
 
 	dataPerm := mem.R | mem.W
 	if !m.cfg.DEP {
@@ -553,7 +570,7 @@ func (m *Machine) strAddr(i int) uint64 {
 // initGlobals applies init items and pre-populates the safe pointer store
 // for protected pointer-valued initializers (the loader is trusted, §2).
 func (m *Machine) initGlobals() error {
-	protecting := m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound
+	protecting := m.cfg.CPI || m.cfg.CPS || m.cfg.SoftBound || m.cfg.Backend != ""
 	for gi, g := range m.prog.Globals {
 		base := m.globalAddr(gi)
 		for _, it := range g.Init {
@@ -584,9 +601,9 @@ func (m *Machine) initGlobals() error {
 				return err
 			}
 			if hasEntry && protecting && it.Size == 8 {
-				m.sps.Set(base+uint64(it.Offset), entry)
+				m.enf.initEntry(m, base+uint64(it.Offset), entry)
 			} else if g.Annotated && protecting && it.Size == 8 {
-				m.sps.Set(base+uint64(it.Offset),
+				m.enf.initEntry(m, base+uint64(it.Offset),
 					sps.Entry{Value: v, Upper: ^uint64(0), Kind: sps.KindData})
 			}
 		}
@@ -689,10 +706,5 @@ func (m *Machine) notePushPeaks(sp, ssp uint64) {
 
 func (m *Machine) sampleSPSPeaks() {
 	m.spsDirty = false
-	if b := m.sps.FootprintBytes(); b > m.memStats.SPSBytes {
-		m.memStats.SPSBytes = b
-	}
-	if n := int64(m.sps.Len()); n > m.memStats.SPSEntries {
-		m.memStats.SPSEntries = n
-	}
+	m.enf.sampleMem(&m.memStats)
 }

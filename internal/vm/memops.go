@@ -38,6 +38,11 @@ func (m *Machine) protActive(fl ir.Prot) (useSPS, universal, check, cps bool) {
 		return true, fl&ir.ProtUniversal != 0, false, false
 	case c.CPS && fl&ir.ProtCPS != 0:
 		return true, fl&ir.ProtUniversal != 0, false, true
+	case c.Backend != "" && fl&ir.ProtCPS != 0:
+		// Non-safe-region backends reuse the ProtCPS/ProtUniversal flag
+		// bits (same instrumented set, same predecode handler choice);
+		// the enforcer hooks give them their own semantics.
+		return true, fl&ir.ProtUniversal != 0, false, false
 	}
 	return false, false, false, false
 }
@@ -146,40 +151,9 @@ func (m *Machine) loadInto(f *frame, addr uint64, ptrMeta Meta, onSafe, regAddr 
 
 	useSPS, universal, _, cps := m.protActive(flags)
 	if useSPS && size == 8 && !onSafe {
-		m.cycles += m.sps.LoadCost()
-		e, ok := m.sps.Get(addr)
-		switch {
-		case ok && e.Valid():
-			if m.cfg.DebugDualStore {
-				raw, err := space.Load(addr, 8)
-				if err == nil && raw != e.Value {
-					m.trapf(m.violationKind(cps), addr, ViaNone,
-						"dual-store mismatch: regular %#x vs safe %#x", raw, e.Value)
-					return
-				}
-				m.cycles += cost.Load
-			}
-			f.regs[dst] = e.Value
-			f.meta[dst] = metaFromEntry(e)
-		case universal:
-			// Universal pointer without a valid safe entry: regular load
-			// (§3.2.2), invalid metadata.
-			v, err := space.Load(addr, int(size))
-			if err != nil {
-				m.memFault(err)
-				return
-			}
-			m.cycles += cost.Load
-			f.regs[dst] = v
-			f.meta[dst] = invalidMeta
-		default:
-			// A sensitive pointer location that no instrumented store ever
-			// wrote: yields an unusable value, so corruption planted by
-			// non-instrumented writes is "silently prevented" (§3.2.2).
-			f.regs[dst] = 0
-			f.meta[dst] = invalidMeta
+		if m.enf.loadProt(m, f, space, addr, dst, universal, cps) {
+			f.pc++
 		}
-		f.pc++
 		return
 	}
 
@@ -291,40 +265,9 @@ func (m *Machine) storeFrom(f *frame, addr uint64, ptrMeta Meta, onSafe, regAddr
 
 	useSPS, universal, _, cps := m.protActive(flags)
 	if useSPS && size == 8 && !onSafe {
-		m.cycles += m.sps.StoreCost()
-		m.spsDirty = true
-		switch {
-		case cps:
-			// CPS: only values with code provenance enter the safe store
-			// (§3.3 guarantee (i): code pointers can only be stored by
-			// code pointer stores, and only from legitimate code values).
-			if valMeta.Kind == sps.KindCode {
-				m.sps.Set(addr, entryFromMeta(val, valMeta))
-			} else if universal {
-				m.sps.Delete(addr)
-			} else {
-				// Storing a forged (non-code) value through a code-pointer
-				// store invalidates the slot rather than laundering it.
-				m.sps.Delete(addr)
-			}
-		case valMeta.Kind != sps.KindInvalid:
-			m.sps.Set(addr, entryFromMeta(val, valMeta))
-		case flags&ir.ProtAnnotated != 0:
-			// Programmer-annotated sensitive data (§3.2.1): the value
-			// itself is protected; bounds degenerate to "any" since the
-			// value is not used as a pointer.
-			m.sps.Set(addr, sps.Entry{Value: val, Upper: ^uint64(0), Kind: sps.KindData})
-		case universal:
-			// Universal pointer holding a regular value: regular region
-			// only; stale safe entries must not survive (§3.2.2 invalid
-			// metadata rule).
-			m.sps.Delete(addr)
-		default:
-			// Sensitive pointer store of a value with invalid metadata
-			// (e.g. forged from an integer): record invalid entry so later
-			// loads see an unusable pointer rather than attacker data.
-			m.sps.Delete(addr)
-		}
+		// The backend records the metadata half (safe-region enforcer) or
+		// transforms the stored word itself (pac signs it in place).
+		val = m.enf.storeProt(m, addr, val, valMeta, flags, universal, cps)
 	}
 
 	if err := space.Store(addr, int(size), val); err != nil {

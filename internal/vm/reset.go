@@ -25,7 +25,7 @@ var resetRules = map[string]string{
 
 	"mem":  "mem.Reset(): all mappings dropped, page frames recycled",
 	"safe": "mem.Reset(): all mappings dropped, page frames recycled",
-	"sps":  "sps.Store.Reset(): cleared in place",
+	"enf":  "enforcer.reset(): metadata cleared in place, counters zeroed; secrets redrawn by load()",
 
 	"frames":     "truncated to 0; records recycled by newFrame (NeedsRegClear guards stale registers)",
 	"cur":        "nil until the next Run pushes the entry frame",
@@ -125,11 +125,11 @@ func (m *Machine) Reset() error {
 	m.sweepCountdown = m.cfg.SweepEvery
 	m.sweepRuns, m.sweepCycles, m.sweepDropped = 0, 0, 0
 
-	// Address spaces and the safe pointer store, cleared in place with
-	// their backing storage recycled.
+	// Address spaces and the enforcement backend's metadata, cleared in
+	// place with their backing storage recycled.
 	m.mem.Reset()
 	m.safe.Reset()
-	m.sps.Reset()
+	m.enf.reset()
 
 	// Safe-space metadata shadows. setSafeMeta extends safeMetaW within cap
 	// assuming the extension region is zero, so the whole cap is cleared —

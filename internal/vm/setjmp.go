@@ -2,7 +2,6 @@ package vm
 
 import (
 	"repro/internal/ir"
-	"repro/internal/sps"
 )
 
 // setjmp/longjmp support. A jmp_buf is a program-visible int array in
@@ -38,12 +37,10 @@ func (m *Machine) setjmp(f *frame, dst int32, flags ir.Prot, siteAddr, buf uint6
 		m.cycles += m.cfg.Cost.Store
 	}
 	protected := (m.cfg.CPI && flags&ir.ProtCPIStore != 0) ||
-		(m.cfg.CPS && flags&ir.ProtCPS != 0)
+		(m.cfg.CPS && flags&ir.ProtCPS != 0) ||
+		(m.cfg.Backend != "" && flags&ir.ProtCPS != 0)
 	if protected {
-		m.cycles += m.sps.StoreCost()
-		m.spsDirty = true
-		m.sps.Set(buf, sps.Entry{Value: siteAddr, Lower: siteAddr,
-			Upper: siteAddr, Kind: sps.KindCode})
+		m.enf.setjmpSave(m, buf, siteAddr)
 	}
 	if dst >= 0 {
 		f.regs[dst] = 0 // direct setjmp returns 0
@@ -56,16 +53,13 @@ func (m *Machine) longjmp(buf, val uint64) {
 	// Resume address: from the safe pointer store when protected, else
 	// from the attackable in-memory buffer.
 	var resume uint64
-	protected := m.cfg.CPI || m.cfg.CPS
+	protected := m.cfg.CPI || m.cfg.CPS || m.cfg.Backend != ""
 	if protected {
-		m.cycles += m.sps.LoadCost()
-		e, ok := m.sps.Get(buf)
-		if !ok || e.Kind != sps.KindCode {
-			m.trapf(m.violationKind(m.cfg.CPS), buf, ViaLongjmp,
-				"longjmp buffer without protected resume address")
+		r, ok := m.enf.longjmpResume(m, buf)
+		if !ok {
 			return
 		}
-		resume = e.Value
+		resume = r
 	} else {
 		v, err := m.mem.Load(buf, 8)
 		if err != nil {

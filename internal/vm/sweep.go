@@ -44,7 +44,8 @@ func (m *Machine) sweepTick() {
 // influence any observable or measured state.
 func (m *Machine) temporalSweep() {
 	cost := &m.cfg.Cost
-	loadC, storeC := m.sps.LoadCost(), m.sps.StoreCost()
+	st := m.spsStore() // sweepTick's gate admits safe-region configs only
+	loadC, storeC := st.LoadCost(), st.StoreCost()
 	var cycles int64
 	var stale []uint64
 	for _, a := range m.allocs {
@@ -52,7 +53,7 @@ func (m *Machine) temporalSweep() {
 			continue
 		}
 		cycles += cost.SweepAlloc
-		m.sps.ScanRange(a.addr, a.addr+uint64(a.size), func(slot uint64, e sps.Entry) bool {
+		st.ScanRange(a.addr, a.addr+uint64(a.size), func(slot uint64, e sps.Entry) bool {
 			cycles += cost.SweepEntry + loadC
 			if e.ID != 0 {
 				if t := m.allocs[e.Lower]; t != nil && (t.freed || t.id != e.ID) {
@@ -63,7 +64,7 @@ func (m *Machine) temporalSweep() {
 		})
 	}
 	for _, slot := range stale {
-		m.sps.Delete(slot)
+		st.Delete(slot)
 		cycles += storeC
 	}
 	if len(stale) > 0 {

@@ -32,7 +32,7 @@ func TestTemporalSweepDropsStaleEntries(t *testing.T) {
 	tid, did := m.allocs[tgt].id, m.allocs[dead].id
 	m.free(dead, false) // plain free: no invalidation, entries stay behind
 	set := func(off uint64, target uint64, n uint64, id uint64) {
-		m.sps.Set(base+off, sps.Entry{Value: target, Lower: target, Upper: target + n, ID: id, Kind: sps.KindData})
+		m.spsStore().Set(base+off, sps.Entry{Value: target, Lower: target, Upper: target + n, ID: id, Kind: sps.KindData})
 	}
 	set(0, tgt, 64, tid)    // live target, current id: survives
 	set(8, tgt, 64, 0)      // static id: never swept
@@ -60,7 +60,7 @@ func TestTemporalSweepDropsStaleEntries(t *testing.T) {
 		{16, false, "recycled-id entry"},
 		{24, false, "freed-target entry"},
 	} {
-		if _, ok := m.sps.Get(base + tc.off); ok != tc.want {
+		if _, ok := m.spsStore().Get(base + tc.off); ok != tc.want {
 			t.Errorf("%s: present = %v, want %v", tc.what, ok, tc.want)
 		}
 	}

@@ -33,6 +33,9 @@ const (
 	// memory operation, i.e. the static sensitivity classification missed
 	// an operation the dynamic oracle proves sensitive.
 	TrapAuditSensitive
+	// TrapPacViolation is the pac backend's detection: a control transfer
+	// through a pointer that failed MAC authentication.
+	TrapPacViolation
 )
 
 var trapNames = [...]string{
@@ -55,6 +58,7 @@ var trapNames = [...]string{
 	TrapBadJump:        "jump to invalid location",
 	TrapFortify:        "fortify check failed",
 	TrapAuditSensitive: "sensitivity audit: code pointer through unprotected memory",
+	TrapPacViolation:   "PAC violation",
 }
 
 // String names the trap kind.
@@ -138,6 +142,15 @@ type Result struct {
 	SweepRuns    int64
 	SweepCycles  int64
 	SweepDropped int64
+
+	// pac backend accounting: MAC sign/authenticate operations performed,
+	// authentication failures observed, and the modeled probability that a
+	// single forged MAC authenticates (2^-PacBits). All zero under other
+	// backends.
+	PacSigns       int64
+	PacAuths       int64
+	PacAuthFails   int64
+	PacForgeryProb float64
 
 	// Memory accounting for the §5.2 memory-overhead experiment.
 	Mem MemStats

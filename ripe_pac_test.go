@@ -1,0 +1,51 @@
+package repro
+
+// RIPE invariance for the pac backend: like the safe-region defenses, pac
+// must stop every control-flow hijack in the suite — and because MAC
+// authentication converts would-be hijacks into detected violations, the
+// full outcome distribution is pinned, not just the success count. A change
+// to the pac word format, the MAC input, or the detection points would move
+// these numbers and must be a deliberate, visible decision.
+
+import (
+	"testing"
+
+	"repro/internal/ripe"
+	"repro/internal/vm"
+)
+
+func TestRIPEPacInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RIPE matrix in -short mode")
+	}
+	d, err := ripe.DefenseByName("pac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := ripe.RunSuiteJobs(d, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Succeeded != 0 {
+		t.Errorf("pac: %d/%d attacks succeeded, want 0", sr.Succeeded, sr.Total)
+	}
+	// The committed distribution at seed 42 (see README "Backends"):
+	// 531 attacks die on TrapPacViolation at the corrupted indirect
+	// transfer, 108 target safe-stack slots the attacker cannot address,
+	// 102 fail for intrinsic reasons (NUL bytes, missed ASLR guesses).
+	if sr.Prevented != 639 || sr.Failed != 102 {
+		t.Errorf("pac outcome distribution moved: prevented=%d failed=%d (of %d), want 639/102",
+			sr.Prevented, sr.Failed, sr.Total)
+	}
+	pacTraps := 0
+	for _, r := range sr.Results {
+		if r.Outcome == ripe.Prevented && r.Trap == vm.TrapPacViolation {
+			pacTraps++
+		}
+	}
+	if pacTraps != 531 {
+		t.Errorf("prevented-via-TrapPacViolation = %d, want 531", pacTraps)
+	}
+	t.Logf("pac: %d/%d/%d succeeded/prevented/failed, %d PAC violations over %d attacks",
+		sr.Succeeded, sr.Prevented, sr.Failed, pacTraps, sr.Total)
+}

@@ -20,7 +20,10 @@ import (
 
 // servingConfigs is the protection matrix of the serving suite. The cpi
 // row also turns on ASLR/PIE and the temporal sweep: reset must reproduce
-// the slides, canary and sweep cadence, not merely the clean layout.
+// the slides, canary and sweep cadence, not merely the clean layout. The
+// pac row exercises the non-safe-region backend seam: reset must redraw
+// the same MAC key, or every signed pointer from the previous run would
+// still authenticate (or a replayed run would diverge).
 func servingConfigs() []struct {
 	name string
 	cfg  core.Config
@@ -33,6 +36,7 @@ func servingConfigs() []struct {
 		{"cps", core.Config{Protect: core.CPS, DEP: true}},
 		{"cpi", core.Config{Protect: core.CPI, DEP: true,
 			ASLR: true, PIE: true, Seed: 42, TemporalSafety: true, SweepEvery: 64}},
+		{"pac", core.Config{Backend: "pac", DEP: true, ASLR: true, Seed: 42}},
 	}
 }
 
@@ -176,7 +180,7 @@ func TestSharedCodeLayoutTables(t *testing.T) {
 // temporal sweep on, and every request's result must be bit-identical to
 // an unpooled fresh-machine run. Run with -race for the full guarantee.
 func TestPooledConcurrentMatchesUnpooled(t *testing.T) {
-	w := workloads.WebServe()[1] // serve-wsgi: heap + indirect calls
+	w := workloads.WebServe()[1]              // serve-wsgi: heap + indirect calls
 	for _, pc := range servingConfigs()[1:] { // cps, cpi
 		prog, err := core.Compile(w.Src, pc.cfg)
 		if err != nil {
